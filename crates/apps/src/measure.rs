@@ -1,0 +1,97 @@
+//! Measurement records shared by the application drivers and the benchmark
+//! harnesses.
+
+use munin_sim::stats::NetSnapshot;
+use munin_sim::{NodeTimes, VirtTime};
+
+/// One measured execution of an application (Munin or message passing).
+#[derive(Clone, Debug)]
+pub struct RunMeasurement {
+    /// A short label ("munin", "message-passing", "munin/write-shared", ...).
+    pub label: &'static str,
+    /// Number of processors used.
+    pub procs: usize,
+    /// Total (virtual) execution time — the paper's "Total" column.
+    pub elapsed: VirtTime,
+    /// Time spent executing user code on the root node ("User").
+    pub root_user: VirtTime,
+    /// Time spent executing runtime code on the root node ("System").
+    pub root_system: VirtTime,
+    /// Network statistics for the run.
+    pub net: NetSnapshot,
+}
+
+impl RunMeasurement {
+    /// Builds a measurement from the root node's time accounting.
+    pub fn new(
+        label: &'static str,
+        procs: usize,
+        elapsed: VirtTime,
+        root: NodeTimes,
+        net: NetSnapshot,
+    ) -> Self {
+        RunMeasurement {
+            label,
+            procs,
+            elapsed,
+            root_user: root.user,
+            root_system: root.system,
+            net,
+        }
+    }
+
+    /// Total execution time in seconds.
+    pub fn secs(&self) -> f64 {
+        self.elapsed.as_secs_f64()
+    }
+
+    /// Percentage difference of this run's total time relative to `baseline`
+    /// (positive means this run is slower).
+    pub fn percent_diff(&self, baseline: &RunMeasurement) -> f64 {
+        let base = baseline.secs();
+        if base == 0.0 {
+            return 0.0;
+        }
+        (self.secs() - base) / base * 100.0
+    }
+
+    /// Speedup of this run relative to `single_proc` (same label, 1
+    /// processor).
+    pub fn speedup(&self, single_proc: &RunMeasurement) -> f64 {
+        if self.secs() == 0.0 {
+            return 0.0;
+        }
+        single_proc.secs() / self.secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(label: &'static str, secs: u64) -> RunMeasurement {
+        RunMeasurement {
+            label,
+            procs: 4,
+            elapsed: VirtTime::from_secs(secs),
+            root_user: VirtTime::ZERO,
+            root_system: VirtTime::ZERO,
+            net: NetSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn percent_diff_is_relative_to_baseline() {
+        let base = m("mp", 10);
+        let slower = m("munin", 11);
+        assert!((slower.percent_diff(&base) - 10.0).abs() < 1e-9);
+        assert!((base.percent_diff(&base)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_divides_single_proc_time() {
+        let single = m("munin", 100);
+        let parallel = m("munin", 10);
+        assert!((parallel.speedup(&single) - 10.0).abs() < 1e-9);
+    }
+}

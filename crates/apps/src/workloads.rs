@@ -1,0 +1,162 @@
+//! Deterministic workload generators.
+//!
+//! Inputs are generated from closed-form expressions (not an RNG) so the
+//! Munin, message-passing, and serial variants of every program trivially
+//! agree on their inputs and the tests can compare their outputs exactly.
+
+/// Value of the matrix-multiply input `A[i][j]`.
+pub fn matmul_a(i: usize, j: usize) -> i32 {
+    ((i as i64 * 7 + j as i64 * 13) % 101 - 50) as i32
+}
+
+/// Value of the matrix-multiply input `B[i][j]`.
+pub fn matmul_b(i: usize, j: usize) -> i32 {
+    ((i as i64 * 3 + j as i64 * 17) % 97 - 48) as i32
+}
+
+/// Generates the full `n × n` input matrix `A` in row-major order.
+pub fn matmul_a_matrix(n: usize) -> Vec<i32> {
+    (0..n * n).map(|k| matmul_a(k / n, k % n)).collect()
+}
+
+/// Generates the full `n × n` input matrix `B` in row-major order.
+pub fn matmul_b_matrix(n: usize) -> Vec<i32> {
+    (0..n * n).map(|k| matmul_b(k / n, k % n)).collect()
+}
+
+/// Boundary temperature along the top edge of the SOR grid.
+pub const SOR_TOP: f64 = 100.0;
+/// Boundary temperature along the bottom edge of the SOR grid.
+pub const SOR_BOTTOM: f64 = 50.0;
+/// Boundary temperature along the left and right edges of the SOR grid.
+pub const SOR_SIDES: f64 = 0.0;
+
+/// Initial interior temperature at grid point `(i, j)`: a deterministic,
+/// spatially varying field so that every iteration of SOR changes every
+/// interior element (an all-zero interior would make the early iterations
+/// no-ops far from the boundary).
+pub fn sor_interior(i: usize, j: usize) -> f64 {
+    ((i * 7 + j * 3) % 23) as f64 + 1.0
+}
+
+/// Builds the initial SOR grid (`rows × cols`, row-major): fixed temperatures
+/// on the top/bottom boundaries, [`SOR_SIDES`] on the side boundaries, and
+/// the [`sor_interior`] field elsewhere.
+pub fn sor_initial(rows: usize, cols: usize) -> Vec<f64> {
+    let mut grid = vec![0.0f64; rows * cols];
+    for i in 1..rows - 1 {
+        for j in 1..cols - 1 {
+            grid[i * cols + j] = sor_interior(i, j);
+        }
+    }
+    for j in 0..cols {
+        grid[j] = SOR_TOP;
+        grid[(rows - 1) * cols + j] = SOR_BOTTOM;
+    }
+    for i in 1..rows - 1 {
+        grid[i * cols] = SOR_SIDES;
+        grid[i * cols + cols - 1] = SOR_SIDES;
+    }
+    grid
+}
+
+/// Splits `total` rows (or any unit of work) into `parts` contiguous chunks,
+/// returning the `[start, end)` range of chunk `idx`. Remainder rows go to
+/// the leading chunks so every chunk differs by at most one row.
+pub fn partition(total: usize, parts: usize, idx: usize) -> (usize, usize) {
+    let base = total / parts;
+    let extra = total % parts;
+    let start = idx * base + idx.min(extra);
+    let len = base + usize::from(idx < extra);
+    (start, start + len)
+}
+
+/// Symmetric distance between two cities of the TSP instance.
+pub fn tsp_distance(a: usize, b: usize) -> i64 {
+    if a == b {
+        return 0;
+    }
+    let (a, b) = (a.min(b), a.max(b));
+    ((a as i64 * 31 + b as i64 * 57) % 90) + 10
+}
+
+/// Builds the full `n × n` TSP distance matrix in row-major order.
+pub fn tsp_distance_matrix(n: usize) -> Vec<i64> {
+    (0..n * n).map(|k| tsp_distance(k / n, k % n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_inputs_are_deterministic_and_bounded() {
+        assert_eq!(matmul_a(3, 5), matmul_a(3, 5));
+        for i in 0..20 {
+            for j in 0..20 {
+                assert!(matmul_a(i, j).abs() <= 50);
+                assert!(matmul_b(i, j).abs() <= 48);
+            }
+        }
+        let m = matmul_a_matrix(4);
+        assert_eq!(m.len(), 16);
+        assert_eq!(m[5], matmul_a(1, 1));
+    }
+
+    #[test]
+    fn sor_initial_sets_boundary_and_interior() {
+        let g = sor_initial(6, 5);
+        assert_eq!(g[0], SOR_TOP);
+        assert_eq!(g[4], SOR_TOP);
+        assert_eq!(g[5 * 5], SOR_BOTTOM);
+        assert_eq!(g[2 * 5], SOR_SIDES);
+        assert_eq!(g[2 * 5 + 2], sor_interior(2, 2));
+        assert!(g[2 * 5 + 2] > 0.0);
+    }
+
+    #[test]
+    fn partition_covers_everything_without_overlap() {
+        for total in [1usize, 7, 16, 100, 513] {
+            for parts in [1usize, 2, 3, 16] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for idx in 0..parts {
+                    let (s, e) = partition(total, parts, idx);
+                    assert_eq!(s, prev_end);
+                    assert!(e >= s);
+                    covered += e - s;
+                    prev_end = e;
+                }
+                assert_eq!(covered, total);
+                assert_eq!(prev_end, total);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_balanced() {
+        for idx in 0..16 {
+            let (s, e) = partition(512, 16, idx);
+            assert_eq!(e - s, 32);
+        }
+        let sizes: Vec<usize> = (0..3).map(|i| {
+            let (s, e) = partition(10, 3, i);
+            e - s
+        }).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn tsp_distances_are_symmetric_and_positive() {
+        for a in 0..8 {
+            for b in 0..8 {
+                assert_eq!(tsp_distance(a, b), tsp_distance(b, a));
+                if a != b {
+                    assert!(tsp_distance(a, b) >= 10);
+                }
+            }
+        }
+        assert_eq!(tsp_distance(2, 2), 0);
+    }
+}

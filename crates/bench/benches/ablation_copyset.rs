@@ -1,0 +1,20 @@
+//! Ablation from §3.3 of the paper: the prototype's broadcast copyset
+//! determination vs. the improved owner-collected algorithm, measured on SOR
+//! with every variable forced to `write_shared` (the configuration the paper
+//! says "can be improved by using a better algorithm for determining the
+//! Copyset").
+
+use munin_bench::copyset_ablation;
+
+fn main() {
+    println!("=== Ablation: copyset determination algorithm (SOR, 16 processors) ===");
+    println!("{:<34} {:>12} {:>16}", "Configuration", "Total (s)", "Copyset queries");
+    for row in copyset_ablation(16) {
+        println!(
+            "{:<34} {:>12.2} {:>16}",
+            row.label,
+            row.elapsed.as_secs_f64(),
+            row.copyset_queries
+        );
+    }
+}

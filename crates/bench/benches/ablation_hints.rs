@@ -1,0 +1,18 @@
+//! Ablation from §2.4 of the paper: the effect of `AssociateDataAndSynch` —
+//! piggybacking the protected data on lock transfers — on a critical-section
+//! workload with a migratory record.
+
+use munin_bench::hints_ablation;
+
+fn main() {
+    println!("=== Ablation: AssociateDataAndSynch (8 processors, 20 lock rounds each) ===");
+    println!("{:<26} {:>12} {:>16}", "Configuration", "Total (s)", "Object fetches");
+    for row in hints_ablation(8, 20) {
+        println!(
+            "{:<26} {:>12.3} {:>16}",
+            row.label,
+            row.elapsed.as_secs_f64(),
+            row.object_fetches
+        );
+    }
+}

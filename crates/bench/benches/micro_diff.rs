@@ -1,0 +1,53 @@
+//! Criterion microbenchmarks of the twin/diff machinery in *real* time on the
+//! host machine: twin copy, run-length encoding, and decode/merge of an 8 KB
+//! object under the three modification patterns of Table 2.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use munin_core::diff;
+use std::time::Duration;
+
+fn patterns() -> Vec<(&'static str, Vec<u8>, Vec<u8>)> {
+    let size = 8192;
+    let words = size / 4;
+    [("one_word", 7usize..8), ("all_words", 0..words), ("alternate_words", 0..words)]
+        .into_iter()
+        .map(|(name, range)| {
+            let twin = vec![0u8; size];
+            let mut cur = twin.clone();
+            for w in range {
+                if name != "alternate_words" || w % 2 == 0 {
+                    cur[w * 4..w * 4 + 4].copy_from_slice(&1u32.to_le_bytes());
+                }
+            }
+            (name, cur, twin)
+        })
+        .collect()
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diff_8kb");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(30);
+    for (name, cur, twin) in patterns() {
+        group.bench_function(format!("twin_copy/{name}"), |b| {
+            b.iter(|| diff::make_twin(std::hint::black_box(&cur)))
+        });
+        group.bench_function(format!("encode/{name}"), |b| {
+            b.iter(|| diff::encode(std::hint::black_box(&cur), std::hint::black_box(&twin)))
+        });
+        let d = diff::encode(&cur, &twin);
+        group.bench_function(format!("decode/{name}"), |b| {
+            b.iter_batched(
+                || twin.clone(),
+                |mut target| diff::apply(&d, &mut target).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diff);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates Table 1 of the paper: "Munin Annotations and Corresponding
+//! Protocol Parameters".
+
+fn main() {
+    println!("=== Table 1: Munin annotations and protocol parameters ===");
+    print!("{}", munin_core::render_table1());
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table 2 of the paper: the component breakdown of the time to
+//! handle an 8-kilobyte object through the delayed update queue, for the
+//! one-word, all-words, and alternate-words modification patterns.
+
+use munin_bench::{duq_breakdown, format_duq_table};
+use munin_sim::CostModel;
+
+fn main() {
+    println!("=== Table 2: time to handle an 8 KB object through the DUQ ===");
+    let rows = duq_breakdown(8192, &CostModel::sun_ethernet_1991());
+    print!("{}", format_duq_table(&rows));
+}

@@ -1,0 +1,18 @@
+//! Regenerates Table 3 of the paper: Matrix Multiply (400 × 400), Munin vs.
+//! hand-coded message passing, 1–16 processors.
+
+use munin_bench::{format_comparison_table, matmul_comparison, PAPER_PROCS};
+
+fn main() {
+    println!("=== Table 3: performance of Matrix Multiply (sec) ===");
+    let rows = matmul_comparison(&PAPER_PROCS, false);
+    print!(
+        "{}",
+        format_comparison_table("Matrix Multiply, 400x400 int matrices", &rows)
+    );
+    let worst = rows
+        .iter()
+        .map(|r| r.diff_pct())
+        .fold(f64::MIN, f64::max);
+    println!("worst-case Munin overhead vs message passing: {worst:.1}%");
+}

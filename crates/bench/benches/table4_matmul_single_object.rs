@@ -1,0 +1,18 @@
+//! Regenerates Table 4 of the paper: Matrix Multiply with the `SingleObject`
+//! optimization applied to the input matrix that every worker reads in full.
+
+use munin_bench::{format_comparison_table, matmul_comparison, PAPER_PROCS};
+
+fn main() {
+    println!("=== Table 4: performance of optimized Matrix Multiply (sec) ===");
+    let rows = matmul_comparison(&PAPER_PROCS, true);
+    print!(
+        "{}",
+        format_comparison_table("Matrix Multiply with SingleObject() on input2", &rows)
+    );
+    let worst = rows
+        .iter()
+        .map(|r| r.diff_pct())
+        .fold(f64::MIN, f64::max);
+    println!("worst-case Munin overhead vs message passing: {worst:.1}%");
+}

@@ -1,0 +1,18 @@
+//! Regenerates Table 5 of the paper: Successive Over-Relaxation, Munin vs.
+//! hand-coded message passing, 1–16 processors.
+
+use munin_bench::{format_comparison_table, sor_comparison, PAPER_PROCS};
+
+fn main() {
+    println!("=== Table 5: performance of SOR (sec) ===");
+    let rows = sor_comparison(&PAPER_PROCS);
+    print!(
+        "{}",
+        format_comparison_table("SOR, 1024x512 grid, 20 iterations", &rows)
+    );
+    let worst = rows
+        .iter()
+        .map(|r| r.diff_pct())
+        .fold(f64::MIN, f64::max);
+    println!("worst-case Munin overhead vs message passing: {worst:.1}%");
+}

@@ -1,0 +1,114 @@
+//! Runtime configuration.
+
+use munin_sim::CostModel;
+
+use crate::annotation::SharingAnnotation;
+use crate::object::DEFAULT_PAGE_SIZE;
+
+/// How the copyset of modified objects is determined at a DUQ flush.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CopysetStrategy {
+    /// The prototype's algorithm: "a message indicating which objects have
+    /// been modified locally is sent to all other nodes; each node replies
+    /// with ... the subset of these objects for which it has a copy."
+    /// The paper calls this "somewhat inefficient".
+    #[default]
+    Broadcast,
+    /// The improved algorithm the paper sketches but had not implemented:
+    /// "uses the owner node to collect Copyset information" — one query to
+    /// each home node instead of a broadcast.
+    OwnerCollected,
+}
+
+/// Configuration of a Munin run.
+#[derive(Clone, Debug)]
+pub struct MuninConfig {
+    /// Number of nodes (processors). Each node runs one user (worker)
+    /// thread; node 0 is the root.
+    pub nodes: usize,
+    /// Consistency-unit size in bytes (the prototype uses 8 KB pages).
+    pub page_size: usize,
+    /// Cost model of the simulated machine.
+    pub cost: CostModel,
+    /// When set, forces every shared variable to this annotation regardless
+    /// of its declaration — used to reproduce the single-protocol comparison
+    /// of Table 6.
+    pub annotation_override: Option<SharingAnnotation>,
+    /// Copyset determination algorithm used at DUQ flushes.
+    pub copyset_strategy: CopysetStrategy,
+}
+
+impl MuninConfig {
+    /// Configuration matching the paper's prototype: 8 KB objects, the
+    /// SUN/Ethernet cost model, broadcast copyset determination.
+    pub fn paper(nodes: usize) -> Self {
+        MuninConfig {
+            nodes,
+            page_size: DEFAULT_PAGE_SIZE,
+            cost: CostModel::sun_ethernet_1991(),
+            annotation_override: None,
+            copyset_strategy: CopysetStrategy::Broadcast,
+        }
+    }
+
+    /// Small, fast configuration for tests: tiny pages and a cheap cost
+    /// model so protocol behaviour (not simulated waiting) dominates.
+    pub fn fast_test(nodes: usize) -> Self {
+        MuninConfig {
+            nodes,
+            page_size: 64,
+            cost: CostModel::fast_test(),
+            annotation_override: None,
+            copyset_strategy: CopysetStrategy::Broadcast,
+        }
+    }
+
+    /// Sets the consistency-unit size.
+    pub fn with_page_size(mut self, page_size: usize) -> Self {
+        self.page_size = page_size;
+        self
+    }
+
+    /// Sets the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Forces every shared variable to one annotation (Table 6).
+    pub fn with_annotation_override(mut self, annotation: SharingAnnotation) -> Self {
+        self.annotation_override = Some(annotation);
+        self
+    }
+
+    /// Selects the copyset determination algorithm.
+    pub fn with_copyset_strategy(mut self, strategy: CopysetStrategy) -> Self {
+        self.copyset_strategy = strategy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_uses_8k_pages() {
+        let cfg = MuninConfig::paper(16);
+        assert_eq!(cfg.page_size, 8192);
+        assert_eq!(cfg.nodes, 16);
+        assert!(cfg.annotation_override.is_none());
+        assert_eq!(cfg.copyset_strategy, CopysetStrategy::Broadcast);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = MuninConfig::fast_test(4)
+            .with_page_size(128)
+            .with_annotation_override(SharingAnnotation::Conventional)
+            .with_copyset_strategy(CopysetStrategy::OwnerCollected);
+        assert_eq!(cfg.page_size, 128);
+        assert_eq!(cfg.annotation_override, Some(SharingAnnotation::Conventional));
+        assert_eq!(cfg.copyset_strategy, CopysetStrategy::OwnerCollected);
+    }
+}

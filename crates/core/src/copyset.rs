@@ -1,0 +1,171 @@
+//! Copysets: which remote processors hold copies of an object.
+//!
+//! The paper uses a bitmap of remote processors per directory entry, noting
+//! that this "does not scale well to larger systems but an earlier study of
+//! parallel programs suggests that a processor list is often quite short",
+//! and that a special *All Nodes* value covers the common case of an object
+//! shared by every processor. Both representations are provided here.
+
+use munin_sim::NodeId;
+
+/// The set of nodes that hold a copy of an object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CopySet {
+    /// An explicit bitmap of nodes (bit *i* set ⇒ node *i* has a copy).
+    /// Supports up to 64 nodes, which comfortably covers the paper's
+    /// 16-processor prototype.
+    Nodes(u64),
+    /// Every node in the system has a copy.
+    AllNodes,
+}
+
+impl Default for CopySet {
+    fn default() -> Self {
+        CopySet::Nodes(0)
+    }
+}
+
+impl CopySet {
+    /// The empty copyset.
+    pub const EMPTY: CopySet = CopySet::Nodes(0);
+
+    /// Creates a copyset containing exactly the given nodes.
+    pub fn from_nodes<I: IntoIterator<Item = NodeId>>(nodes: I) -> Self {
+        let mut set = CopySet::EMPTY;
+        for n in nodes {
+            set.insert(n);
+        }
+        set
+    }
+
+    /// Adds a node to the set (no-op for [`CopySet::AllNodes`]).
+    pub fn insert(&mut self, node: NodeId) {
+        if let CopySet::Nodes(bits) = self {
+            *bits |= 1u64 << node.as_usize();
+        }
+    }
+
+    /// Removes a node from the set. Removing from [`CopySet::AllNodes`] is
+    /// not representable without knowing the system size and is ignored;
+    /// callers that need it should first materialize with
+    /// [`CopySet::materialize`].
+    pub fn remove(&mut self, node: NodeId) {
+        if let CopySet::Nodes(bits) = self {
+            *bits &= !(1u64 << node.as_usize());
+        }
+    }
+
+    /// Whether the node is in the set. For [`CopySet::AllNodes`] every node
+    /// is a member.
+    pub fn contains(&self, node: NodeId) -> bool {
+        match self {
+            CopySet::Nodes(bits) => bits & (1u64 << node.as_usize()) != 0,
+            CopySet::AllNodes => true,
+        }
+    }
+
+    /// Whether the set is empty. [`CopySet::AllNodes`] is never empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, CopySet::Nodes(0))
+    }
+
+    /// Number of members, given the total number of nodes in the system.
+    pub fn len(&self, total_nodes: usize) -> usize {
+        match self {
+            CopySet::Nodes(bits) => bits.count_ones() as usize,
+            CopySet::AllNodes => total_nodes,
+        }
+    }
+
+    /// Converts to an explicit bitmap over `total_nodes` nodes.
+    pub fn materialize(&self, total_nodes: usize) -> CopySet {
+        match self {
+            CopySet::Nodes(_) => *self,
+            CopySet::AllNodes => {
+                let bits = if total_nodes >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << total_nodes) - 1
+                };
+                CopySet::Nodes(bits)
+            }
+        }
+    }
+
+    /// Iterates the member nodes, excluding `exclude` (typically the local
+    /// node), given the total number of nodes.
+    pub fn members(&self, total_nodes: usize, exclude: Option<NodeId>) -> Vec<NodeId> {
+        let materialized = self.materialize(total_nodes);
+        let CopySet::Nodes(bits) = materialized else {
+            unreachable!("materialize always returns Nodes");
+        };
+        (0..total_nodes)
+            .filter(|i| bits & (1u64 << i) != 0)
+            .map(NodeId::new)
+            .filter(|n| Some(*n) != exclude)
+            .collect()
+    }
+
+    /// Union of two copysets.
+    pub fn union(&self, other: &CopySet) -> CopySet {
+        match (self, other) {
+            (CopySet::AllNodes, _) | (_, CopySet::AllNodes) => CopySet::AllNodes,
+            (CopySet::Nodes(a), CopySet::Nodes(b)) => CopySet::Nodes(a | b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut cs = CopySet::EMPTY;
+        assert!(cs.is_empty());
+        cs.insert(NodeId::new(3));
+        cs.insert(NodeId::new(7));
+        assert!(cs.contains(NodeId::new(3)));
+        assert!(cs.contains(NodeId::new(7)));
+        assert!(!cs.contains(NodeId::new(4)));
+        assert_eq!(cs.len(16), 2);
+        cs.remove(NodeId::new(3));
+        assert!(!cs.contains(NodeId::new(3)));
+        assert_eq!(cs.len(16), 1);
+    }
+
+    #[test]
+    fn all_nodes_contains_everything() {
+        let cs = CopySet::AllNodes;
+        for i in 0..16 {
+            assert!(cs.contains(NodeId::new(i)));
+        }
+        assert!(!cs.is_empty());
+        assert_eq!(cs.len(16), 16);
+    }
+
+    #[test]
+    fn materialize_all_nodes() {
+        let cs = CopySet::AllNodes.materialize(4);
+        assert_eq!(cs, CopySet::Nodes(0b1111));
+        let cs64 = CopySet::AllNodes.materialize(64);
+        assert_eq!(cs64, CopySet::Nodes(u64::MAX));
+    }
+
+    #[test]
+    fn members_excludes_local_node() {
+        let cs = CopySet::from_nodes([NodeId::new(0), NodeId::new(2), NodeId::new(3)]);
+        let members = cs.members(4, Some(NodeId::new(2)));
+        assert_eq!(members, vec![NodeId::new(0), NodeId::new(3)]);
+        let all = CopySet::AllNodes.members(3, Some(NodeId::new(0)));
+        assert_eq!(all, vec![NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn union_saturates_to_all_nodes() {
+        let a = CopySet::from_nodes([NodeId::new(1)]);
+        let b = CopySet::from_nodes([NodeId::new(2)]);
+        assert_eq!(a.union(&b), CopySet::from_nodes([NodeId::new(1), NodeId::new(2)]));
+        assert_eq!(a.union(&CopySet::AllNodes), CopySet::AllNodes);
+    }
+}

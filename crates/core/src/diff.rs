@@ -1,0 +1,258 @@
+//! Twins and run-length encoded diffs.
+//!
+//! When a thread first writes to an object whose protocol allows multiple
+//! writers, Munin makes a copy of the object — its *twin*. When the delayed
+//! update queue is flushed, the runtime "performs a word-by-word comparison
+//! of the object and its twin and run-length encodes the results of this diff
+//! into the space allocated for the twin. Each run consists of a count of
+//! identical words, the number of differing words that follow, and the data
+//! associated with those differing words." (Section 3.3.)
+//!
+//! This module implements exactly that encoding, its decoder, and merging of
+//! an encoded diff into another copy of the object.
+
+use crate::error::{MuninError, Result};
+use crate::object::ObjectId;
+
+/// One run of the run-length encoding: `skip` identical words followed by
+/// `data.len()` differing words whose new values are `data`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Run {
+    /// Number of identical (unchanged) words preceding the differing words.
+    pub skip: u32,
+    /// New values of the differing words.
+    pub data: Vec<u32>,
+}
+
+/// A run-length encoded diff of an object against its twin.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Diff {
+    /// The runs, in object order.
+    pub runs: Vec<Run>,
+    /// Length of the object in words (needed to validate application).
+    pub words: u32,
+}
+
+impl Diff {
+    /// Whether the diff contains no changed words.
+    pub fn is_empty(&self) -> bool {
+        self.runs.iter().all(|r| r.data.is_empty())
+    }
+
+    /// Total number of differing words carried by the diff.
+    pub fn changed_words(&self) -> usize {
+        self.runs.iter().map(|r| r.data.len()).sum()
+    }
+
+    /// Number of runs in the encoding.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Size of the encoding on the wire: each run costs two count words plus
+    /// its data words, plus one header word for the total length.
+    pub fn encoded_bytes(&self) -> usize {
+        4 + self
+            .runs
+            .iter()
+            .map(|r| 8 + 4 * r.data.len())
+            .sum::<usize>()
+    }
+}
+
+/// Reads the object bytes as little-endian 32-bit words.
+fn words_of(bytes: &[u8]) -> impl Iterator<Item = u32> + '_ {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+}
+
+/// Creates a twin: a private copy of the object made on the first write.
+pub fn make_twin(object: &[u8]) -> Vec<u8> {
+    object.to_vec()
+}
+
+/// Computes the run-length encoded diff of `current` against `twin`.
+///
+/// # Panics
+///
+/// Panics if the two buffers differ in length or are not word-aligned;
+/// objects are always padded to a word multiple when the segment is laid out.
+pub fn encode(current: &[u8], twin: &[u8]) -> Diff {
+    assert_eq!(current.len(), twin.len(), "object and twin must be the same size");
+    assert_eq!(current.len() % 4, 0, "objects are word-aligned");
+    let mut runs = Vec::new();
+    let mut skip: u32 = 0;
+    let mut pending: Vec<u32> = Vec::new();
+    for (cur, old) in words_of(current).zip(words_of(twin)) {
+        if cur == old {
+            if !pending.is_empty() {
+                runs.push(Run {
+                    skip,
+                    data: std::mem::take(&mut pending),
+                });
+                skip = 0;
+            }
+            skip += 1;
+        } else {
+            pending.push(cur);
+        }
+    }
+    if !pending.is_empty() {
+        runs.push(Run { skip, data: pending });
+    }
+    Diff {
+        runs,
+        words: (current.len() / 4) as u32,
+    }
+}
+
+/// Applies `diff` to `target`, overwriting the words the diff marks as
+/// changed. `target` is typically a remote copy of the object (or the
+/// owner's master copy for `result` objects).
+///
+/// # Errors
+///
+/// Returns [`MuninError::ProtocolViolation`] if the diff does not fit the
+/// target (length mismatch or runs overrunning the object).
+pub fn apply(diff: &Diff, target: &mut [u8]) -> Result<()> {
+    if target.len() % 4 != 0 || target.len() / 4 != diff.words as usize {
+        return Err(MuninError::ProtocolViolation("diff length mismatch"));
+    }
+    let mut word_idx: usize = 0;
+    for run in &diff.runs {
+        word_idx += run.skip as usize;
+        let end = word_idx + run.data.len();
+        if end > diff.words as usize {
+            return Err(MuninError::ProtocolViolation("diff run overruns object"));
+        }
+        for (i, word) in run.data.iter().enumerate() {
+            let off = (word_idx + i) * 4;
+            target[off..off + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        word_idx = end;
+    }
+    Ok(())
+}
+
+/// A pending DUQ entry's twin, tagged with its object.
+#[derive(Clone, Debug)]
+pub struct Twin {
+    /// The object this twin shadows.
+    pub object: ObjectId,
+    /// Snapshot of the object at the time of the first write since the last
+    /// flush.
+    pub data: Vec<u8>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_bytes(words: &[u32]) -> Vec<u8> {
+        words.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn identical_buffers_produce_empty_diff() {
+        let a = to_bytes(&[1, 2, 3, 4]);
+        let d = encode(&a, &a);
+        assert!(d.is_empty());
+        assert_eq!(d.changed_words(), 0);
+        assert_eq!(d.run_count(), 0);
+    }
+
+    #[test]
+    fn single_word_change_is_one_run() {
+        let twin = to_bytes(&[0; 8]);
+        let mut cur = twin.clone();
+        cur[12..16].copy_from_slice(&7u32.to_le_bytes());
+        let d = encode(&cur, &twin);
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.runs[0], Run { skip: 3, data: vec![7] });
+        assert_eq!(d.changed_words(), 1);
+    }
+
+    #[test]
+    fn every_word_changed_is_one_big_run() {
+        let twin = to_bytes(&[0; 16]);
+        let cur = to_bytes(&[9; 16]);
+        let d = encode(&cur, &twin);
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.runs[0].skip, 0);
+        assert_eq!(d.changed_words(), 16);
+    }
+
+    #[test]
+    fn alternate_words_is_worst_case_run_count() {
+        // "In the third every other word has changed which is the worst case
+        // for our run-length encoding scheme because there are a maximum
+        // number of minimum-length runs."
+        let twin = to_bytes(&vec![0u32; 64]);
+        let cur = to_bytes(
+            &(0..64u32)
+                .map(|i| if i % 2 == 0 { 5 } else { 0 })
+                .collect::<Vec<_>>(),
+        );
+        let d = encode(&cur, &twin);
+        assert_eq!(d.run_count(), 32);
+        assert_eq!(d.changed_words(), 32);
+        assert!(d.encoded_bytes() > 32 * 4);
+    }
+
+    #[test]
+    fn apply_reconstructs_the_modified_object() {
+        let twin = to_bytes(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut cur = twin.clone();
+        cur[0..4].copy_from_slice(&100u32.to_le_bytes());
+        cur[20..24].copy_from_slice(&200u32.to_le_bytes());
+        let d = encode(&cur, &twin);
+        let mut other_copy = twin.clone();
+        apply(&d, &mut other_copy).unwrap();
+        assert_eq!(other_copy, cur);
+    }
+
+    #[test]
+    fn apply_merges_disjoint_concurrent_writes() {
+        // Two writers modify disjoint words of the same object; applying both
+        // diffs to the original must yield both changes (the multiple-writers
+        // guarantee that defeats false sharing).
+        let original = to_bytes(&[0; 8]);
+        let mut writer_a = original.clone();
+        writer_a[0..4].copy_from_slice(&11u32.to_le_bytes());
+        let mut writer_b = original.clone();
+        writer_b[28..32].copy_from_slice(&22u32.to_le_bytes());
+        let diff_a = encode(&writer_a, &original);
+        let diff_b = encode(&writer_b, &original);
+        let mut master = original.clone();
+        apply(&diff_a, &mut master).unwrap();
+        apply(&diff_b, &mut master).unwrap();
+        assert_eq!(u32::from_le_bytes(master[0..4].try_into().unwrap()), 11);
+        assert_eq!(u32::from_le_bytes(master[28..32].try_into().unwrap()), 22);
+    }
+
+    #[test]
+    fn apply_rejects_mismatched_length() {
+        let twin = to_bytes(&[0; 4]);
+        let cur = to_bytes(&[1; 4]);
+        let d = encode(&cur, &twin);
+        let mut short = to_bytes(&[0; 2]);
+        assert!(apply(&d, &mut short).is_err());
+    }
+
+    #[test]
+    fn encoded_bytes_tracks_runs_and_data() {
+        let twin = to_bytes(&[0; 4]);
+        let mut cur = twin.clone();
+        cur[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let d = encode(&cur, &twin);
+        // header + one run (8 bytes) + one data word.
+        assert_eq!(d.encoded_bytes(), 4 + 8 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "same size")]
+    fn encode_panics_on_length_mismatch() {
+        let _ = encode(&[0u8; 8], &[0u8; 4]);
+    }
+}

@@ -1,0 +1,248 @@
+//! The data object directory.
+//!
+//! "The data object directory within each Munin node maintains information
+//! about the state of the global shared memory. This directory is a hash
+//! table that maps an address in the shared address space to the entry that
+//! describes the object located at that address." (Section 3.2.)
+//!
+//! Entries carry the protocol parameter bits, the dynamic object state, the
+//! copyset, the probable owner, the home node, and an optional link to the
+//! synchronization object that protects the object.
+
+use std::collections::HashMap;
+
+use munin_sim::NodeId;
+
+use crate::annotation::{ProtocolParams, SharingAnnotation};
+use crate::copyset::CopySet;
+use crate::object::ObjectId;
+use crate::segment::SharedDataTable;
+use crate::sync::LockId;
+
+/// Local access rights for an object — the simulated analogue of the
+/// virtual-memory protection bits the prototype manipulates through the V
+/// kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AccessRights {
+    /// No valid local copy (any access faults).
+    #[default]
+    Invalid,
+    /// Valid read-only copy (writes fault).
+    Read,
+    /// Valid writable copy.
+    ReadWrite,
+}
+
+impl AccessRights {
+    /// Whether a read is allowed without faulting.
+    pub fn allows_read(self) -> bool {
+        !matches!(self, AccessRights::Invalid)
+    }
+
+    /// Whether a write is allowed without faulting.
+    pub fn allows_write(self) -> bool {
+        matches!(self, AccessRights::ReadWrite)
+    }
+}
+
+/// Dynamic state bits of a directory entry ("characterize the dynamic state
+/// of the object, e.g. whether the local copy is valid, writable, or modified
+/// since the last flush, and whether a remote copy of the object exists").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ObjectState {
+    /// Local access rights (valid / writable).
+    pub rights: AccessRights,
+    /// Modified locally since the last DUQ flush.
+    pub dirty: bool,
+    /// Whether this node believes it is the current owner of the object.
+    pub owned: bool,
+    /// Whether the stable (producer-consumer) copyset has been determined.
+    pub copyset_fixed: bool,
+    /// Entry is mid-transition (a fault is being serviced by the local user
+    /// thread); incoming requests for it are deferred — the moral equivalent
+    /// of the paper's per-entry access-control semaphore.
+    pub busy: bool,
+}
+
+/// One entry of the data object directory.
+#[derive(Clone, Debug)]
+pub struct DirEntry {
+    /// The object described by this entry.
+    pub object: ObjectId,
+    /// Start offset of the object within the shared segment (the hash key in
+    /// the paper; kept for address lookups).
+    pub start: usize,
+    /// Size of the object in bytes.
+    pub size: usize,
+    /// The sharing annotation currently in force for this object.
+    pub annotation: SharingAnnotation,
+    /// The protocol parameter bits derived from the annotation.
+    pub params: ProtocolParams,
+    /// Dynamic state bits.
+    pub state: ObjectState,
+    /// Which remote processors have copies that must be updated/invalidated.
+    pub copyset: CopySet,
+    /// Best guess at the current owner, used by the ownership-based
+    /// protocols to find the owner with a minimum of forwarding.
+    pub probable_owner: NodeId,
+    /// The node at which the object was created (node of last resort).
+    pub home: NodeId,
+    /// Synchronization object that protects this object, if the programmer
+    /// provided the association (`AssociateDataAndSynch`).
+    pub synchq: Option<LockId>,
+}
+
+impl DirEntry {
+    /// Changes the annotation (and derived parameters) of the entry, used by
+    /// `ChangeAnnotation`.
+    pub fn set_annotation(&mut self, annotation: SharingAnnotation) {
+        self.annotation = annotation;
+        self.params = ProtocolParams::for_annotation(annotation);
+    }
+}
+
+/// A node's data object directory.
+#[derive(Clone, Debug, Default)]
+pub struct Directory {
+    entries: Vec<DirEntry>,
+    by_start: HashMap<usize, ObjectId>,
+}
+
+impl Directory {
+    /// Builds a directory from the shared data description table, as the root
+    /// node does at startup. `home` is the home node recorded for every
+    /// statically allocated object (the root node), and
+    /// `annotation_override`, when set, forces every writable variable to a
+    /// single annotation (used to reproduce Table 6).
+    pub fn from_table(
+        table: &SharedDataTable,
+        home: NodeId,
+        annotation_override: Option<SharingAnnotation>,
+    ) -> Self {
+        let mut dir = Directory::default();
+        for obj in table.objects() {
+            let declared = table.annotation_of(obj.id);
+            let annotation = match annotation_override {
+                Some(forced) if declared != SharingAnnotation::ReadOnly || forced_applies_to_read_only(forced) => forced,
+                _ => declared,
+            };
+            let params = ProtocolParams::for_annotation(annotation);
+            dir.by_start.insert(obj.segment_offset, obj.id);
+            dir.entries.push(DirEntry {
+                object: obj.id,
+                start: obj.segment_offset,
+                size: obj.size,
+                annotation,
+                params,
+                state: ObjectState::default(),
+                copyset: CopySet::EMPTY,
+                probable_owner: home,
+                home,
+                synchq: None,
+            });
+        }
+        dir
+    }
+
+    /// Entry for an object.
+    pub fn entry(&self, object: ObjectId) -> &DirEntry {
+        &self.entries[object.as_usize()]
+    }
+
+    /// Mutable entry for an object.
+    pub fn entry_mut(&mut self, object: ObjectId) -> &mut DirEntry {
+        &mut self.entries[object.as_usize()]
+    }
+
+    /// Looks an entry up by the start address of its object, as the paper's
+    /// hash table does.
+    pub fn lookup_start(&self, start: usize) -> Option<&DirEntry> {
+        self.by_start.get(&start).map(|id| self.entry(*id))
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[DirEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The Table 6 experiment forces *all* shared variables to a single protocol.
+/// Read-only inputs are also forced (that is precisely why the multi-protocol
+/// version wins for Matrix Multiply: `read_only`/`result` sped up loading the
+/// inputs and purging the output compared to treating everything uniformly).
+fn forced_applies_to_read_only(_forced: SharingAnnotation) -> bool {
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::SharedDataTable;
+
+    fn table() -> SharedDataTable {
+        let mut t = SharedDataTable::new(64);
+        t.declare("ro", SharingAnnotation::ReadOnly, 4, 4, false);
+        t.declare("ws", SharingAnnotation::WriteShared, 4, 64, false);
+        t
+    }
+
+    #[test]
+    fn from_table_creates_one_entry_per_object() {
+        let t = table();
+        let dir = Directory::from_table(&t, NodeId::new(0), None);
+        assert_eq!(dir.len(), t.object_count());
+        assert!(!dir.is_empty());
+        let first = dir.entry(ObjectId::new(0));
+        assert_eq!(first.annotation, SharingAnnotation::ReadOnly);
+        assert_eq!(first.home, NodeId::new(0));
+        assert_eq!(first.probable_owner, NodeId::new(0));
+        assert_eq!(first.state.rights, AccessRights::Invalid);
+    }
+
+    #[test]
+    fn lookup_by_start_address() {
+        let t = table();
+        let dir = Directory::from_table(&t, NodeId::new(0), None);
+        let ws_var = t.var_by_name("ws").unwrap();
+        let entry = dir.lookup_start(ws_var.segment_offset).unwrap();
+        assert_eq!(entry.annotation, SharingAnnotation::WriteShared);
+        assert!(dir.lookup_start(7).is_none());
+    }
+
+    #[test]
+    fn annotation_override_forces_protocol() {
+        let t = table();
+        let dir = Directory::from_table(&t, NodeId::new(0), Some(SharingAnnotation::Conventional));
+        for e in dir.entries() {
+            assert_eq!(e.annotation, SharingAnnotation::Conventional);
+        }
+    }
+
+    #[test]
+    fn set_annotation_rederives_params() {
+        let t = table();
+        let mut dir = Directory::from_table(&t, NodeId::new(0), None);
+        let e = dir.entry_mut(ObjectId::new(0));
+        e.set_annotation(SharingAnnotation::Migratory);
+        assert!(e.params.uses_invalidate());
+        assert!(!e.params.allows_replicas());
+    }
+
+    #[test]
+    fn access_rights_semantics() {
+        assert!(!AccessRights::Invalid.allows_read());
+        assert!(AccessRights::Read.allows_read());
+        assert!(!AccessRights::Read.allows_write());
+        assert!(AccessRights::ReadWrite.allows_write());
+    }
+}

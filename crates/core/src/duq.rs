@@ -1,0 +1,169 @@
+//! The delayed update queue (DUQ).
+//!
+//! "The delayed update queue is used to buffer pending outgoing write
+//! operations as part of Munin's software implementation of release
+//! consistency. A write to an object that allows delayed updates ... is
+//! stored in the DUQ. The DUQ is flushed whenever a local thread releases a
+//! lock or arrives at a barrier." (Section 3.3.)
+//!
+//! An entry records the object and, when the protocol allows multiple
+//! writers, the twin made at the first write since the last flush.
+
+use std::collections::HashMap;
+
+use crate::object::ObjectId;
+
+/// One pending entry of the DUQ.
+#[derive(Clone, Debug)]
+pub struct DuqEntry {
+    /// The modified object.
+    pub object: ObjectId,
+    /// The twin made at the first write, if the protocol requires one
+    /// (multiple writers allowed). `None` means the whole object (or an
+    /// invalidation) will be propagated instead of a diff.
+    pub twin: Option<Vec<u8>>,
+}
+
+/// The delayed update queue of one node.
+#[derive(Debug, Default)]
+pub struct DelayedUpdateQueue {
+    entries: Vec<DuqEntry>,
+    index: HashMap<ObjectId, usize>,
+}
+
+impl DelayedUpdateQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether an object is already enqueued.
+    pub fn contains(&self, object: ObjectId) -> bool {
+        self.index.contains_key(&object)
+    }
+
+    /// Enqueues an object (with its twin, if any). Re-enqueueing an object
+    /// that is already pending is a no-op: the existing twin still reflects
+    /// the state at the first write since the last flush.
+    pub fn enqueue(&mut self, object: ObjectId, twin: Option<Vec<u8>>) {
+        if self.contains(object) {
+            return;
+        }
+        self.index.insert(object, self.entries.len());
+        self.entries.push(DuqEntry { object, twin });
+    }
+
+    /// Returns a reference to the twin of a pending object, if present.
+    pub fn twin_of(&self, object: ObjectId) -> Option<&Vec<u8>> {
+        self.index
+            .get(&object)
+            .and_then(|i| self.entries[*i].twin.as_ref())
+    }
+
+    /// Merges externally received changes into a pending twin so that words
+    /// updated by a remote writer are not re-propagated as local changes at
+    /// the next flush. Used when an update arrives for a dirty object.
+    pub fn patch_twin<F: FnOnce(&mut Vec<u8>)>(&mut self, object: ObjectId, f: F) {
+        if let Some(i) = self.index.get(&object) {
+            if let Some(twin) = self.entries[*i].twin.as_mut() {
+                f(twin);
+            }
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes a single pending entry (used by `Invalidate`/`Flush` hints
+    /// that force an individual object out early).
+    pub fn remove(&mut self, object: ObjectId) -> Option<DuqEntry> {
+        let idx = self.index.remove(&object)?;
+        let entry = self.entries.remove(idx);
+        // Reindex the tail.
+        for (i, e) in self.entries.iter().enumerate().skip(idx) {
+            self.index.insert(e.object, i);
+        }
+        Some(entry)
+    }
+
+    /// Drains every pending entry, in enqueue order. Called at a release
+    /// (lock release or barrier arrival).
+    pub fn flush(&mut self) -> Vec<DuqEntry> {
+        self.index.clear();
+        std::mem::take(&mut self.entries)
+    }
+
+    /// The pending objects, in enqueue order.
+    pub fn pending(&self) -> Vec<ObjectId> {
+        self.entries.iter().map(|e| e.object).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enqueue_and_flush_preserve_order() {
+        let mut duq = DelayedUpdateQueue::new();
+        duq.enqueue(ObjectId::new(2), None);
+        duq.enqueue(ObjectId::new(0), Some(vec![1, 2, 3, 4]));
+        assert_eq!(duq.len(), 2);
+        assert!(duq.contains(ObjectId::new(2)));
+        let drained = duq.flush();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].object, ObjectId::new(2));
+        assert_eq!(drained[1].object, ObjectId::new(0));
+        assert!(duq.is_empty());
+    }
+
+    #[test]
+    fn duplicate_enqueue_keeps_first_twin() {
+        let mut duq = DelayedUpdateQueue::new();
+        duq.enqueue(ObjectId::new(1), Some(vec![9]));
+        duq.enqueue(ObjectId::new(1), Some(vec![7]));
+        assert_eq!(duq.len(), 1);
+        assert_eq!(duq.twin_of(ObjectId::new(1)), Some(&vec![9]));
+    }
+
+    #[test]
+    fn remove_reindexes_remaining_entries() {
+        let mut duq = DelayedUpdateQueue::new();
+        duq.enqueue(ObjectId::new(0), None);
+        duq.enqueue(ObjectId::new(1), None);
+        duq.enqueue(ObjectId::new(2), None);
+        let removed = duq.remove(ObjectId::new(1)).unwrap();
+        assert_eq!(removed.object, ObjectId::new(1));
+        assert_eq!(duq.len(), 2);
+        assert!(duq.contains(ObjectId::new(2)));
+        assert_eq!(duq.remove(ObjectId::new(2)).unwrap().object, ObjectId::new(2));
+        assert!(duq.remove(ObjectId::new(7)).is_none());
+    }
+
+    #[test]
+    fn patch_twin_modifies_only_existing_twin() {
+        let mut duq = DelayedUpdateQueue::new();
+        duq.enqueue(ObjectId::new(0), Some(vec![0, 0]));
+        duq.enqueue(ObjectId::new(1), None);
+        duq.patch_twin(ObjectId::new(0), |t| t[0] = 5);
+        duq.patch_twin(ObjectId::new(1), |t| t[0] = 5);
+        duq.patch_twin(ObjectId::new(9), |t| t[0] = 5);
+        assert_eq!(duq.twin_of(ObjectId::new(0)), Some(&vec![5, 0]));
+        assert_eq!(duq.twin_of(ObjectId::new(1)), None);
+    }
+
+    #[test]
+    fn pending_lists_objects() {
+        let mut duq = DelayedUpdateQueue::new();
+        duq.enqueue(ObjectId::new(4), None);
+        duq.enqueue(ObjectId::new(5), None);
+        assert_eq!(duq.pending(), vec![ObjectId::new(4), ObjectId::new(5)]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Error type for the Munin DSM runtime.
+//!
+//! Munin's sharing annotations are not type-checked: the paper states that
+//! "incorrect annotations may result in inefficient performance or in runtime
+//! errors that are detected by the Munin runtime system". Those detected
+//! runtime errors are the interesting variants here.
+
+use std::fmt;
+
+use munin_sim::SimError;
+
+use crate::object::ObjectId;
+
+/// Errors raised by the Munin runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MuninError {
+    /// A thread attempted to write to an object annotated `read_only`.
+    ReadOnlyWrite(ObjectId),
+    /// A thread accessed a `producer_consumer` (stable-sharing) object after
+    /// the sharing relationship had been fixed, from a node that is not part
+    /// of that relationship, without an intervening `PhaseChange`.
+    StableSharingViolation(ObjectId),
+    /// An invalidation arrived for a dirty object whose protocol does not
+    /// allow multiple writers.
+    DirtyInvalidation(ObjectId),
+    /// A shared-variable access was out of bounds.
+    OutOfBounds {
+        /// The variable that was accessed.
+        var: &'static str,
+        /// The element index requested.
+        index: usize,
+        /// The number of elements in the variable.
+        len: usize,
+    },
+    /// A reduction (`Fetch_and_Φ`) operation was applied to an object whose
+    /// annotation is not `reduction`.
+    NotAReductionObject(ObjectId),
+    /// The requested lock or barrier does not exist.
+    UnknownSyncObject(u32),
+    /// The requested shared variable does not exist.
+    UnknownObject(ObjectId),
+    /// A lock was released by a node that does not hold it.
+    LockNotHeld(u32),
+    /// The underlying simulated network failed.
+    Sim(SimError),
+    /// The runtime received a reply it cannot correlate with a request.
+    ProtocolViolation(&'static str),
+}
+
+impl fmt::Display for MuninError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MuninError::ReadOnlyWrite(o) => {
+                write!(f, "runtime error: write to read_only object {o:?}")
+            }
+            MuninError::StableSharingViolation(o) => {
+                write!(
+                    f,
+                    "runtime error: stable sharing pattern of object {o:?} violated"
+                )
+            }
+            MuninError::DirtyInvalidation(o) => {
+                write!(
+                    f,
+                    "runtime error: invalidation for dirty single-writer object {o:?}"
+                )
+            }
+            MuninError::OutOfBounds { var, index, len } => {
+                write!(f, "index {index} out of bounds for shared variable `{var}` of length {len}")
+            }
+            MuninError::NotAReductionObject(o) => {
+                write!(f, "Fetch_and_Φ applied to non-reduction object {o:?}")
+            }
+            MuninError::UnknownSyncObject(id) => write!(f, "unknown synchronization object {id}"),
+            MuninError::UnknownObject(o) => write!(f, "unknown shared object {o:?}"),
+            MuninError::LockNotHeld(id) => write!(f, "lock {id} released but not held"),
+            MuninError::Sim(e) => write!(f, "simulation error: {e}"),
+            MuninError::ProtocolViolation(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MuninError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MuninError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for MuninError {
+    fn from(e: SimError) -> Self {
+        MuninError::Sim(e)
+    }
+}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MuninError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_relevant_entity() {
+        let e = MuninError::OutOfBounds {
+            var: "matrix",
+            index: 12,
+            len: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("matrix") && s.contains("12") && s.contains("10"));
+        assert!(MuninError::ReadOnlyWrite(ObjectId::new(3))
+            .to_string()
+            .contains("read_only"));
+    }
+
+    #[test]
+    fn sim_errors_convert() {
+        let e: MuninError = SimError::Disconnected.into();
+        assert_eq!(e, MuninError::Sim(SimError::Disconnected));
+    }
+}

@@ -1,0 +1,398 @@
+//! The DSM wire protocol.
+//!
+//! These are the messages the Munin nodes exchange: object fetches and
+//! replies, invalidations, delayed-update propagation, copyset determination
+//! queries, `Fetch_and_Φ` requests for reduction objects, the distributed
+//! queue-based lock and barrier traffic, and program-control messages.
+//!
+//! Every message also carries a modelled wire size (computed by
+//! [`DsmMsg::model_bytes`]) which drives the simulated transmission time.
+
+use munin_sim::NodeId;
+
+use crate::copyset::CopySet;
+use crate::diff::Diff;
+use crate::object::ObjectId;
+use crate::sync::{BarrierId, LockId};
+
+/// Whether a fetch wants a readable copy or a writable copy (with ownership,
+/// for the ownership-based protocols).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchKind {
+    /// A readable replica is sufficient.
+    Read,
+    /// The faulting thread intends to write; ownership must transfer for
+    /// single-writer protocols.
+    Write,
+}
+
+/// Payload of one object inside an update message: either a run-length
+/// encoded diff against the twin, or the complete object contents.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UpdatePayload {
+    /// Word diff produced by [`crate::diff::encode`].
+    Diff(Diff),
+    /// The full object image (used when no twin exists).
+    Full(Vec<u8>),
+}
+
+impl UpdatePayload {
+    /// Modelled wire size of the payload in bytes.
+    pub fn model_bytes(&self) -> u64 {
+        match self {
+            UpdatePayload::Diff(d) => d.encoded_bytes() as u64,
+            UpdatePayload::Full(data) => data.len() as u64,
+        }
+    }
+}
+
+/// One object's worth of changes inside an update message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UpdateItem {
+    /// The object being updated.
+    pub object: ObjectId,
+    /// The changes.
+    pub payload: UpdatePayload,
+}
+
+/// A `Fetch_and_Φ` operation on a reduction object, executed atomically at
+/// the object's fixed owner.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ReduceOp {
+    /// Return the current value without modifying it.
+    Read,
+    /// Fetch-and-add on a 64-bit signed integer element.
+    AddI64(i64),
+    /// Fetch-and-min on a 64-bit signed integer element.
+    MinI64(i64),
+    /// Fetch-and-max on a 64-bit signed integer element.
+    MaxI64(i64),
+    /// Fetch-and-add on a 64-bit float element.
+    AddF64(f64),
+    /// Fetch-and-min on a 64-bit float element.
+    MinF64(f64),
+    /// Fetch-and-max on a 64-bit float element.
+    MaxF64(f64),
+}
+
+/// Messages exchanged by Munin nodes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DsmMsg {
+    /// Request a copy of `object` (forwarded along the probable-owner chain
+    /// until it reaches the owner, which replies directly to `requester`).
+    ObjectFetch {
+        /// The object to fetch.
+        object: ObjectId,
+        /// Read or write intent.
+        access: FetchKind,
+        /// Node that took the fault and awaits the reply.
+        requester: NodeId,
+    },
+    /// Reply to an [`DsmMsg::ObjectFetch`], carrying the object contents.
+    ObjectData {
+        /// The object.
+        object: ObjectId,
+        /// The object contents.
+        data: Vec<u8>,
+        /// Whether ownership is transferred to the requester.
+        ownership: bool,
+        /// Copyset handed over together with ownership (nodes the new owner
+        /// must invalidate or update).
+        copyset: CopySet,
+        /// Whether the requester may map the copy writable immediately.
+        writable: bool,
+    },
+    /// Invalidate the local copy of `object` and acknowledge to `requester`.
+    Invalidate {
+        /// The object to invalidate.
+        object: ObjectId,
+        /// Node awaiting the acknowledgement.
+        requester: NodeId,
+    },
+    /// Acknowledgement of an [`DsmMsg::Invalidate`].
+    InvalidateAck {
+        /// The invalidated object.
+        object: ObjectId,
+    },
+    /// Propagation of pending changes (a DUQ flush, an eager update, or the
+    /// flush-to-owner of a `result` object).
+    Update {
+        /// Changes, one entry per object.
+        items: Vec<UpdateItem>,
+        /// Node awaiting the acknowledgement (if `needs_ack`).
+        requester: NodeId,
+        /// Whether the receiver must acknowledge (release consistency makes
+        /// the releaser wait until its updates have been performed).
+        needs_ack: bool,
+    },
+    /// Acknowledgement of an [`DsmMsg::Update`].
+    UpdateAck {
+        /// Number of objects that were applied.
+        count: usize,
+    },
+    /// Dynamic copyset determination, broadcast variant: "a message
+    /// indicating which objects have been modified locally is sent to all
+    /// other nodes; each node replies with the subset of these objects for
+    /// which it has a copy."
+    CopysetQuery {
+        /// The modified objects.
+        objects: Vec<ObjectId>,
+        /// Node awaiting the replies.
+        requester: NodeId,
+    },
+    /// Reply to a [`DsmMsg::CopysetQuery`].
+    CopysetReply {
+        /// Subset of the queried objects this node holds a copy of.
+        have: Vec<ObjectId>,
+    },
+    /// Improved copyset determination: ask the objects' owner (home) for the
+    /// copyset it has recorded while serving fetches.
+    OwnerCopysetQuery {
+        /// The modified objects homed at the destination.
+        objects: Vec<ObjectId>,
+        /// Node awaiting the reply.
+        requester: NodeId,
+    },
+    /// Reply to an [`DsmMsg::OwnerCopysetQuery`].
+    OwnerCopysetReply {
+        /// Recorded copyset for each queried object.
+        copysets: Vec<(ObjectId, CopySet)>,
+    },
+    /// A `Fetch_and_Φ` on a reduction object, executed at its fixed owner.
+    ReduceRequest {
+        /// The reduction object.
+        object: ObjectId,
+        /// Byte offset of the element within the object.
+        offset: usize,
+        /// The operation.
+        op: ReduceOp,
+        /// Node awaiting the old value.
+        requester: NodeId,
+    },
+    /// Reply to a [`DsmMsg::ReduceRequest`], carrying the element's previous
+    /// value (raw little-endian bytes).
+    ReduceReply {
+        /// Previous value of the element.
+        old: Vec<u8>,
+    },
+    /// Request ownership of a lock (forwarded along the probable-owner
+    /// chain).
+    LockAcquire {
+        /// The lock.
+        lock: LockId,
+        /// Requesting node.
+        requester: NodeId,
+    },
+    /// Grant of lock ownership to a requester.
+    LockGrant {
+        /// The lock.
+        lock: LockId,
+        /// Waiting requesters handed over with ownership (the distributed
+        /// queue travels with the lock).
+        queue: Vec<NodeId>,
+        /// Consistency data piggybacked on the lock transfer
+        /// (`AssociateDataAndSynch`): full images of the associated objects.
+        piggyback: Vec<(ObjectId, Vec<u8>)>,
+    },
+    /// A thread arrived at a barrier.
+    BarrierArrive {
+        /// The barrier.
+        barrier: BarrierId,
+        /// Arriving node.
+        from: NodeId,
+    },
+    /// The barrier owner releases all waiters.
+    BarrierRelease {
+        /// The barrier.
+        barrier: BarrierId,
+    },
+    /// A worker's user thread finished its work (sent to the root).
+    WorkerDone {
+        /// The finished node.
+        from: NodeId,
+    },
+    /// The root tells every node to shut down its runtime service loop.
+    Shutdown,
+}
+
+/// Fixed modelled header size of every message, in bytes.
+pub const HEADER_BYTES: u64 = 32;
+
+impl DsmMsg {
+    /// The statistics class of the message.
+    pub fn class(&self) -> &'static str {
+        match self {
+            DsmMsg::ObjectFetch { .. } => "object_fetch",
+            DsmMsg::ObjectData { .. } => "object_data",
+            DsmMsg::Invalidate { .. } => "invalidate",
+            DsmMsg::InvalidateAck { .. } => "invalidate_ack",
+            DsmMsg::Update { .. } => "update",
+            DsmMsg::UpdateAck { .. } => "update_ack",
+            DsmMsg::CopysetQuery { .. } => "copyset_query",
+            DsmMsg::CopysetReply { .. } => "copyset_reply",
+            DsmMsg::OwnerCopysetQuery { .. } => "owner_copyset_query",
+            DsmMsg::OwnerCopysetReply { .. } => "owner_copyset_reply",
+            DsmMsg::ReduceRequest { .. } => "reduce_request",
+            DsmMsg::ReduceReply { .. } => "reduce_reply",
+            DsmMsg::LockAcquire { .. } => "lock_acquire",
+            DsmMsg::LockGrant { .. } => "lock_grant",
+            DsmMsg::BarrierArrive { .. } => "barrier_arrive",
+            DsmMsg::BarrierRelease { .. } => "barrier_release",
+            DsmMsg::WorkerDone { .. } => "worker_done",
+            DsmMsg::Shutdown => "shutdown",
+        }
+    }
+
+    /// Modelled size of the message on the wire (header plus payload).
+    pub fn model_bytes(&self) -> u64 {
+        let payload: u64 = match self {
+            DsmMsg::ObjectFetch { .. } => 8,
+            DsmMsg::ObjectData { data, .. } => data.len() as u64 + 16,
+            DsmMsg::Invalidate { .. } | DsmMsg::InvalidateAck { .. } => 8,
+            DsmMsg::Update { items, .. } => {
+                items.iter().map(|i| 8 + i.payload.model_bytes()).sum()
+            }
+            DsmMsg::UpdateAck { .. } => 8,
+            DsmMsg::CopysetQuery { objects, .. } => 4 * objects.len() as u64,
+            DsmMsg::CopysetReply { have } => 4 * have.len() as u64,
+            DsmMsg::OwnerCopysetQuery { objects, .. } => 4 * objects.len() as u64,
+            DsmMsg::OwnerCopysetReply { copysets } => 12 * copysets.len() as u64,
+            DsmMsg::ReduceRequest { .. } => 24,
+            DsmMsg::ReduceReply { old } => old.len() as u64,
+            DsmMsg::LockAcquire { .. } => 8,
+            DsmMsg::LockGrant { queue, piggyback, .. } => {
+                8 + 4 * queue.len() as u64
+                    + piggyback
+                        .iter()
+                        .map(|(_, d)| 8 + d.len() as u64)
+                        .sum::<u64>()
+            }
+            DsmMsg::BarrierArrive { .. } | DsmMsg::BarrierRelease { .. } => 8,
+            DsmMsg::WorkerDone { .. } | DsmMsg::Shutdown => 4,
+        };
+        HEADER_BYTES + payload
+    }
+
+    /// Whether the message is a reply destined for the node's blocked user
+    /// thread (as opposed to a request handled by the runtime service loop).
+    pub fn is_user_reply(&self) -> bool {
+        matches!(
+            self,
+            DsmMsg::ObjectData { .. }
+                | DsmMsg::InvalidateAck { .. }
+                | DsmMsg::UpdateAck { .. }
+                | DsmMsg::CopysetReply { .. }
+                | DsmMsg::OwnerCopysetReply { .. }
+                | DsmMsg::ReduceReply { .. }
+                | DsmMsg::LockGrant { .. }
+                | DsmMsg::BarrierRelease { .. }
+                | DsmMsg::Shutdown
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::{encode, Diff};
+
+    #[test]
+    fn classes_are_distinct_for_requests_and_replies() {
+        let fetch = DsmMsg::ObjectFetch {
+            object: ObjectId::new(0),
+            access: FetchKind::Read,
+            requester: NodeId::new(1),
+        };
+        let data = DsmMsg::ObjectData {
+            object: ObjectId::new(0),
+            data: vec![0; 16],
+            ownership: false,
+            copyset: CopySet::EMPTY,
+            writable: false,
+        };
+        assert_ne!(fetch.class(), data.class());
+        assert!(!fetch.is_user_reply());
+        assert!(data.is_user_reply());
+    }
+
+    #[test]
+    fn model_bytes_scale_with_payload() {
+        let small = DsmMsg::ObjectData {
+            object: ObjectId::new(0),
+            data: vec![0; 16],
+            ownership: false,
+            copyset: CopySet::EMPTY,
+            writable: false,
+        };
+        let large = DsmMsg::ObjectData {
+            object: ObjectId::new(0),
+            data: vec![0; 8192],
+            ownership: false,
+            copyset: CopySet::EMPTY,
+            writable: false,
+        };
+        assert!(large.model_bytes() > small.model_bytes());
+        assert!(large.model_bytes() >= 8192);
+    }
+
+    #[test]
+    fn update_bytes_reflect_diff_encoding() {
+        let twin = vec![0u8; 64];
+        let mut cur = twin.clone();
+        cur[0] = 1;
+        let diff = encode(&cur, &twin);
+        let small_update = DsmMsg::Update {
+            items: vec![UpdateItem {
+                object: ObjectId::new(0),
+                payload: UpdatePayload::Diff(diff),
+            }],
+            requester: NodeId::new(0),
+            needs_ack: true,
+        };
+        let full_update = DsmMsg::Update {
+            items: vec![UpdateItem {
+                object: ObjectId::new(0),
+                payload: UpdatePayload::Full(cur),
+            }],
+            requester: NodeId::new(0),
+            needs_ack: true,
+        };
+        assert!(small_update.model_bytes() < full_update.model_bytes());
+    }
+
+    #[test]
+    fn empty_diff_payload_is_small() {
+        let d = Diff { runs: vec![], words: 16 };
+        assert_eq!(UpdatePayload::Diff(d).model_bytes(), 4);
+    }
+
+    #[test]
+    fn barrier_and_lock_messages_are_small() {
+        let arrive = DsmMsg::BarrierArrive {
+            barrier: BarrierId(0),
+            from: NodeId::new(3),
+        };
+        assert!(arrive.model_bytes() <= 64);
+        let grant = DsmMsg::LockGrant {
+            lock: LockId(0),
+            queue: vec![NodeId::new(1)],
+            piggyback: vec![(ObjectId::new(0), vec![0; 100])],
+        };
+        assert!(grant.model_bytes() > 100);
+        assert!(grant.is_user_reply());
+    }
+
+    #[test]
+    fn every_class_is_nonempty() {
+        let msgs = [
+            DsmMsg::Shutdown,
+            DsmMsg::WorkerDone { from: NodeId::new(0) },
+            DsmMsg::UpdateAck { count: 1 },
+            DsmMsg::CopysetReply { have: vec![] },
+        ];
+        for m in msgs {
+            assert!(!m.class().is_empty());
+            assert!(m.model_bytes() >= HEADER_BYTES);
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! Access checking and fault handling on the user-thread side.
+//!
+//! Every shared access consults the local directory entry's access rights —
+//! the simulated analogue of the virtual-memory protection check the
+//! prototype gets for free from the MMU. Insufficient rights invoke the fault
+//! handlers below, which implement the per-annotation consistency protocols
+//! of Sections 3.1–3.3:
+//!
+//! * read faults fetch a replica from the owner (found via the
+//!   probable-owner chain);
+//! * write faults on *delayed* (write-shared / producer-consumer / result)
+//!   objects make a twin, enqueue the object on the DUQ, and enable writes;
+//! * write faults on *ownership* (conventional / migratory) objects acquire
+//!   ownership and invalidate the remaining replicas;
+//! * writes to `read_only` objects are runtime errors.
+
+use std::sync::Arc;
+
+use munin_sim::NodeId;
+
+use crate::annotation::SharingAnnotation;
+use crate::copyset::CopySet;
+use crate::directory::AccessRights;
+use crate::error::{MuninError, Result};
+use crate::msg::{DsmMsg, FetchKind};
+use crate::object::ObjectId;
+use crate::stats::{add, bump};
+
+use super::NodeRuntime;
+
+impl NodeRuntime {
+    /// Ensures the local copy of `object` is readable, faulting if necessary.
+    pub(crate) fn ensure_read(self: &Arc<Self>, object: ObjectId) -> Result<()> {
+        {
+            let dir = self.dir.lock();
+            if dir.entry(object).state.rights.allows_read() {
+                return Ok(());
+            }
+        }
+        self.read_fault(object)
+    }
+
+    /// Ensures the local copy of `object` is writable, faulting if necessary.
+    pub(crate) fn ensure_write(self: &Arc<Self>, object: ObjectId) -> Result<()> {
+        {
+            let mut dir = self.dir.lock();
+            let entry = dir.entry_mut(object);
+            if entry.state.rights.allows_write() {
+                entry.state.dirty = true;
+                return Ok(());
+            }
+        }
+        self.write_fault(object)
+    }
+
+    /// Reads `out.len()` bytes starting at `byte_offset` of variable `var`'s
+    /// storage, faulting in each covered object as needed.
+    pub(crate) fn read_var_bytes(
+        self: &Arc<Self>,
+        var: crate::object::VarId,
+        byte_offset: usize,
+        out: &mut [u8],
+    ) -> Result<()> {
+        let objects = self
+            .table
+            .objects_in_range(var, byte_offset, byte_offset + out.len());
+        for obj in &objects {
+            self.ensure_read(*obj)?;
+        }
+        let base = self.table.var(var).segment_offset;
+        let mem = self.memory.lock();
+        out.copy_from_slice(&mem[base + byte_offset..base + byte_offset + out.len()]);
+        Ok(())
+    }
+
+    /// Writes `data` starting at `byte_offset` of variable `var`'s storage,
+    /// faulting each covered object for write access as needed.
+    pub(crate) fn write_var_bytes(
+        self: &Arc<Self>,
+        var: crate::object::VarId,
+        byte_offset: usize,
+        data: &[u8],
+    ) -> Result<()> {
+        let objects = self
+            .table
+            .objects_in_range(var, byte_offset, byte_offset + data.len());
+        for obj in &objects {
+            self.ensure_write(*obj)?;
+        }
+        let base = self.table.var(var).segment_offset;
+        let mut mem = self.memory.lock();
+        mem[base + byte_offset..base + byte_offset + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Handles a read access fault.
+    pub(crate) fn read_fault(self: &Arc<Self>, object: ObjectId) -> Result<()> {
+        bump(&self.stats.read_faults);
+        self.charge_sys(self.cost.fault());
+        let owner_hint = {
+            let mut dir = self.dir.lock();
+            let entry = dir.entry_mut(object);
+            if entry.state.rights.allows_read() {
+                return Ok(());
+            }
+            if entry.state.owned {
+                // The owner itself touches an object it never materialized:
+                // zero-fill locally, no messages needed.
+                entry.state.rights = AccessRights::Read;
+                return Ok(());
+            }
+            entry.state.busy = true;
+            entry.probable_owner
+        };
+        let result = self.fetch_object(object, FetchKind::Read, owner_hint);
+        self.clear_busy(object);
+        result
+    }
+
+    /// Handles a write access fault, dispatching on the object's protocol
+    /// parameters.
+    pub(crate) fn write_fault(self: &Arc<Self>, object: ObjectId) -> Result<()> {
+        bump(&self.stats.write_faults);
+        self.charge_sys(self.cost.fault());
+        enum Plan {
+            Done,
+            Error(MuninError),
+            Delayed { need_copy: bool, owner_hint: NodeId },
+            UpgradeInPlace { copyset: CopySet },
+            AcquireOwnership { owner_hint: NodeId },
+        }
+        let plan = {
+            let mut dir = self.dir.lock();
+            let entry = dir.entry_mut(object);
+            if entry.state.owned && !entry.state.rights.allows_read() {
+                // The owner writes an object it never materialized: zero-fill
+                // locally and continue with the normal write-fault handling.
+                entry.state.rights = AccessRights::Read;
+            }
+            if entry.state.rights.allows_write() {
+                entry.state.dirty = true;
+                Plan::Done
+            } else if !entry.params.is_writable() {
+                bump(&self.stats.runtime_errors);
+                Plan::Error(MuninError::ReadOnlyWrite(object))
+            } else if entry.annotation == SharingAnnotation::Reduction {
+                bump(&self.stats.runtime_errors);
+                Plan::Error(MuninError::NotAReductionObject(object))
+            } else if entry.params.allows_delay() {
+                entry.state.busy = true;
+                Plan::Delayed {
+                    need_copy: !entry.state.rights.allows_read(),
+                    owner_hint: entry.probable_owner,
+                }
+            } else if entry.state.owned && entry.state.rights.allows_read() {
+                // Already the owner with a (read-protected) copy: invalidate
+                // the remaining replicas and upgrade in place.
+                entry.state.busy = true;
+                Plan::UpgradeInPlace {
+                    copyset: entry.copyset,
+                }
+            } else {
+                entry.state.busy = true;
+                Plan::AcquireOwnership {
+                    owner_hint: entry.probable_owner,
+                }
+            }
+        };
+        let result = match plan {
+            Plan::Done => Ok(()),
+            Plan::Error(e) => Err(e),
+            Plan::Delayed {
+                need_copy,
+                owner_hint,
+            } => self.delayed_write_fault(object, need_copy, owner_hint),
+            Plan::UpgradeInPlace { copyset } => {
+                let r = self.invalidate_copies(object, copyset);
+                if r.is_ok() {
+                    let mut dir = self.dir.lock();
+                    let entry = dir.entry_mut(object);
+                    entry.state.rights = AccessRights::ReadWrite;
+                    entry.state.dirty = true;
+                    entry.copyset = CopySet::EMPTY;
+                }
+                r
+            }
+            Plan::AcquireOwnership { owner_hint } => {
+                self.fetch_object(object, FetchKind::Write, owner_hint)
+            }
+        };
+        // Every plan that set the busy bit clears it here; clearing an entry
+        // that was never marked busy is harmless.
+        self.clear_busy(object);
+        result
+    }
+
+    /// Write fault on an object whose protocol allows delayed updates
+    /// (write-shared, producer-consumer, result): fetch a copy if none is
+    /// present, make a twin when multiple writers are possible, enqueue the
+    /// object on the DUQ, and enable writes.
+    fn delayed_write_fault(
+        self: &Arc<Self>,
+        object: ObjectId,
+        need_copy: bool,
+        owner_hint: NodeId,
+    ) -> Result<()> {
+        if need_copy {
+            self.fetch_object(object, FetchKind::Read, owner_hint)?;
+        }
+        let (make_twin, size) = {
+            let dir = self.dir.lock();
+            let entry = dir.entry(object);
+            let private = entry.state.copyset_fixed && entry.copyset.is_empty();
+            (
+                entry.params.allows_multiple_writers() && !private,
+                entry.size,
+            )
+        };
+        let twin = if make_twin {
+            bump(&self.stats.twins_created);
+            self.charge_sys(self.cost.copy(size as u64));
+            Some(self.object_bytes(object))
+        } else {
+            None
+        };
+        {
+            let mut duq = self.duq.lock();
+            duq.enqueue(object, twin);
+        }
+        let mut dir = self.dir.lock();
+        let entry = dir.entry_mut(object);
+        entry.state.rights = AccessRights::ReadWrite;
+        entry.state.dirty = true;
+        Ok(())
+    }
+
+    /// Sends an object fetch to `owner_hint` (the request is forwarded along
+    /// the probable-owner chain) and installs the reply.
+    pub(crate) fn fetch_object(
+        self: &Arc<Self>,
+        object: ObjectId,
+        access: FetchKind,
+        owner_hint: NodeId,
+    ) -> Result<()> {
+        self.send(
+            owner_hint,
+            DsmMsg::ObjectFetch {
+                object,
+                access,
+                requester: self.node,
+            },
+        )?;
+        let (env, reply) = self.wait_reply()?;
+        let DsmMsg::ObjectData {
+            object: got,
+            data,
+            ownership,
+            copyset,
+            writable,
+        } = reply
+        else {
+            return Err(MuninError::ProtocolViolation(
+                "expected ObjectData in reply to ObjectFetch",
+            ));
+        };
+        if got != object {
+            return Err(MuninError::ProtocolViolation("ObjectData for wrong object"));
+        }
+        bump(&self.stats.objects_fetched);
+        add(&self.stats.fetch_bytes, data.len() as u64);
+        self.charge_sys(self.cost.dir_op());
+        self.install_object_bytes(object, &data);
+        let pending_invalidate = {
+            let mut dir = self.dir.lock();
+            let entry = dir.entry_mut(object);
+            entry.state.rights = if writable {
+                AccessRights::ReadWrite
+            } else {
+                AccessRights::Read
+            };
+            entry.state.owned = ownership;
+            if ownership {
+                entry.copyset = copyset;
+                entry.probable_owner = self.node;
+            } else {
+                entry.probable_owner = env.src;
+            }
+            if ownership && matches!(access, FetchKind::Write) && !copyset.is_empty() {
+                Some(copyset)
+            } else {
+                None
+            }
+        };
+        if let Some(copyset) = pending_invalidate {
+            // Single-writer protocols: "upon a write miss an invalidation
+            // message is transmitted to all other replicas. The thread that
+            // generated the miss blocks until it has the only copy."
+            self.invalidate_copies(object, copyset)?;
+            let mut dir = self.dir.lock();
+            dir.entry_mut(object).copyset = CopySet::EMPTY;
+        }
+        Ok(())
+    }
+
+    /// Sends invalidations for `object` to every member of `copyset` (other
+    /// than this node) and waits for the acknowledgements.
+    pub(crate) fn invalidate_copies(
+        self: &Arc<Self>,
+        object: ObjectId,
+        copyset: CopySet,
+    ) -> Result<()> {
+        let members = copyset.members(self.nodes, Some(self.node));
+        if members.is_empty() {
+            return Ok(());
+        }
+        for m in &members {
+            add(&self.stats.invalidations_sent, 1);
+            self.send(
+                *m,
+                DsmMsg::Invalidate {
+                    object,
+                    requester: self.node,
+                },
+            )?;
+        }
+        let mut acks = 0;
+        while acks < members.len() {
+            let (_env, reply) = self.wait_reply()?;
+            match reply {
+                DsmMsg::InvalidateAck { object: o } if o == object => acks += 1,
+                _ => {
+                    return Err(MuninError::ProtocolViolation(
+                        "unexpected reply while waiting for invalidation acks",
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Clears the busy bit set at the start of a fault and retries any
+    /// requests that were deferred while the entry was in transition.
+    fn clear_busy(self: &Arc<Self>, object: ObjectId) {
+        {
+            let mut dir = self.dir.lock();
+            dir.entry_mut(object).state.busy = false;
+        }
+        self.process_deferred();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MuninConfig;
+    use crate::segment::SharedDataTable;
+    use munin_sim::{CostModel, Network, NodeClock};
+    use std::collections::HashSet;
+
+    fn single_node() -> Arc<NodeRuntime> {
+        let mut table = SharedDataTable::new(64);
+        table.declare("ro", SharingAnnotation::ReadOnly, 4, 8, false);
+        table.declare("ws", SharingAnnotation::WriteShared, 4, 8, false);
+        table.declare("conv", SharingAnnotation::Conventional, 4, 8, false);
+        table.declare("red", SharingAnnotation::Reduction, 8, 1, false);
+        let table = Arc::new(table);
+        let cfg = Arc::new(MuninConfig::fast_test(1));
+        let clock = NodeClock::new();
+        let mut net: Network<DsmMsg> = Network::new(1, CostModel::fast_test());
+        let (sender, _rx) = net.endpoint(0, clock.clone()).unwrap();
+        let rt = NodeRuntime::new(
+            NodeId::new(0),
+            1,
+            cfg,
+            table,
+            vec![],
+            vec![],
+            clock,
+            Arc::new(CostModel::fast_test()),
+            sender,
+        );
+        let mut touched = HashSet::new();
+        for obj in rt.table().objects() {
+            touched.insert(obj.id);
+        }
+        rt.finish_root_init(&touched);
+        rt
+    }
+
+    fn obj(rt: &NodeRuntime, name: &str) -> ObjectId {
+        rt.table().var_by_name(name).unwrap().objects[0]
+    }
+
+    #[test]
+    fn write_to_read_only_object_is_a_runtime_error() {
+        let rt = single_node();
+        let ro = obj(&rt, "ro");
+        let err = rt.write_fault(ro).unwrap_err();
+        assert_eq!(err, MuninError::ReadOnlyWrite(ro));
+        assert_eq!(rt.stats().snapshot().runtime_errors, 1);
+    }
+
+    #[test]
+    fn plain_write_to_reduction_object_is_rejected() {
+        let rt = single_node();
+        let red = obj(&rt, "red");
+        // Force a fault by write-protecting the entry.
+        rt.dir.lock().entry_mut(red).state.rights = AccessRights::Read;
+        assert!(matches!(
+            rt.write_fault(red),
+            Err(MuninError::NotAReductionObject(_))
+        ));
+    }
+
+    #[test]
+    fn delayed_write_fault_creates_twin_and_enqueues() {
+        let rt = single_node();
+        let ws = obj(&rt, "ws");
+        assert_eq!(
+            rt.dir.lock().entry(ws).state.rights,
+            AccessRights::Read,
+            "write-shared objects start write-protected"
+        );
+        rt.write_fault(ws).unwrap();
+        assert!(rt.duq.lock().contains(ws));
+        assert!(rt.duq.lock().twin_of(ws).is_some());
+        assert_eq!(rt.dir.lock().entry(ws).state.rights, AccessRights::ReadWrite);
+        assert_eq!(rt.stats().snapshot().twins_created, 1);
+        assert_eq!(rt.stats().snapshot().write_faults, 1);
+    }
+
+    #[test]
+    fn second_write_fault_does_not_duplicate_duq_entry() {
+        let rt = single_node();
+        let ws = obj(&rt, "ws");
+        rt.write_fault(ws).unwrap();
+        // Simulate re-protection then another fault before a flush: the twin
+        // from the first fault must be preserved.
+        rt.install_object_bytes(ws, &[9u8; 32]);
+        rt.dir.lock().entry_mut(ws).state.rights = AccessRights::Read;
+        rt.write_fault(ws).unwrap();
+        assert_eq!(rt.duq.lock().len(), 1);
+        assert_eq!(rt.duq.lock().twin_of(ws).unwrap(), &vec![0u8; 32]);
+    }
+
+    #[test]
+    fn owner_upgrade_in_place_needs_no_messages_when_no_replicas() {
+        let rt = single_node();
+        let conv = obj(&rt, "conv");
+        // Root owns the conventional object with ReadWrite rights already;
+        // downgrade to Read to force the upgrade path.
+        rt.dir.lock().entry_mut(conv).state.rights = AccessRights::Read;
+        rt.write_fault(conv).unwrap();
+        let dir = rt.dir.lock();
+        assert_eq!(dir.entry(conv).state.rights, AccessRights::ReadWrite);
+        assert!(dir.entry(conv).state.owned);
+    }
+
+    #[test]
+    fn read_of_valid_object_does_not_fault() {
+        let rt = single_node();
+        let ro = obj(&rt, "ro");
+        rt.ensure_read(ro).unwrap();
+        assert_eq!(rt.stats().snapshot().read_faults, 0);
+    }
+
+    #[test]
+    fn var_byte_access_round_trips_through_memory() {
+        let rt = single_node();
+        let ws = rt.table().var_by_name("ws").unwrap().id;
+        rt.write_var_bytes(ws, 4, &42u32.to_le_bytes()).unwrap();
+        let mut out = [0u8; 4];
+        rt.read_var_bytes(ws, 4, &mut out).unwrap();
+        assert_eq!(u32::from_le_bytes(out), 42);
+    }
+}

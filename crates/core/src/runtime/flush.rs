@@ -1,0 +1,511 @@
+//! Flushing the delayed update queue at a release.
+//!
+//! "When a thread releases a lock or reaches a barrier, the modifications to
+//! the objects enqueued on the DUQ are propagated to their remote copies."
+//! (Section 3.3.) The flush proceeds in three steps:
+//!
+//! 1. determine the copyset of every enqueued object (either the prototype's
+//!    broadcast query or the improved owner-collected algorithm),
+//! 2. encode the changes — a run-length encoded diff against the twin when
+//!    one exists, the full object image otherwise — and
+//! 3. send the updates (grouped into one message per destination node) and
+//!    wait for acknowledgements, so that all writes performed before the
+//!    release are performed with respect to every other processor before the
+//!    release completes.
+//!
+//! `result` objects are not sent to their copyset: their changes are flushed
+//! only to the owner and the local copy is invalidated (the `Fl` parameter).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use munin_sim::NodeId;
+
+use crate::config::CopysetStrategy;
+use crate::copyset::CopySet;
+use crate::diff;
+use crate::directory::AccessRights;
+use crate::duq::DuqEntry;
+use crate::error::{MuninError, Result};
+use crate::msg::{DsmMsg, UpdateItem, UpdatePayload};
+use crate::object::ObjectId;
+use crate::stats::{add, bump};
+
+use super::NodeRuntime;
+
+impl NodeRuntime {
+    /// Flushes the delayed update queue. Called before every release (lock
+    /// release or barrier arrival) and by the `Flush` hint.
+    pub(crate) fn flush_duq(self: &Arc<Self>) -> Result<()> {
+        let entries = {
+            let mut duq = self.duq.lock();
+            duq.flush()
+        };
+        bump(&self.stats.duq_flushes);
+        if entries.is_empty() {
+            return Ok(());
+        }
+        add(&self.stats.duq_objects_flushed, entries.len() as u64);
+
+        // Step 1: determine copysets where needed. `result` objects go to
+        // their owner and need none; stable objects whose copyset is already
+        // fixed reuse it.
+        let needs_determination: Vec<ObjectId> = {
+            let dir = self.dir.lock();
+            entries
+                .iter()
+                .map(|e| e.object)
+                .filter(|o| {
+                    let entry = dir.entry(*o);
+                    !entry.params.flushes_to_owner() && !entry.state.copyset_fixed
+                })
+                .collect()
+        };
+        if !needs_determination.is_empty() {
+            let determined = match self.cfg.copyset_strategy {
+                CopysetStrategy::Broadcast => self.determine_copysets_broadcast(&needs_determination)?,
+                CopysetStrategy::OwnerCollected => {
+                    self.determine_copysets_owner(&needs_determination)?
+                }
+            };
+            let mut dir = self.dir.lock();
+            for (object, copyset) in determined {
+                let entry = dir.entry_mut(object);
+                entry.copyset = copyset;
+                if entry.params.is_stable() {
+                    entry.state.copyset_fixed = true;
+                }
+            }
+        }
+
+        // Step 2: encode changes and group them by destination.
+        let mut per_dest: BTreeMap<NodeId, Vec<UpdateItem>> = BTreeMap::new();
+        for entry in &entries {
+            let (payload, destinations) = self.encode_entry(entry)?;
+            let Some(payload) = payload else { continue };
+            for dest in destinations {
+                per_dest
+                    .entry(dest)
+                    .or_default()
+                    .push(UpdateItem {
+                        object: entry.object,
+                        payload: payload.clone(),
+                    });
+            }
+        }
+
+        // Step 3: transmit and wait for acknowledgements (conservative
+        // release consistency: updates are performed at the release).
+        let expected_acks = per_dest.len();
+        for (dest, items) in per_dest {
+            add(&self.stats.updates_sent, 1);
+            add(
+                &self.stats.update_bytes_sent,
+                items.iter().map(|i| i.payload.model_bytes()).sum::<u64>(),
+            );
+            self.send(
+                dest,
+                DsmMsg::Update {
+                    items,
+                    requester: self.node,
+                    needs_ack: true,
+                },
+            )?;
+        }
+        let mut acks = 0;
+        while acks < expected_acks {
+            let (_env, reply) = self.wait_reply()?;
+            match reply {
+                DsmMsg::UpdateAck { .. } => acks += 1,
+                other => {
+                    return Err(MuninError::ProtocolViolation(match other {
+                        DsmMsg::ObjectData { .. } => "unexpected ObjectData during flush",
+                        _ => "unexpected reply while waiting for update acks",
+                    }))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes one DUQ entry and decides where its changes go, applying the
+    /// per-protocol state transitions (re-protection, invalidation of the
+    /// local copy for `result` objects, private-page promotion for stable
+    /// objects with an empty copyset).
+    fn encode_entry(
+        self: &Arc<Self>,
+        entry: &DuqEntry,
+    ) -> Result<(Option<UpdatePayload>, Vec<NodeId>)> {
+        let object = entry.object;
+        let current = self.object_bytes(object);
+        let (flush_to_owner, home, copyset, stable) = {
+            let dir = self.dir.lock();
+            let e = dir.entry(object);
+            (
+                e.params.flushes_to_owner(),
+                e.home,
+                e.copyset,
+                e.params.is_stable(),
+            )
+        };
+
+        // Encode: diff against the twin when there is one, otherwise the full
+        // object image.
+        let payload = match &entry.twin {
+            Some(twin) => {
+                let d = diff::encode(&current, twin);
+                self.charge_sys(self.cost.encode(
+                    (current.len() / 4) as u64,
+                    d.run_count() as u64,
+                ));
+                if d.is_empty() {
+                    None
+                } else {
+                    Some(UpdatePayload::Diff(d))
+                }
+            }
+            None => Some(UpdatePayload::Full(current)),
+        };
+
+        let mut dir = self.dir.lock();
+        let e = dir.entry_mut(object);
+        e.state.dirty = false;
+
+        if flush_to_owner {
+            // `result` objects: send only to the owner, then invalidate the
+            // local copy ("Fl" and the description of Matrix Multiply).
+            if home == self.node {
+                // The owner's own changes are already in place.
+                return Ok((None, Vec::new()));
+            }
+            e.state.rights = AccessRights::Invalid;
+            e.state.owned = false;
+            e.probable_owner = home;
+            return Ok((payload, vec![home]));
+        }
+
+        let members = copyset.members(self.nodes, Some(self.node));
+        if members.is_empty() && stable {
+            // "Any pages that have an empty Copyset and are therefore private
+            // are made locally writable, their twins are deleted, and they do
+            // not generate further access faults."
+            e.state.rights = AccessRights::ReadWrite;
+            return Ok((None, Vec::new()));
+        }
+        // Write-shared / producer-consumer: keep the copy, re-write-protect so
+        // the next write makes a fresh twin.
+        e.state.rights = AccessRights::Read;
+        if members.is_empty() {
+            return Ok((None, Vec::new()));
+        }
+        Ok((payload, members))
+    }
+
+    /// The prototype's copyset determination: broadcast the list of modified
+    /// objects to every other node and collect the subsets each holds.
+    fn determine_copysets_broadcast(
+        self: &Arc<Self>,
+        objects: &[ObjectId],
+    ) -> Result<HashMap<ObjectId, CopySet>> {
+        let peers: Vec<NodeId> = (0..self.nodes)
+            .map(NodeId::new)
+            .filter(|n| *n != self.node)
+            .collect();
+        let mut result: HashMap<ObjectId, CopySet> =
+            objects.iter().map(|o| (*o, CopySet::EMPTY)).collect();
+        if peers.is_empty() {
+            return Ok(result);
+        }
+        for peer in &peers {
+            add(&self.stats.copyset_queries, 1);
+            self.send(
+                *peer,
+                DsmMsg::CopysetQuery {
+                    objects: objects.to_vec(),
+                    requester: self.node,
+                },
+            )?;
+        }
+        let mut replies = 0;
+        while replies < peers.len() {
+            let (env, reply) = self.wait_reply()?;
+            match reply {
+                DsmMsg::CopysetReply { have } => {
+                    for o in have {
+                        if let Some(cs) = result.get_mut(&o) {
+                            cs.insert(env.src);
+                        }
+                    }
+                    replies += 1;
+                }
+                _ => {
+                    return Err(MuninError::ProtocolViolation(
+                        "unexpected reply while determining copysets",
+                    ))
+                }
+            }
+        }
+        self.charge_sys(self.cost.dir_op());
+        Ok(result)
+    }
+
+    /// The improved algorithm the paper sketches: the owner of each object
+    /// collects copyset information while serving fetches, so the flusher
+    /// asks the owner instead of broadcasting. Objects owned locally need no
+    /// messages at all.
+    fn determine_copysets_owner(
+        self: &Arc<Self>,
+        objects: &[ObjectId],
+    ) -> Result<HashMap<ObjectId, CopySet>> {
+        let mut result: HashMap<ObjectId, CopySet> = HashMap::new();
+        let mut remote: BTreeMap<NodeId, Vec<ObjectId>> = BTreeMap::new();
+        {
+            let dir = self.dir.lock();
+            for o in objects {
+                let e = dir.entry(*o);
+                if e.state.owned {
+                    result.insert(*o, e.copyset);
+                } else {
+                    remote.entry(e.probable_owner).or_default().push(*o);
+                }
+            }
+        }
+        let expected = remote.len();
+        for (owner, objs) in remote {
+            add(&self.stats.copyset_queries, 1);
+            self.send(
+                owner,
+                DsmMsg::OwnerCopysetQuery {
+                    objects: objs,
+                    requester: self.node,
+                },
+            )?;
+        }
+        let mut replies = 0;
+        while replies < expected {
+            let (_env, reply) = self.wait_reply()?;
+            match reply {
+                DsmMsg::OwnerCopysetReply { copysets } => {
+                    for (o, cs) in copysets {
+                        result.insert(o, cs);
+                    }
+                    replies += 1;
+                }
+                _ => {
+                    return Err(MuninError::ProtocolViolation(
+                        "unexpected reply while collecting owner copysets",
+                    ))
+                }
+            }
+        }
+        self.charge_sys(self.cost.dir_op());
+        Ok(result)
+    }
+
+    /// `Flush()` hint: "advises Munin to flush any buffered writes
+    /// immediately rather than waiting for a release."
+    pub(crate) fn flush_hint(self: &Arc<Self>) -> Result<()> {
+        self.flush_duq()
+    }
+
+    /// `Invalidate()` hint: deletes the local copy of every object of a
+    /// variable, propagating pending changes first.
+    pub(crate) fn invalidate_hint(self: &Arc<Self>, objects: &[ObjectId]) -> Result<()> {
+        // Flush any of the listed objects that are sitting in the DUQ so
+        // their changes are not lost, then drop the local copies.
+        let any_pending = {
+            let duq = self.duq.lock();
+            objects.iter().any(|o| duq.contains(*o))
+        };
+        if any_pending {
+            self.flush_duq()?;
+        }
+        let mut dir = self.dir.lock();
+        for o in objects {
+            let e = dir.entry_mut(*o);
+            if e.state.owned && e.home != self.node {
+                // Give ownership back to the home node so later fetches can
+                // still find the data there.
+                e.state.owned = false;
+                e.probable_owner = e.home;
+            }
+            e.state.rights = AccessRights::Invalid;
+            e.state.dirty = false;
+        }
+        Ok(())
+    }
+
+    /// `PhaseChange()` hint: "purges the accumulated sharing relationship
+    /// information", so the next flush re-determines producer-consumer
+    /// copysets.
+    pub(crate) fn phase_change(self: &Arc<Self>) {
+        let duq = self.duq.lock();
+        let mut dir = self.dir.lock();
+        for idx in 0..dir.len() {
+            let e = dir.entry_mut(ObjectId::new(idx as u32));
+            if e.params.is_stable() {
+                // Clear the "relationship is fixed" bit so the next flush
+                // re-determines the copyset. The recorded copyset itself is
+                // kept: at the owner it doubles as the record of served
+                // fetches that the owner-collected determination relies on.
+                e.state.copyset_fixed = false;
+                // Pages promoted to locally-writable ("private") must be
+                // write-protected again so that writes under the new sharing
+                // relationships are detected and propagated.
+                if e.state.rights == AccessRights::ReadWrite && !duq.contains(e.object) {
+                    e.state.rights = AccessRights::Read;
+                }
+            }
+        }
+    }
+
+    /// `ChangeAnnotation()` hint: switches the protocol used for a variable's
+    /// objects. Pending delayed updates are flushed first so the object is
+    /// brought up to date under its old protocol.
+    pub(crate) fn change_annotation(
+        self: &Arc<Self>,
+        objects: &[ObjectId],
+        annotation: crate::annotation::SharingAnnotation,
+    ) -> Result<()> {
+        let any_pending = {
+            let duq = self.duq.lock();
+            objects.iter().any(|o| duq.contains(*o))
+        };
+        if any_pending {
+            self.flush_duq()?;
+        }
+        let mut dir = self.dir.lock();
+        for o in objects {
+            let e = dir.entry_mut(*o);
+            e.set_annotation(annotation);
+            e.state.copyset_fixed = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::SharingAnnotation;
+    use crate::config::MuninConfig;
+    use crate::segment::SharedDataTable;
+    use munin_sim::{CostModel, Network, NodeClock};
+    use std::collections::HashSet;
+
+    fn single_node() -> Arc<NodeRuntime> {
+        let mut table = SharedDataTable::new(64);
+        table.declare("ws", SharingAnnotation::WriteShared, 4, 8, false);
+        table.declare("pc", SharingAnnotation::ProducerConsumer, 4, 8, false);
+        table.declare("res", SharingAnnotation::Result, 4, 8, false);
+        let table = Arc::new(table);
+        let cfg = Arc::new(MuninConfig::fast_test(1));
+        let clock = NodeClock::new();
+        let mut net: Network<DsmMsg> = Network::new(1, CostModel::fast_test());
+        let (sender, _rx) = net.endpoint(0, clock.clone()).unwrap();
+        let rt = NodeRuntime::new(
+            NodeId::new(0),
+            1,
+            cfg,
+            table,
+            vec![],
+            vec![],
+            clock,
+            Arc::new(CostModel::fast_test()),
+            sender,
+        );
+        let touched: HashSet<_> = rt.table().objects().iter().map(|o| o.id).collect();
+        rt.finish_root_init(&touched);
+        rt
+    }
+
+    fn obj(rt: &NodeRuntime, name: &str) -> ObjectId {
+        rt.table().var_by_name(name).unwrap().objects[0]
+    }
+
+    #[test]
+    fn flush_on_single_node_clears_duq_and_reprotects() {
+        let rt = single_node();
+        let ws = obj(&rt, "ws");
+        rt.write_fault(ws).unwrap();
+        rt.install_object_bytes(ws, &[7u8; 32]);
+        rt.flush_duq().unwrap();
+        assert!(rt.duq.lock().is_empty());
+        // Write-shared copies are re-write-protected after a flush.
+        assert_eq!(rt.dir.lock().entry(ws).state.rights, AccessRights::Read);
+        assert_eq!(rt.stats().snapshot().duq_flushes, 1);
+        assert_eq!(rt.stats().snapshot().duq_objects_flushed, 1);
+    }
+
+    #[test]
+    fn stable_object_with_empty_copyset_becomes_private() {
+        let rt = single_node();
+        let pc = obj(&rt, "pc");
+        rt.write_fault(pc).unwrap();
+        rt.flush_duq().unwrap();
+        let dir = rt.dir.lock();
+        let e = dir.entry(pc);
+        assert!(e.state.copyset_fixed);
+        assert_eq!(e.state.rights, AccessRights::ReadWrite);
+        drop(dir);
+        // A subsequent write does not fault, create a twin, or enqueue.
+        let before = rt.stats().snapshot();
+        rt.ensure_write(pc).unwrap();
+        assert_eq!(rt.stats().snapshot().write_faults, before.write_faults);
+        assert!(rt.duq.lock().is_empty());
+    }
+
+    #[test]
+    fn result_object_at_owner_flushes_locally() {
+        let rt = single_node();
+        let res = obj(&rt, "res");
+        rt.write_fault(res).unwrap();
+        rt.install_object_bytes(res, &[1u8; 32]);
+        rt.flush_duq().unwrap();
+        // The owner keeps its (authoritative) copy.
+        assert!(rt.dir.lock().entry(res).state.rights.allows_read());
+        assert_eq!(rt.stats().snapshot().updates_sent, 0);
+    }
+
+    #[test]
+    fn phase_change_clears_fixed_copysets() {
+        let rt = single_node();
+        let pc = obj(&rt, "pc");
+        rt.write_fault(pc).unwrap();
+        rt.flush_duq().unwrap();
+        assert!(rt.dir.lock().entry(pc).state.copyset_fixed);
+        rt.phase_change();
+        assert!(!rt.dir.lock().entry(pc).state.copyset_fixed);
+    }
+
+    #[test]
+    fn change_annotation_switches_protocol() {
+        let rt = single_node();
+        let ws = obj(&rt, "ws");
+        rt.change_annotation(&[ws], SharingAnnotation::Conventional)
+            .unwrap();
+        let dir = rt.dir.lock();
+        assert_eq!(dir.entry(ws).annotation, SharingAnnotation::Conventional);
+        assert!(dir.entry(ws).params.uses_invalidate());
+    }
+
+    #[test]
+    fn invalidate_hint_drops_local_copy() {
+        let rt = single_node();
+        let ws = obj(&rt, "ws");
+        rt.write_fault(ws).unwrap();
+        rt.invalidate_hint(&[ws]).unwrap();
+        assert_eq!(rt.dir.lock().entry(ws).state.rights, AccessRights::Invalid);
+        assert!(rt.duq.lock().is_empty());
+    }
+
+    #[test]
+    fn empty_flush_is_cheap_and_counted() {
+        let rt = single_node();
+        rt.flush_duq().unwrap();
+        let snap = rt.stats().snapshot();
+        assert_eq!(snap.duq_flushes, 1);
+        assert_eq!(snap.duq_objects_flushed, 0);
+        assert_eq!(snap.updates_sent, 0);
+    }
+}

@@ -1,0 +1,373 @@
+//! The per-node Munin runtime.
+//!
+//! Each simulated node runs two threads:
+//!
+//! * the **user thread**, which executes the application's worker closure and
+//!   enters the runtime on access faults and synchronization operations
+//!   (the paper's "Munin root thread is invoked" path), and
+//! * the **runtime service thread** (the paper's "Munin worker threads"),
+//!   which handles requests arriving from other nodes: object fetches,
+//!   invalidations, delayed-update propagation, copyset queries, lock and
+//!   barrier traffic.
+//!
+//! The user thread performs blocking protocol work (it may wait for replies);
+//! the service thread never blocks on a remote reply, so the two-thread
+//! structure cannot deadlock. Requests that cannot be served because the
+//! targeted directory entry is mid-transition (its *busy* bit is set — the
+//! analogue of the paper's per-entry access-control semaphore) are deferred
+//! and retried once the transition completes.
+
+mod fault;
+mod flush;
+mod server;
+mod sync_ops;
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+use munin_sim::{CostModel, Envelope, NodeClock, NodeId, Sender, TimeKind, VirtTime};
+
+use crate::config::MuninConfig;
+use crate::directory::{AccessRights, Directory};
+use crate::duq::DelayedUpdateQueue;
+use crate::error::{MuninError, Result};
+use crate::msg::DsmMsg;
+use crate::object::ObjectId;
+use crate::segment::SharedDataTable;
+use crate::stats::MuninStats;
+use crate::sync::SyncDirectory;
+
+/// How long the user thread waits (in wall-clock time) for a protocol reply
+/// before declaring the run wedged. This is a safety net for the test suite;
+/// a correct protocol never hits it.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// The per-node runtime state shared by the user thread and the service
+/// thread.
+pub struct NodeRuntime {
+    node: NodeId,
+    nodes: usize,
+    cfg: Arc<MuninConfig>,
+    table: Arc<SharedDataTable>,
+    clock: NodeClock,
+    cost: Arc<CostModel>,
+    sender: Sender<DsmMsg>,
+    /// The node's copy of the shared data segment. Only ranges whose
+    /// directory entry grants access rights hold meaningful data.
+    memory: Mutex<Vec<u8>>,
+    /// The data object directory.
+    dir: Mutex<Directory>,
+    /// The delayed update queue (owns the twins of pending objects).
+    duq: Mutex<DelayedUpdateQueue>,
+    /// The synchronization object directory.
+    sync: Mutex<SyncDirectory>,
+    /// Requests deferred because their directory entry was busy.
+    deferred: Mutex<Vec<(Envelope, DsmMsg)>>,
+    /// Statistics.
+    stats: Arc<MuninStats>,
+    reply_tx: channel::Sender<(Envelope, DsmMsg)>,
+    reply_rx: channel::Receiver<(Envelope, DsmMsg)>,
+    /// Worker-completion notifications (root only), kept separate from the
+    /// reply mailbox so they cannot interleave with an in-flight protocol
+    /// operation of the root's user thread.
+    done_tx: channel::Sender<()>,
+    done_rx: channel::Receiver<()>,
+}
+
+impl NodeRuntime {
+    /// Creates the runtime for one node.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        node: NodeId,
+        nodes: usize,
+        cfg: Arc<MuninConfig>,
+        table: Arc<SharedDataTable>,
+        lock_homes: Vec<NodeId>,
+        barriers: Vec<(NodeId, usize)>,
+        clock: NodeClock,
+        cost: Arc<CostModel>,
+        sender: Sender<DsmMsg>,
+    ) -> Arc<Self> {
+        let (reply_tx, reply_rx) = channel::unbounded();
+        let (done_tx, done_rx) = channel::unbounded();
+        let home = NodeId::new(0);
+        let dir = Directory::from_table(&table, home, cfg.annotation_override);
+        let sync = SyncDirectory::new(node, &lock_homes, &barriers);
+        Arc::new(NodeRuntime {
+            node,
+            nodes,
+            memory: Mutex::new(vec![0u8; table.segment_len()]),
+            dir: Mutex::new(dir),
+            duq: Mutex::new(DelayedUpdateQueue::new()),
+            sync: Mutex::new(sync),
+            deferred: Mutex::new(Vec::new()),
+            stats: MuninStats::new(),
+            reply_tx,
+            reply_rx,
+            done_tx,
+            done_rx,
+            cfg,
+            table,
+            clock,
+            cost,
+            sender,
+        })
+    }
+
+    /// The node this runtime belongs to.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of nodes in the system.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Whether this node is the root (node 0).
+    pub fn is_root(&self) -> bool {
+        self.node.as_usize() == 0
+    }
+
+    /// The shared data description table.
+    pub fn table(&self) -> &SharedDataTable {
+        &self.table
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &MuninConfig {
+        &self.cfg
+    }
+
+    /// The node's statistics.
+    pub fn stats(&self) -> &Arc<MuninStats> {
+        &self.stats
+    }
+
+    /// The node's virtual clock.
+    pub fn clock(&self) -> &NodeClock {
+        &self.clock
+    }
+
+    /// Charges runtime (Munin) overhead to the node clock.
+    pub(crate) fn charge_sys(&self, t: VirtTime) {
+        self.clock.advance(TimeKind::System, t);
+    }
+
+    /// Charges application computation to the node clock.
+    pub fn charge_user(&self, t: VirtTime) {
+        self.clock.advance(TimeKind::User, t);
+    }
+
+    /// Charges `ops` abstract application operations as user time.
+    pub fn compute(&self, ops: u64) {
+        self.charge_user(self.cost.compute(ops));
+    }
+
+    /// Sends a protocol message, charging the fixed message cost.
+    pub(crate) fn send(&self, dst: NodeId, msg: DsmMsg) -> Result<()> {
+        self.sender
+            .send(dst, msg.class(), msg.model_bytes(), msg)
+            .map(|_| ())
+            .map_err(MuninError::from)
+    }
+
+    /// Sends a protocol message on behalf of the runtime service thread,
+    /// timestamped `logical_time` (normally the arrival time of the request
+    /// being answered, plus its service cost). This models the service
+    /// running concurrently with the user thread's computation, as the
+    /// paper's Munin worker threads do.
+    pub(crate) fn send_service(
+        &self,
+        dst: NodeId,
+        msg: DsmMsg,
+        logical_time: VirtTime,
+    ) -> Result<()> {
+        self.sender
+            .send_at(dst, msg.class(), msg.model_bytes(), msg, logical_time)
+            .map(|_| ())
+            .map_err(MuninError::from)
+    }
+
+    /// Blocks the user thread until the service thread routes it a reply.
+    pub(crate) fn wait_reply(&self) -> Result<(Envelope, DsmMsg)> {
+        self.reply_rx
+            .recv_timeout(REPLY_TIMEOUT)
+            .map_err(|_| MuninError::ProtocolViolation("timed out waiting for a protocol reply"))
+    }
+
+    /// Blocks until one worker-completion notification arrives (root only).
+    pub(crate) fn wait_worker_done_notification(&self) -> Result<()> {
+        self.done_rx
+            .recv_timeout(REPLY_TIMEOUT)
+            .map_err(|_| MuninError::ProtocolViolation("timed out waiting for workers to finish"))
+    }
+
+    /// Hands a reply to the blocked user thread (called by the service loop).
+    pub(crate) fn route_to_user(&self, env: Envelope, msg: DsmMsg) {
+        // The user thread may already have exited (e.g. after a runtime
+        // error); dropping the message is then harmless.
+        let _ = self.reply_tx.send((env, msg));
+    }
+
+    /// Byte range of an object within the shared segment.
+    pub(crate) fn object_range(&self, object: ObjectId) -> std::ops::Range<usize> {
+        let desc = self.table.object(object);
+        desc.segment_offset..desc.segment_offset + desc.size
+    }
+
+    /// Copies the current contents of an object out of local memory.
+    pub(crate) fn object_bytes(&self, object: ObjectId) -> Vec<u8> {
+        let range = self.object_range(object);
+        self.memory.lock()[range].to_vec()
+    }
+
+    /// Overwrites the local contents of an object.
+    pub(crate) fn install_object_bytes(&self, object: ObjectId, data: &[u8]) {
+        let range = self.object_range(object);
+        debug_assert_eq!(range.len(), data.len());
+        self.memory.lock()[range].copy_from_slice(data);
+    }
+
+    /// Initializes directory state on the root node after `user_init` has
+    /// run. `touched` is the set of objects the initialization actually
+    /// wrote.
+    ///
+    /// The root is the home of every statically allocated object, so it is
+    /// the initial owner of all of them. Objects the initialization wrote are
+    /// valid at the root; objects it never touched remain invalid (so that a
+    /// later first-touch fetch is served zero-filled and ownership moves to
+    /// the toucher). Objects with a fixed owner (`reduction`, `result`) are
+    /// always materialized at the root because flushes and `Fetch_and_Φ`
+    /// operations are directed there.
+    pub(crate) fn finish_root_init(&self, touched: &HashSet<ObjectId>) {
+        let mut dir = self.dir.lock();
+        for idx in 0..dir.len() {
+            let entry = dir.entry_mut(ObjectId::new(idx as u32));
+            entry.state.owned = true;
+            entry.probable_owner = self.node;
+            let materialize = touched.contains(&entry.object) || entry.params.has_fixed_owner();
+            if !materialize {
+                entry.state.rights = AccessRights::Invalid;
+                continue;
+            }
+            entry.state.rights = if !entry.params.is_writable() || entry.params.allows_delay() {
+                // Read-only data and delayed-update (write-shared family)
+                // objects start write-protected so the first write makes a
+                // twin and enters the DUQ.
+                AccessRights::Read
+            } else {
+                AccessRights::ReadWrite
+            };
+        }
+    }
+
+    /// Retries requests that were deferred because their directory entry was
+    /// busy. Safe to call from either thread: the handlers it invokes never
+    /// block on remote replies.
+    pub(crate) fn process_deferred(self: &Arc<Self>) {
+        loop {
+            let pending = {
+                let mut deferred = self.deferred.lock();
+                if deferred.is_empty() {
+                    return;
+                }
+                std::mem::take(&mut *deferred)
+            };
+            let before = pending.len();
+            for (env, msg) in pending {
+                self.handle_request(env, msg);
+            }
+            // If nothing was consumed (everything re-deferred), stop retrying
+            // until the next message or transition completion.
+            if self.deferred.lock().len() >= before {
+                return;
+            }
+        }
+    }
+
+    /// Snapshot of this node's entire shared-segment memory (used by the root
+    /// at the end of a run so results can be inspected).
+    pub(crate) fn memory_snapshot(&self) -> Vec<u8> {
+        self.memory.lock().clone()
+    }
+
+    /// Raw initialization write used by `user_init` on the root: bypasses the
+    /// consistency machinery because no other copies exist yet.
+    pub(crate) fn init_write(&self, segment_offset: usize, bytes: &[u8]) {
+        let mut mem = self.memory.lock();
+        mem[segment_offset..segment_offset + bytes.len()].copy_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::SharingAnnotation;
+    use munin_sim::Network;
+
+    /// Builds a single-node runtime for white-box tests of local paths.
+    fn single_node_runtime() -> Arc<NodeRuntime> {
+        let mut table = SharedDataTable::new(64);
+        table.declare("ro", SharingAnnotation::ReadOnly, 4, 8, false);
+        table.declare("ws", SharingAnnotation::WriteShared, 4, 32, false);
+        table.declare("res", SharingAnnotation::Result, 4, 8, false);
+        let table = Arc::new(table);
+        let cfg = Arc::new(MuninConfig::fast_test(1));
+        let clock = NodeClock::new();
+        let mut net: Network<DsmMsg> = Network::new(1, cfg.cost.clone());
+        let (sender, _receiver) = net.endpoint(0, clock.clone()).unwrap();
+        NodeRuntime::new(
+            NodeId::new(0),
+            1,
+            cfg.clone(),
+            table,
+            vec![],
+            vec![],
+            clock,
+            Arc::new(cfg.cost.clone()),
+            sender,
+        )
+    }
+
+    #[test]
+    fn root_init_marks_touched_objects_valid() {
+        let rt = single_node_runtime();
+        let ws_obj = rt.table().var_by_name("ws").unwrap().objects[0];
+        let ro_obj = rt.table().var_by_name("ro").unwrap().objects[0];
+        let res_obj = rt.table().var_by_name("res").unwrap().objects[0];
+        let mut touched = HashSet::new();
+        touched.insert(ro_obj);
+        rt.finish_root_init(&touched);
+        let dir = rt.dir.lock();
+        assert_eq!(dir.entry(ro_obj).state.rights, AccessRights::Read);
+        // Untouched write-shared object stays invalid (first-touch fetch will
+        // be zero-filled).
+        assert_eq!(dir.entry(ws_obj).state.rights, AccessRights::Invalid);
+        // Result objects are always materialized at their fixed owner.
+        assert_eq!(dir.entry(res_obj).state.rights, AccessRights::Read);
+        assert!(dir.entry(ws_obj).state.owned);
+    }
+
+    #[test]
+    fn object_bytes_round_trip() {
+        let rt = single_node_runtime();
+        let obj = rt.table().var_by_name("ro").unwrap().objects[0];
+        let data: Vec<u8> = (0..32).collect();
+        rt.install_object_bytes(obj, &data);
+        assert_eq!(rt.object_bytes(obj), data);
+    }
+
+    #[test]
+    fn charges_split_user_and_system() {
+        let rt = single_node_runtime();
+        rt.compute(10);
+        rt.charge_sys(VirtTime::from_nanos(50));
+        assert_eq!(rt.clock().user_time().as_nanos(), 10 * rt.cost.compute_op_ns);
+        assert_eq!(rt.clock().system_time().as_nanos(), 50);
+    }
+}

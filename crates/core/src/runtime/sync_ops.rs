@@ -1,0 +1,337 @@
+//! User-thread synchronization operations and program-control protocol.
+//!
+//! Lock acquire/release, barrier waits, `Fetch_and_Φ` on reduction objects,
+//! the `PreAcquire` hint, and the end-of-run completion handshake between the
+//! workers and the root.
+
+use std::sync::Arc;
+
+use munin_sim::NodeId;
+
+use crate::annotation::SharingAnnotation;
+use crate::directory::AccessRights;
+use crate::error::{MuninError, Result};
+use crate::msg::{DsmMsg, ReduceOp};
+use crate::object::ObjectId;
+use crate::stats::{add, bump};
+use crate::sync::{BarrierId, LockId};
+
+use super::NodeRuntime;
+
+impl NodeRuntime {
+    /// Installs the lock ↔ data associations declared with
+    /// `AssociateDataAndSynch` (known to every node, since they are part of
+    /// the program description).
+    pub(crate) fn apply_lock_associations(&self, associations: &[Vec<ObjectId>]) {
+        let mut sync = self.sync.lock();
+        for (idx, objects) in associations.iter().enumerate() {
+            sync.lock_mut(LockId(idx as u32)).associated = objects.clone();
+        }
+    }
+
+    /// Acquires a distributed lock (an *acquire* in the release-consistency
+    /// sense).
+    pub(crate) fn acquire_lock(self: &Arc<Self>, lock: LockId) -> Result<()> {
+        bump(&self.stats.lock_acquires);
+        self.charge_sys(self.cost.sync_op());
+        let hint = {
+            let mut sync = self.sync.lock();
+            if sync.lock_count() <= lock.0 as usize {
+                return Err(MuninError::UnknownSyncObject(lock.0));
+            }
+            let state = sync.lock_mut(lock);
+            if state.try_local_acquire() {
+                bump(&self.stats.lock_local_acquires);
+                return Ok(());
+            }
+            state.probable_owner
+        };
+        add(&self.stats.lock_messages, 1);
+        self.send(
+            hint,
+            DsmMsg::LockAcquire {
+                lock,
+                requester: self.node,
+            },
+        )?;
+        loop {
+            let (_env, reply) = self.wait_reply()?;
+            match reply {
+                DsmMsg::LockGrant {
+                    lock: l,
+                    queue,
+                    piggyback,
+                } if l == lock => {
+                    {
+                        let mut sync = self.sync.lock();
+                        sync.lock_mut(lock).receive_grant(queue, self.node);
+                    }
+                    self.install_piggyback(piggyback);
+                    return Ok(());
+                }
+                _ => {
+                    return Err(MuninError::ProtocolViolation(
+                        "unexpected reply while waiting for a lock grant",
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Installs consistency data piggybacked on a lock grant, avoiding the
+    /// access misses the requester would otherwise take on the protected
+    /// data.
+    fn install_piggyback(self: &Arc<Self>, piggyback: Vec<(ObjectId, Vec<u8>)>) {
+        for (object, data) in piggyback {
+            self.charge_sys(self.cost.copy(data.len() as u64));
+            self.install_object_bytes(object, &data);
+            let mut dir = self.dir.lock();
+            let e = dir.entry_mut(object);
+            if e.annotation == SharingAnnotation::Migratory {
+                // Migratory data travels with the lock: the new holder gets
+                // ownership and write access immediately.
+                e.state.rights = AccessRights::ReadWrite;
+                e.state.owned = true;
+                e.probable_owner = self.node;
+            } else if !e.state.rights.allows_write() {
+                e.state.rights = AccessRights::Read;
+            }
+        }
+    }
+
+    /// Releases a distributed lock (a *release*): flushes the DUQ first, then
+    /// passes ownership to the first waiter if any.
+    pub(crate) fn release_lock(self: &Arc<Self>, lock: LockId) -> Result<()> {
+        self.flush_duq()?;
+        self.charge_sys(self.cost.sync_op());
+        let handoff = {
+            let mut sync = self.sync.lock();
+            if sync.lock_count() <= lock.0 as usize {
+                return Err(MuninError::UnknownSyncObject(lock.0));
+            }
+            let state = sync.lock_mut(lock);
+            if !state.held {
+                return Err(MuninError::LockNotHeld(lock.0));
+            }
+            state.release()
+        };
+        if let Some((next, rest)) = handoff {
+            self.send_lock_grant(lock, next, rest);
+        }
+        Ok(())
+    }
+
+    /// Waits at a barrier (a *release* followed by an *acquire*): flushes the
+    /// DUQ, notifies the barrier owner, and blocks until the barrier opens.
+    pub(crate) fn wait_at_barrier(self: &Arc<Self>, barrier: BarrierId) -> Result<()> {
+        self.flush_duq()?;
+        bump(&self.stats.barrier_waits);
+        self.charge_sys(self.cost.sync_op());
+        let owner = {
+            let sync = self.sync.lock();
+            if sync.barrier_count() <= barrier.0 as usize {
+                return Err(MuninError::UnknownSyncObject(barrier.0));
+            }
+            sync.barrier(barrier).owner
+        };
+        self.send(
+            owner,
+            DsmMsg::BarrierArrive {
+                barrier,
+                from: self.node,
+            },
+        )?;
+        loop {
+            let (_env, reply) = self.wait_reply()?;
+            match reply {
+                DsmMsg::BarrierRelease { barrier: b } if b == barrier => return Ok(()),
+                _ => {
+                    return Err(MuninError::ProtocolViolation(
+                        "unexpected reply while waiting at a barrier",
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Performs a `Fetch_and_Φ` on an element of a reduction object,
+    /// returning the element's previous raw value.
+    pub(crate) fn reduce(
+        self: &Arc<Self>,
+        object: ObjectId,
+        offset: usize,
+        op: ReduceOp,
+    ) -> Result<Vec<u8>> {
+        bump(&self.stats.reductions);
+        let (annotation, owner) = {
+            let dir = self.dir.lock();
+            let e = dir.entry(object);
+            (e.annotation, e.home)
+        };
+        if annotation != SharingAnnotation::Reduction {
+            return Err(MuninError::NotAReductionObject(object));
+        }
+        if owner == self.node {
+            self.charge_sys(self.cost.sync_op());
+            return Ok(self.apply_reduce_local(object, offset, op));
+        }
+        self.send(
+            owner,
+            DsmMsg::ReduceRequest {
+                object,
+                offset,
+                op,
+                requester: self.node,
+            },
+        )?;
+        let (_env, reply) = self.wait_reply()?;
+        match reply {
+            DsmMsg::ReduceReply { old } => Ok(old),
+            _ => Err(MuninError::ProtocolViolation(
+                "unexpected reply to a Fetch_and_Φ request",
+            )),
+        }
+    }
+
+    /// `PreAcquire()` hint: fetches readable copies of the given objects in
+    /// anticipation of future use, avoiding later read-miss latency.
+    pub(crate) fn pre_acquire(self: &Arc<Self>, objects: &[ObjectId]) -> Result<()> {
+        for object in objects {
+            self.ensure_read(*object)?;
+        }
+        Ok(())
+    }
+
+    // --- end-of-run completion protocol -----------------------------------
+
+    /// Called by a non-root worker when its closure has finished.
+    pub(crate) fn signal_worker_done(self: &Arc<Self>) -> Result<()> {
+        self.send(NodeId::new(0), DsmMsg::WorkerDone { from: self.node })
+    }
+
+    /// Called by the root to wait until every other worker has finished.
+    pub(crate) fn wait_workers_done(self: &Arc<Self>) -> Result<()> {
+        for _ in 0..self.nodes - 1 {
+            self.wait_worker_done_notification()?;
+        }
+        Ok(())
+    }
+
+    /// Called by a non-root worker after signalling completion: blocks until
+    /// the root broadcasts shutdown (its service thread keeps serving
+    /// requests in the meantime, e.g. for the root's `user_done` phase).
+    pub(crate) fn wait_for_shutdown(self: &Arc<Self>) -> Result<()> {
+        loop {
+            let (_env, msg) = self.wait_reply()?;
+            if matches!(msg, DsmMsg::Shutdown) {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Called by the root at the very end: tells every node (including
+    /// itself, so its own service loop exits) to shut down.
+    pub(crate) fn broadcast_shutdown(self: &Arc<Self>) -> Result<()> {
+        for i in 0..self.nodes {
+            self.send(NodeId::new(i), DsmMsg::Shutdown)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MuninConfig;
+    use crate::segment::SharedDataTable;
+    use munin_sim::{CostModel, Network, NodeClock};
+    use std::collections::HashSet;
+
+    fn single_node_with_sync() -> Arc<NodeRuntime> {
+        let mut table = SharedDataTable::new(64);
+        table.declare("mig", SharingAnnotation::Migratory, 4, 4, false);
+        table.declare("red", SharingAnnotation::Reduction, 8, 1, false);
+        let table = Arc::new(table);
+        let cfg = Arc::new(MuninConfig::fast_test(1));
+        let clock = NodeClock::new();
+        let mut net: Network<DsmMsg> = Network::new(1, CostModel::fast_test());
+        let (tx, _rx) = net.endpoint(0, clock.clone()).unwrap();
+        let rt = NodeRuntime::new(
+            NodeId::new(0),
+            1,
+            cfg,
+            table,
+            vec![NodeId::new(0)],
+            vec![(NodeId::new(0), 1)],
+            clock,
+            Arc::new(CostModel::fast_test()),
+            tx,
+        );
+        let touched: HashSet<_> = rt.table().objects().iter().map(|o| o.id).collect();
+        rt.finish_root_init(&touched);
+        rt
+    }
+
+    #[test]
+    fn local_lock_acquire_and_release_need_no_messages() {
+        let rt = single_node_with_sync();
+        rt.acquire_lock(LockId(0)).unwrap();
+        rt.release_lock(LockId(0)).unwrap();
+        let snap = rt.stats().snapshot();
+        assert_eq!(snap.lock_acquires, 1);
+        assert_eq!(snap.lock_local_acquires, 1);
+        assert_eq!(snap.lock_messages, 0);
+    }
+
+    #[test]
+    fn releasing_an_unheld_lock_is_an_error() {
+        let rt = single_node_with_sync();
+        assert_eq!(
+            rt.release_lock(LockId(0)).unwrap_err(),
+            MuninError::LockNotHeld(0)
+        );
+    }
+
+    #[test]
+    fn unknown_sync_objects_are_rejected() {
+        let rt = single_node_with_sync();
+        assert!(matches!(
+            rt.acquire_lock(LockId(9)),
+            Err(MuninError::UnknownSyncObject(9))
+        ));
+        assert!(matches!(
+            rt.wait_at_barrier(BarrierId(9)),
+            Err(MuninError::UnknownSyncObject(9))
+        ));
+    }
+
+    #[test]
+    fn local_reduce_applies_and_returns_old_value() {
+        let rt = single_node_with_sync();
+        let red = rt.table().var_by_name("red").unwrap().objects[0];
+        let old = rt.reduce(red, 0, ReduceOp::AddI64(5)).unwrap();
+        assert_eq!(i64::from_le_bytes(old.try_into().unwrap()), 0);
+        let old = rt.reduce(red, 0, ReduceOp::AddI64(3)).unwrap();
+        assert_eq!(i64::from_le_bytes(old.try_into().unwrap()), 5);
+        let now = rt.reduce(red, 0, ReduceOp::Read).unwrap();
+        assert_eq!(i64::from_le_bytes(now.try_into().unwrap()), 8);
+    }
+
+    #[test]
+    fn reduce_on_non_reduction_object_is_rejected() {
+        let rt = single_node_with_sync();
+        let mig = rt.table().var_by_name("mig").unwrap().objects[0];
+        assert!(matches!(
+            rt.reduce(mig, 0, ReduceOp::AddI64(1)),
+            Err(MuninError::NotAReductionObject(_))
+        ));
+    }
+
+    #[test]
+    fn lock_associations_are_installed() {
+        let rt = single_node_with_sync();
+        let mig = rt.table().var_by_name("mig").unwrap().objects[0];
+        rt.apply_lock_associations(&[vec![mig]]);
+        assert_eq!(rt.sync.lock().lock(LockId(0)).associated, vec![mig]);
+    }
+}

@@ -1,0 +1,325 @@
+//! Synchronization objects: distributed queue-based locks and barriers.
+//!
+//! "Synchronization objects are accessed in a fundamentally different way
+//! than data objects, so Munin does not provide synchronization through
+//! shared memory. Rather each Munin node interacts with the other nodes to
+//! provide a high-level synchronization service." (Section 3.4.)
+//!
+//! This module holds the per-node *synchronization object directory*: the
+//! local view of every lock and barrier. The message handling that drives the
+//! distributed protocol lives in [`crate::runtime`]; the state transitions are
+//! kept here so they can be unit-tested in isolation.
+
+use std::collections::VecDeque;
+
+use munin_sim::NodeId;
+
+use crate::object::ObjectId;
+
+/// Identifier of a distributed lock.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct LockId(pub u32);
+
+/// Identifier of a barrier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct BarrierId(pub u32);
+
+/// Per-node state of one distributed lock.
+///
+/// Ownership of a lock (the right to grant it) moves between nodes; the queue
+/// of waiting requesters travels with ownership, so that "a release/acquire
+/// pair can be performed with a single message exchange if the acquire is
+/// pending when the release occurs". Nodes that are not the owner keep only a
+/// probable-owner hint used to forward requests.
+#[derive(Clone, Debug)]
+pub struct LockState {
+    /// Whether this node currently owns the lock token (holds it or is the
+    /// node at which the free lock resides).
+    pub owned: bool,
+    /// Whether the local user thread currently holds the lock.
+    pub held: bool,
+    /// Requesters waiting for the lock (meaningful only at the owner).
+    pub queue: VecDeque<NodeId>,
+    /// Best guess at the current owner, used to forward acquire requests.
+    pub probable_owner: NodeId,
+    /// Data objects associated with the lock via `AssociateDataAndSynch`;
+    /// their contents are piggybacked on lock grants.
+    pub associated: Vec<ObjectId>,
+}
+
+impl LockState {
+    /// Creates the initial state of a lock created at `home` as seen from a
+    /// node: the home node owns it, everyone else forwards there.
+    pub fn new(home: NodeId, local: NodeId) -> Self {
+        LockState {
+            owned: home == local,
+            held: false,
+            queue: VecDeque::new(),
+            probable_owner: home,
+            associated: Vec::new(),
+        }
+    }
+
+    /// Attempts a purely local acquire. Returns `true` if the lock was free
+    /// and owned locally (fast path, no messages needed).
+    pub fn try_local_acquire(&mut self) -> bool {
+        if self.owned && !self.held && self.queue.is_empty() {
+            self.held = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records the receipt of lock ownership (a `LockGrant`), together with
+    /// the waiter queue that travels with it. The local thread becomes the
+    /// holder.
+    pub fn receive_grant(&mut self, queue: impl IntoIterator<Item = NodeId>, local: NodeId) {
+        self.owned = true;
+        self.held = true;
+        self.queue = queue.into_iter().collect();
+        self.probable_owner = local;
+    }
+
+    /// Handles a remote acquire request arriving at this node.
+    ///
+    /// Returns what the runtime must do with it.
+    pub fn handle_remote_acquire(&mut self, requester: NodeId) -> RemoteAcquireAction {
+        if !self.owned {
+            return RemoteAcquireAction::Forward(self.probable_owner);
+        }
+        if !self.held && self.queue.is_empty() {
+            // Free at this node: hand ownership over immediately.
+            self.owned = false;
+            self.probable_owner = requester;
+            RemoteAcquireAction::Grant
+        } else {
+            self.queue.push_back(requester);
+            RemoteAcquireAction::Queued
+        }
+    }
+
+    /// Releases the lock locally. If waiters are queued, ownership (and the
+    /// remaining queue) must be handed to the head waiter; the state is
+    /// updated accordingly and the grant target is returned.
+    ///
+    /// Returns `None` if no one is waiting (the lock stays here, free).
+    pub fn release(&mut self) -> Option<(NodeId, Vec<NodeId>)> {
+        self.held = false;
+        if let Some(next) = self.queue.pop_front() {
+            let rest: Vec<NodeId> = self.queue.drain(..).collect();
+            self.owned = false;
+            self.probable_owner = next;
+            Some((next, rest))
+        } else {
+            None
+        }
+    }
+}
+
+/// What a node must do with a remote lock-acquire request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RemoteAcquireAction {
+    /// Not the owner: forward the request to this node.
+    Forward(NodeId),
+    /// The lock was free here: grant ownership to the requester.
+    Grant,
+    /// The lock is busy: the requester has been queued.
+    Queued,
+}
+
+/// Per-node state of one barrier.
+///
+/// Barriers are owner-collected: every arriving thread sends a message to the
+/// owner node (the root for statically created barriers) and blocks; when the
+/// owner has received the expected number of arrivals it releases everyone.
+#[derive(Clone, Debug)]
+pub struct BarrierState {
+    /// The node that collects arrivals.
+    pub owner: NodeId,
+    /// Number of threads that must arrive before the barrier opens.
+    pub parties: usize,
+    /// Nodes that have arrived in the current episode (meaningful at the
+    /// owner only).
+    pub arrived: Vec<NodeId>,
+    /// How many times the barrier has opened.
+    pub generation: u64,
+}
+
+impl BarrierState {
+    /// Creates the barrier state.
+    pub fn new(owner: NodeId, parties: usize) -> Self {
+        BarrierState {
+            owner,
+            parties,
+            arrived: Vec::new(),
+            generation: 0,
+        }
+    }
+
+    /// Records an arrival at the owner. Returns the list of nodes to release
+    /// when this arrival completes the barrier, or `None` otherwise.
+    pub fn arrive(&mut self, from: NodeId) -> Option<Vec<NodeId>> {
+        self.arrived.push(from);
+        if self.arrived.len() >= self.parties {
+            self.generation += 1;
+            Some(std::mem::take(&mut self.arrived))
+        } else {
+            None
+        }
+    }
+}
+
+/// The synchronization object directory of one node: the analogue of the data
+/// object directory for locks and barriers.
+#[derive(Clone, Debug, Default)]
+pub struct SyncDirectory {
+    locks: Vec<LockState>,
+    barriers: Vec<BarrierState>,
+}
+
+impl SyncDirectory {
+    /// Builds the directory for a node, given the statically created locks
+    /// and barriers (all homed at the root in the prototype).
+    pub fn new(local: NodeId, lock_homes: &[NodeId], barriers: &[(NodeId, usize)]) -> Self {
+        SyncDirectory {
+            locks: lock_homes
+                .iter()
+                .map(|home| LockState::new(*home, local))
+                .collect(),
+            barriers: barriers
+                .iter()
+                .map(|(owner, parties)| BarrierState::new(*owner, *parties))
+                .collect(),
+        }
+    }
+
+    /// State of a lock.
+    pub fn lock(&self, id: LockId) -> &LockState {
+        &self.locks[id.0 as usize]
+    }
+
+    /// Mutable state of a lock.
+    pub fn lock_mut(&mut self, id: LockId) -> &mut LockState {
+        &mut self.locks[id.0 as usize]
+    }
+
+    /// State of a barrier.
+    pub fn barrier(&self, id: BarrierId) -> &BarrierState {
+        &self.barriers[id.0 as usize]
+    }
+
+    /// Mutable state of a barrier.
+    pub fn barrier_mut(&mut self, id: BarrierId) -> &mut BarrierState {
+        &mut self.barriers[id.0 as usize]
+    }
+
+    /// Number of locks known to this node.
+    pub fn lock_count(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Number of barriers known to this node.
+    pub fn barrier_count(&self) -> usize {
+        self.barriers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn local_acquire_fast_path() {
+        let mut lock = LockState::new(n(0), n(0));
+        assert!(lock.try_local_acquire());
+        assert!(lock.held);
+        // Cannot acquire again while held.
+        assert!(!lock.try_local_acquire());
+    }
+
+    #[test]
+    fn non_owner_cannot_acquire_locally() {
+        let mut lock = LockState::new(n(0), n(1));
+        assert!(!lock.try_local_acquire());
+        assert_eq!(lock.probable_owner, n(0));
+    }
+
+    #[test]
+    fn remote_acquire_grants_free_lock_and_moves_ownership() {
+        let mut lock = LockState::new(n(0), n(0));
+        let action = lock.handle_remote_acquire(n(2));
+        assert_eq!(action, RemoteAcquireAction::Grant);
+        assert!(!lock.owned);
+        assert_eq!(lock.probable_owner, n(2));
+        // A later request is forwarded to the new owner.
+        assert_eq!(
+            lock.handle_remote_acquire(n(3)),
+            RemoteAcquireAction::Forward(n(2))
+        );
+    }
+
+    #[test]
+    fn remote_acquire_queues_when_held() {
+        let mut lock = LockState::new(n(0), n(0));
+        assert!(lock.try_local_acquire());
+        assert_eq!(lock.handle_remote_acquire(n(1)), RemoteAcquireAction::Queued);
+        assert_eq!(lock.handle_remote_acquire(n(2)), RemoteAcquireAction::Queued);
+        // Release hands ownership and the remaining queue to the head waiter.
+        let (next, rest) = lock.release().unwrap();
+        assert_eq!(next, n(1));
+        assert_eq!(rest, vec![n(2)]);
+        assert!(!lock.owned);
+        assert_eq!(lock.probable_owner, n(1));
+    }
+
+    #[test]
+    fn release_without_waiters_keeps_lock_local() {
+        let mut lock = LockState::new(n(0), n(0));
+        assert!(lock.try_local_acquire());
+        assert!(lock.release().is_none());
+        assert!(lock.owned);
+        assert!(!lock.held);
+        // Can re-acquire locally without messages.
+        assert!(lock.try_local_acquire());
+    }
+
+    #[test]
+    fn grant_receipt_installs_queue() {
+        let mut lock = LockState::new(n(0), n(3));
+        lock.receive_grant(vec![n(1), n(2)], n(3));
+        assert!(lock.owned && lock.held);
+        assert_eq!(lock.queue, vec![n(1), n(2)]);
+        let (next, rest) = lock.release().unwrap();
+        assert_eq!(next, n(1));
+        assert_eq!(rest, vec![n(2)]);
+    }
+
+    #[test]
+    fn barrier_opens_when_all_parties_arrive() {
+        let mut b = BarrierState::new(n(0), 3);
+        assert!(b.arrive(n(0)).is_none());
+        assert!(b.arrive(n(1)).is_none());
+        let released = b.arrive(n(2)).unwrap();
+        assert_eq!(released.len(), 3);
+        assert_eq!(b.generation, 1);
+        // The barrier is reusable.
+        assert!(b.arrive(n(2)).is_none());
+        assert!(b.arrive(n(1)).is_none());
+        assert!(b.arrive(n(0)).is_some());
+        assert_eq!(b.generation, 2);
+    }
+
+    #[test]
+    fn directory_indexes_locks_and_barriers() {
+        let dir = SyncDirectory::new(n(1), &[n(0), n(0)], &[(n(0), 4)]);
+        assert_eq!(dir.lock_count(), 2);
+        assert_eq!(dir.barrier_count(), 1);
+        assert!(!dir.lock(LockId(0)).owned);
+        assert_eq!(dir.barrier(BarrierId(0)).parties, 4);
+    }
+}

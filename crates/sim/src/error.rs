@@ -1,0 +1,44 @@
+//! Error type for the simulation substrate.
+
+use std::fmt;
+
+/// Errors produced by the simulated cluster and network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A receive was attempted after every sender to this node was dropped.
+    Disconnected,
+    /// A message was addressed to a node that does not exist.
+    NoSuchNode(usize),
+    /// A node endpoint was requested twice.
+    EndpointTaken(usize),
+    /// A node panicked while running its closure.
+    NodePanicked(usize),
+    /// The cluster was configured with zero nodes.
+    EmptyCluster,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Disconnected => write!(f, "network channel disconnected"),
+            SimError::NoSuchNode(n) => write!(f, "no such node: {n}"),
+            SimError::EndpointTaken(n) => write!(f, "endpoint for node {n} already taken"),
+            SimError::NodePanicked(n) => write!(f, "node {n} panicked"),
+            SimError::EmptyCluster => write!(f, "cluster must have at least one node"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SimError::NoSuchNode(3).to_string().contains('3'));
+        assert!(SimError::Disconnected.to_string().contains("disconnected"));
+        assert!(SimError::NodePanicked(7).to_string().contains('7'));
+    }
+}

@@ -1,0 +1,432 @@
+//! The simulated interconnect.
+//!
+//! Messages really travel between OS threads through channels, so every
+//! protocol path in the DSM is exercised end-to-end; only their *latency* is
+//! simulated. The latency of a message is
+//!
+//! ```text
+//! arrival = max(bus_free_at, sender_clock_at_send) + wire_time(bytes) + propagation
+//! ```
+//!
+//! when the shared-bus model is enabled (the paper's dedicated 10 Mbps
+//! Ethernet segment), or simply `send_time + wire_time(bytes)` otherwise.
+//! The receiver moves its clock forward to the arrival time when it picks the
+//! message up, charging the gap as wait time.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel;
+
+use crate::cost::CostModel;
+use crate::error::SimError;
+use crate::stats::NetStats;
+use crate::time::{NodeClock, TimeKind, VirtTime};
+
+/// Identifier of a simulated node (processor).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from an index.
+    pub const fn new(idx: usize) -> Self {
+        NodeId(idx as u32)
+    }
+
+    /// The node index.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Metadata accompanying every message.
+#[derive(Clone, Copy, Debug)]
+pub struct Envelope {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Message class, used for statistics (e.g. `"object_request"`).
+    pub class: &'static str,
+    /// Modelled payload size in bytes (drives wire time); this is the size
+    /// the real system would put on the wire, independent of the in-memory
+    /// representation of the payload.
+    pub model_bytes: u64,
+    /// Sender's virtual time when the message was handed to the network.
+    pub sent_at: VirtTime,
+    /// Virtual time at which the message is available at the destination.
+    pub arrival: VirtTime,
+}
+
+struct Shared {
+    cost: CostModel,
+    stats: Arc<NetStats>,
+    bus_free_ns: AtomicU64,
+}
+
+impl Shared {
+    /// Computes the arrival time of a message sent at `sent_at` with
+    /// `bytes` payload, updating the shared-bus reservation if enabled.
+    fn arrival(&self, sent_at: VirtTime, bytes: u64) -> VirtTime {
+        let wire = VirtTime::from_nanos(bytes * self.cost.wire_ns_per_byte);
+        let prop = VirtTime::from_nanos(self.cost.wire_prop_ns);
+        if !self.cost.shared_bus {
+            return sent_at + wire + prop;
+        }
+        // Reserve the bus: transmission starts when both the sender is ready
+        // and the bus is free.
+        let mut end_ns;
+        loop {
+            let free = self.bus_free_ns.load(Ordering::SeqCst);
+            let start = free.max(sent_at.as_nanos());
+            end_ns = start + wire.as_nanos();
+            match self.bus_free_ns.compare_exchange(
+                free,
+                end_ns,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(_) => continue,
+            }
+        }
+        VirtTime::from_nanos(end_ns) + prop
+    }
+}
+
+/// Sending half of a node's network endpoint. Cheap to clone; clones share
+/// the node's clock and the global statistics.
+#[derive(Clone)]
+pub struct Sender<M> {
+    node: NodeId,
+    clock: NodeClock,
+    peers: Arc<Vec<channel::Sender<(Envelope, M)>>>,
+    shared: Arc<Shared>,
+}
+
+impl<M: Send> Sender<M> {
+    /// Sends `payload` to `dst`, charging the fixed per-message software cost
+    /// to this node's system time and recording the message in the network
+    /// statistics. Returns the envelope that was delivered.
+    ///
+    /// `model_bytes` is the number of bytes the message would occupy on the
+    /// wire in the real system (header + payload); it determines wire time.
+    pub fn send(
+        &self,
+        dst: NodeId,
+        class: &'static str,
+        model_bytes: u64,
+        payload: M,
+    ) -> Result<Envelope, SimError> {
+        self.clock
+            .advance(TimeKind::System, self.shared.cost.msg_fixed());
+        let sent_at = self.clock.now();
+        self.send_stamped(dst, class, model_bytes, payload, sent_at)
+    }
+
+    /// Sends `payload` with an explicit logical send timestamp instead of the
+    /// node clock.
+    ///
+    /// This models work done by a concurrent runtime service thread (the
+    /// paper's "Munin worker threads"): the reply to a request leaves at
+    /// roughly the time the request arrived plus its service cost, even if
+    /// the node's user thread has already accumulated a lot of virtual
+    /// compute time. The fixed per-message CPU cost is still charged to the
+    /// node's clock as system time.
+    pub fn send_at(
+        &self,
+        dst: NodeId,
+        class: &'static str,
+        model_bytes: u64,
+        payload: M,
+        logical_time: VirtTime,
+    ) -> Result<Envelope, SimError> {
+        self.clock
+            .advance(TimeKind::System, self.shared.cost.msg_fixed());
+        self.send_stamped(dst, class, model_bytes, payload, logical_time)
+    }
+
+    fn send_stamped(
+        &self,
+        dst: NodeId,
+        class: &'static str,
+        model_bytes: u64,
+        payload: M,
+        sent_at: VirtTime,
+    ) -> Result<Envelope, SimError> {
+        let idx = dst.as_usize();
+        let peer = self.peers.get(idx).ok_or(SimError::NoSuchNode(idx))?;
+        let arrival = self.shared.arrival(sent_at, model_bytes);
+        let env = Envelope {
+            src: self.node,
+            dst,
+            class,
+            model_bytes,
+            sent_at,
+            arrival,
+        };
+        self.shared.stats.record(class, model_bytes);
+        peer.send((env, payload)).map_err(|_| SimError::Disconnected)?;
+        Ok(env)
+    }
+
+    /// The node this sender belongs to.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of nodes reachable through this sender.
+    pub fn nodes(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// The clock charged by this sender.
+    pub fn clock(&self) -> &NodeClock {
+        &self.clock
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> &CostModel {
+        &self.shared.cost
+    }
+}
+
+/// Receiving half of a node's network endpoint (single consumer).
+pub struct Receiver<M> {
+    node: NodeId,
+    clock: NodeClock,
+    rx: channel::Receiver<(Envelope, M)>,
+}
+
+impl<M: Send> Receiver<M> {
+    /// Blocks until a message arrives, then advances this node's clock to the
+    /// message's virtual arrival time (charging the gap as wait time).
+    pub fn recv(&self) -> Result<(Envelope, M), SimError> {
+        let (env, payload) = self.rx.recv().map_err(|_| SimError::Disconnected)?;
+        self.clock.advance_to(TimeKind::Wait, env.arrival);
+        Ok((env, payload))
+    }
+
+    /// Non-blocking receive. Returns `Ok(None)` when no message is queued.
+    pub fn try_recv(&self) -> Result<Option<(Envelope, M)>, SimError> {
+        match self.rx.try_recv() {
+            Ok((env, payload)) => {
+                self.clock.advance_to(TimeKind::Wait, env.arrival);
+                Ok(Some((env, payload)))
+            }
+            Err(channel::TryRecvError::Empty) => Ok(None),
+            Err(channel::TryRecvError::Disconnected) => Err(SimError::Disconnected),
+        }
+    }
+
+    /// The node this receiver belongs to.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The clock advanced by this receiver.
+    pub fn clock(&self) -> &NodeClock {
+        &self.clock
+    }
+}
+
+/// A fully connected network between `n` simulated nodes exchanging messages
+/// of type `M`.
+pub struct Network<M> {
+    shared: Arc<Shared>,
+    peers: Arc<Vec<channel::Sender<(Envelope, M)>>>,
+    receivers: Vec<Option<channel::Receiver<(Envelope, M)>>>,
+}
+
+impl<M: Send> Network<M> {
+    /// Creates a network of `n` nodes governed by `cost`.
+    pub fn new(n: usize, cost: CostModel) -> Self {
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel::unbounded();
+            txs.push(tx);
+            rxs.push(Some(rx));
+        }
+        Network {
+            shared: Arc::new(Shared {
+                cost,
+                stats: Arc::new(NetStats::new()),
+                bus_free_ns: AtomicU64::new(0),
+            }),
+            peers: Arc::new(txs),
+            receivers: rxs,
+        }
+    }
+
+    /// Number of nodes in the network.
+    pub fn nodes(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Global message statistics.
+    pub fn stats(&self) -> Arc<NetStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> &CostModel {
+        &self.shared.cost
+    }
+
+    /// Hands out the endpoint for node `idx`, binding it to `clock`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EndpointTaken`] if the endpoint for this node was
+    /// already taken and [`SimError::NoSuchNode`] if `idx` is out of range.
+    pub fn endpoint(
+        &mut self,
+        idx: usize,
+        clock: NodeClock,
+    ) -> Result<(Sender<M>, Receiver<M>), SimError> {
+        let slot = self
+            .receivers
+            .get_mut(idx)
+            .ok_or(SimError::NoSuchNode(idx))?;
+        let rx = slot.take().ok_or(SimError::EndpointTaken(idx))?;
+        let node = NodeId::new(idx);
+        Ok((
+            Sender {
+                node,
+                clock: clock.clone(),
+                peers: Arc::clone(&self.peers),
+                shared: Arc::clone(&self.shared),
+            },
+            Receiver { node, clock, rx },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn two_node_net() -> (Network<u64>, Vec<NodeClock>) {
+        let clocks = vec![NodeClock::new(), NodeClock::new()];
+        (Network::new(2, CostModel::fast_test()), clocks)
+    }
+
+    #[test]
+    fn send_and_receive_carries_payload() {
+        let (mut net, clocks) = two_node_net();
+        let (tx0, _rx0) = net.endpoint(0, clocks[0].clone()).unwrap();
+        let (_tx1, rx1) = net.endpoint(1, clocks[1].clone()).unwrap();
+        tx0.send(NodeId::new(1), "test", 64, 99).unwrap();
+        let (env, payload) = rx1.recv().unwrap();
+        assert_eq!(payload, 99);
+        assert_eq!(env.src, NodeId::new(0));
+        assert_eq!(env.dst, NodeId::new(1));
+        assert_eq!(env.model_bytes, 64);
+    }
+
+    #[test]
+    fn receiver_clock_advances_to_arrival() {
+        let (mut net, clocks) = two_node_net();
+        let (tx0, _rx0) = net.endpoint(0, clocks[0].clone()).unwrap();
+        let (_tx1, rx1) = net.endpoint(1, clocks[1].clone()).unwrap();
+        let env = tx0.send(NodeId::new(1), "test", 1000, 1).unwrap();
+        assert!(env.arrival > env.sent_at);
+        rx1.recv().unwrap();
+        assert!(clocks[1].now() >= env.arrival);
+    }
+
+    #[test]
+    fn sender_charges_fixed_cost_as_system_time() {
+        let (mut net, clocks) = two_node_net();
+        let (tx0, _rx0) = net.endpoint(0, clocks[0].clone()).unwrap();
+        let (_tx1, _rx1) = net.endpoint(1, clocks[1].clone()).unwrap();
+        tx0.send(NodeId::new(1), "test", 0, 0).unwrap();
+        assert_eq!(
+            clocks[0].system_time().as_nanos(),
+            CostModel::fast_test().msg_fixed_ns
+        );
+    }
+
+    #[test]
+    fn endpoint_cannot_be_taken_twice() {
+        let (mut net, clocks) = two_node_net();
+        net.endpoint(0, clocks[0].clone()).unwrap();
+        assert_eq!(
+            net.endpoint(0, clocks[0].clone()).err(),
+            Some(SimError::EndpointTaken(0))
+        );
+        assert_eq!(
+            net.endpoint(5, clocks[0].clone()).err(),
+            Some(SimError::NoSuchNode(5))
+        );
+    }
+
+    #[test]
+    fn shared_bus_serializes_transmissions() {
+        let mut cost = CostModel::fast_test();
+        cost.shared_bus = true;
+        cost.wire_ns_per_byte = 100;
+        cost.wire_prop_ns = 0;
+        cost.msg_fixed_ns = 0;
+        let clocks = vec![NodeClock::new(), NodeClock::new()];
+        let mut net: Network<u8> = Network::new(2, cost);
+        let (tx0, _rx0) = net.endpoint(0, clocks[0].clone()).unwrap();
+        let (_tx1, rx1) = net.endpoint(1, clocks[1].clone()).unwrap();
+        // Two back-to-back sends at time ~0 must occupy the bus sequentially.
+        let e1 = tx0.send(NodeId::new(1), "a", 10, 0).unwrap();
+        let e2 = tx0.send(NodeId::new(1), "a", 10, 0).unwrap();
+        assert!(e2.arrival.as_nanos() >= e1.arrival.as_nanos() + 1000);
+        rx1.recv().unwrap();
+        rx1.recv().unwrap();
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let (mut net, clocks) = two_node_net();
+        let stats = net.stats();
+        let (tx0, _rx0) = net.endpoint(0, clocks[0].clone()).unwrap();
+        let (_tx1, rx1) = net.endpoint(1, clocks[1].clone()).unwrap();
+        tx0.send(NodeId::new(1), "update", 128, 5).unwrap();
+        tx0.send(NodeId::new(1), "lock", 8, 6).unwrap();
+        rx1.recv().unwrap();
+        rx1.recv().unwrap();
+        let snap = stats.snapshot();
+        assert_eq!(snap.total.msgs, 2);
+        assert_eq!(snap.class("update").bytes, 128);
+    }
+
+    #[test]
+    fn cross_thread_send_recv() {
+        let (mut net, clocks) = two_node_net();
+        let (tx0, _rx0) = net.endpoint(0, clocks[0].clone()).unwrap();
+        let (_tx1, rx1) = net.endpoint(1, clocks[1].clone()).unwrap();
+        let handle = thread::spawn(move || {
+            let (_env, v) = rx1.recv().unwrap();
+            v
+        });
+        tx0.send(NodeId::new(1), "x", 1, 1234).unwrap();
+        assert_eq!(handle.join().unwrap(), 1234);
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        let (mut net, clocks) = two_node_net();
+        let (_tx0, rx0) = net.endpoint(0, clocks[0].clone()).unwrap();
+        assert!(matches!(rx0.try_recv(), Ok(None)));
+    }
+}

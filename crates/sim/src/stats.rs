@@ -1,0 +1,157 @@
+//! Network and per-node statistics.
+//!
+//! The paper's analysis leans heavily on *message counts* and *data motion*
+//! ("after the first iteration there is only one message exchange between
+//! adjacent sections per iteration", "each worker transmits only a single
+//! result message back to the root"). The simulator therefore tracks every
+//! message and its modelled size, broken down by message class.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::time::VirtTime;
+
+/// Counters for one message class (e.g. `"object_reply"` or `"update"`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Number of messages of this class.
+    pub msgs: u64,
+    /// Total modelled payload bytes of this class.
+    pub bytes: u64,
+}
+
+/// Shared, thread-safe network statistics.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    msgs: AtomicU64,
+    bytes: AtomicU64,
+    by_class: Mutex<BTreeMap<&'static str, ClassStats>>,
+}
+
+impl NetStats {
+    /// Creates an empty statistics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message of `class` carrying `bytes` modelled bytes.
+    pub fn record(&self, class: &'static str, bytes: u64) {
+        self.msgs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        let mut map = self.by_class.lock();
+        let entry = map.entry(class).or_default();
+        entry.msgs += 1;
+        entry.bytes += bytes;
+    }
+
+    /// Total messages recorded so far.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.load(Ordering::Relaxed)
+    }
+
+    /// Total modelled bytes recorded so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Returns a snapshot of the per-class counters.
+    pub fn snapshot(&self) -> NetSnapshot {
+        NetSnapshot {
+            total: ClassStats {
+                msgs: self.total_msgs(),
+                bytes: self.total_bytes(),
+            },
+            by_class: self.by_class.lock().clone(),
+        }
+    }
+}
+
+/// An owned snapshot of [`NetStats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetSnapshot {
+    /// Totals across all classes.
+    pub total: ClassStats,
+    /// Per-class counters, ordered by class name.
+    pub by_class: BTreeMap<&'static str, ClassStats>,
+}
+
+impl NetSnapshot {
+    /// Counters for a single class (zero if the class never occurred).
+    pub fn class(&self, class: &str) -> ClassStats {
+        self.by_class.get(class).copied().unwrap_or_default()
+    }
+
+    /// Difference between two snapshots (`self` must be the later one).
+    pub fn since(&self, earlier: &NetSnapshot) -> NetSnapshot {
+        let mut by_class = BTreeMap::new();
+        for (k, v) in &self.by_class {
+            let before = earlier.class(k);
+            by_class.insert(
+                *k,
+                ClassStats {
+                    msgs: v.msgs - before.msgs,
+                    bytes: v.bytes - before.bytes,
+                },
+            );
+        }
+        NetSnapshot {
+            total: ClassStats {
+                msgs: self.total.msgs - earlier.total.msgs,
+                bytes: self.total.bytes - earlier.total.bytes,
+            },
+            by_class,
+        }
+    }
+}
+
+/// Virtual-time accounting for a single node at the end of a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeTimes {
+    /// Node index.
+    pub node: usize,
+    /// Final value of the node clock.
+    pub total: VirtTime,
+    /// Time charged to application computation.
+    pub user: VirtTime,
+    /// Time charged to runtime (Munin or message-passing library) code.
+    pub system: VirtTime,
+    /// Time spent blocked waiting for messages, locks, or barriers.
+    pub wait: VirtTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_totals_and_classes() {
+        let stats = NetStats::new();
+        stats.record("update", 100);
+        stats.record("update", 50);
+        stats.record("lock", 8);
+        assert_eq!(stats.total_msgs(), 3);
+        assert_eq!(stats.total_bytes(), 158);
+        let snap = stats.snapshot();
+        assert_eq!(snap.class("update"), ClassStats { msgs: 2, bytes: 150 });
+        assert_eq!(snap.class("lock"), ClassStats { msgs: 1, bytes: 8 });
+        assert_eq!(snap.class("missing"), ClassStats::default());
+    }
+
+    #[test]
+    fn snapshot_since_subtracts() {
+        let stats = NetStats::new();
+        stats.record("a", 10);
+        let before = stats.snapshot();
+        stats.record("a", 5);
+        stats.record("b", 7);
+        let after = stats.snapshot();
+        let delta = after.since(&before);
+        assert_eq!(delta.total.msgs, 2);
+        assert_eq!(delta.total.bytes, 12);
+        assert_eq!(delta.class("a").msgs, 1);
+        // Class "b" did not exist in the earlier snapshot.
+        assert_eq!(delta.class("b").bytes, 7);
+    }
+}

@@ -1,0 +1,312 @@
+//! Virtual time and per-node clocks.
+//!
+//! The simulator does not measure wall-clock time. Every cost (compute,
+//! message latency, page-fault handling, ...) is charged explicitly against a
+//! per-node virtual clock. Program elapsed time is the maximum node clock at
+//! termination, which mirrors how the paper reports execution times on the
+//! root node of its 16-processor prototype.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A point (or span) in virtual time, with nanosecond resolution.
+///
+/// `VirtTime` is used both as an absolute timestamp (nanoseconds since the
+/// start of the simulated run) and as a duration; the arithmetic operators
+/// treat it uniformly as a number of nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtTime(u64);
+
+impl VirtTime {
+    /// The origin of virtual time (also the zero duration).
+    pub const ZERO: VirtTime = VirtTime(0);
+
+    /// Creates a time from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        VirtTime(ns)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        VirtTime(us * 1_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        VirtTime(ms * 1_000_000)
+    }
+
+    /// Creates a time from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        VirtTime(s * 1_000_000_000)
+    }
+
+    /// Creates a time from a floating point number of nanoseconds, rounding
+    /// to the nearest nanosecond and saturating at zero.
+    pub fn from_nanos_f64(ns: f64) -> Self {
+        if ns <= 0.0 {
+            VirtTime(0)
+        } else {
+            VirtTime(ns.round() as u64)
+        }
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds (truncated).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds (truncated).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Value in seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Value in milliseconds as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the larger of two times.
+    pub fn max(self, other: VirtTime) -> VirtTime {
+        VirtTime(self.0.max(other.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: VirtTime) -> VirtTime {
+        VirtTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for VirtTime {
+    type Output = VirtTime;
+
+    fn add(self, rhs: VirtTime) -> VirtTime {
+        VirtTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for VirtTime {
+    fn add_assign(&mut self, rhs: VirtTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for VirtTime {
+    type Output = VirtTime;
+
+    fn sub(self, rhs: VirtTime) -> VirtTime {
+        VirtTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Debug for VirtTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for VirtTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// Which accounting bucket a charge belongs to.
+///
+/// The paper's tables split execution time on the root node into the time
+/// spent running application code ("User") and the time spent running Munin
+/// code ("System"); the simulator keeps the same split per node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimeKind {
+    /// Application (user program) computation.
+    User,
+    /// Runtime (Munin / message-passing library) overhead.
+    System,
+    /// Time spent blocked waiting (for a message, lock, or barrier).
+    Wait,
+}
+
+#[derive(Default)]
+struct ClockInner {
+    now_ns: AtomicU64,
+    user_ns: AtomicU64,
+    system_ns: AtomicU64,
+    wait_ns: AtomicU64,
+}
+
+/// A per-node virtual clock, shareable between the node's user thread and its
+/// runtime service thread.
+///
+/// The clock only moves forward. `advance` charges a cost to a bucket and
+/// moves the clock; `advance_to` models waiting until some instant (e.g. the
+/// arrival of a message) and records the gap as wait time.
+#[derive(Clone, Default)]
+pub struct NodeClock {
+    inner: Arc<ClockInner>,
+}
+
+impl NodeClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time of this node.
+    pub fn now(&self) -> VirtTime {
+        VirtTime(self.inner.now_ns.load(Ordering::SeqCst))
+    }
+
+    /// Charges `cost` to the given bucket and advances the clock.
+    pub fn advance(&self, kind: TimeKind, cost: VirtTime) {
+        let ns = cost.as_nanos();
+        if ns == 0 {
+            return;
+        }
+        self.inner.now_ns.fetch_add(ns, Ordering::SeqCst);
+        self.bucket(kind).fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Moves the clock forward to `target` if it is in the future, charging
+    /// the gap to the given bucket (normally [`TimeKind::Wait`]).
+    ///
+    /// Returns the amount of time the clock actually moved.
+    pub fn advance_to(&self, kind: TimeKind, target: VirtTime) -> VirtTime {
+        let mut waited = 0u64;
+        let target_ns = target.as_nanos();
+        loop {
+            let cur = self.inner.now_ns.load(Ordering::SeqCst);
+            if target_ns <= cur {
+                break;
+            }
+            match self.inner.now_ns.compare_exchange(
+                cur,
+                target_ns,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    waited = target_ns - cur;
+                    break;
+                }
+                Err(_) => continue,
+            }
+        }
+        if waited > 0 {
+            self.bucket(kind).fetch_add(waited, Ordering::SeqCst);
+        }
+        VirtTime(waited)
+    }
+
+    /// Total time charged as user computation.
+    pub fn user_time(&self) -> VirtTime {
+        VirtTime(self.inner.user_ns.load(Ordering::SeqCst))
+    }
+
+    /// Total time charged as runtime (system) overhead.
+    pub fn system_time(&self) -> VirtTime {
+        VirtTime(self.inner.system_ns.load(Ordering::SeqCst))
+    }
+
+    /// Total time spent waiting.
+    pub fn wait_time(&self) -> VirtTime {
+        VirtTime(self.inner.wait_ns.load(Ordering::SeqCst))
+    }
+
+    fn bucket(&self, kind: TimeKind) -> &AtomicU64 {
+        match kind {
+            TimeKind::User => &self.inner.user_ns,
+            TimeKind::System => &self.inner.system_ns,
+            TimeKind::Wait => &self.inner.wait_ns,
+        }
+    }
+}
+
+impl fmt::Debug for NodeClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NodeClock")
+            .field("now", &self.now())
+            .field("user", &self.user_time())
+            .field("system", &self.system_time())
+            .field("wait", &self.wait_time())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virt_time_conversions() {
+        assert_eq!(VirtTime::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(VirtTime::from_millis(2).as_micros(), 2_000);
+        assert_eq!(VirtTime::from_secs(1).as_millis(), 1_000);
+        assert!((VirtTime::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn virt_time_arithmetic() {
+        let a = VirtTime::from_nanos(10);
+        let b = VirtTime::from_nanos(4);
+        assert_eq!((a + b).as_nanos(), 14);
+        assert_eq!((a - b).as_nanos(), 6);
+        assert_eq!(a.max(b), a);
+        assert_eq!(b.saturating_sub(a), VirtTime::ZERO);
+    }
+
+    #[test]
+    fn virt_time_from_f64_saturates() {
+        assert_eq!(VirtTime::from_nanos_f64(-5.0), VirtTime::ZERO);
+        assert_eq!(VirtTime::from_nanos_f64(2.4).as_nanos(), 2);
+        assert_eq!(VirtTime::from_nanos_f64(2.6).as_nanos(), 3);
+    }
+
+    #[test]
+    fn clock_advances_and_accounts() {
+        let clock = NodeClock::new();
+        clock.advance(TimeKind::User, VirtTime::from_micros(5));
+        clock.advance(TimeKind::System, VirtTime::from_micros(3));
+        assert_eq!(clock.now().as_micros(), 8);
+        assert_eq!(clock.user_time().as_micros(), 5);
+        assert_eq!(clock.system_time().as_micros(), 3);
+    }
+
+    #[test]
+    fn clock_advance_to_only_moves_forward() {
+        let clock = NodeClock::new();
+        clock.advance(TimeKind::User, VirtTime::from_micros(10));
+        let waited = clock.advance_to(TimeKind::Wait, VirtTime::from_micros(4));
+        assert_eq!(waited, VirtTime::ZERO);
+        let waited = clock.advance_to(TimeKind::Wait, VirtTime::from_micros(25));
+        assert_eq!(waited.as_micros(), 15);
+        assert_eq!(clock.now().as_micros(), 25);
+        assert_eq!(clock.wait_time().as_micros(), 15);
+    }
+
+    #[test]
+    fn clock_is_shared_between_clones() {
+        let clock = NodeClock::new();
+        let other = clock.clone();
+        other.advance(TimeKind::System, VirtTime::from_nanos(42));
+        assert_eq!(clock.now().as_nanos(), 42);
+    }
+
+    #[test]
+    fn zero_advance_is_noop() {
+        let clock = NodeClock::new();
+        clock.advance(TimeKind::User, VirtTime::ZERO);
+        assert_eq!(clock.now(), VirtTime::ZERO);
+    }
+}

@@ -1,0 +1,70 @@
+//! Real virtual-memory write-fault detection: the mechanism Munin's delayed
+//! update queue is built on, implemented with `mmap`/`mprotect` and a
+//! `SIGSEGV` handler.
+//!
+//! The Munin prototype "uses the virtual memory hardware to detect and
+//! enqueue changes to objects": shared objects are write-protected, the
+//! first write takes a protection fault, the fault handler makes a *twin*
+//! copy of the object, removes the protection, and resumes the thread. The
+//! simulated runtime in `munin-core` models this with an explicit access
+//! check; this crate demonstrates (and measures) the real thing on Linux.
+//!
+//! # Example
+//!
+//! ```
+//! # #[cfg(unix)] {
+//! use munin_vm::ProtectedRegion;
+//!
+//! let mut region = ProtectedRegion::new(4).unwrap();
+//! region.protect_all().unwrap();
+//! // SAFETY: offset 10 is inside the 4-page region mapped above.
+//! unsafe { std::ptr::write_volatile(region.base_ptr().add(10), 42u8) };
+//! assert_eq!(region.dirty_pages(), vec![0]);
+//! // The twin holds the pre-write contents of the page.
+//! assert_eq!(region.twin(0).unwrap()[10], 0);
+//! # }
+//! ```
+//!
+//! # Limitations
+//!
+//! The fault handler is installed process-wide for `SIGSEGV`; faults that do
+//! not fall inside a registered region are forwarded to the previously
+//! installed handler (normally producing the usual crash). Twins are written
+//! by the faulting thread inside the signal handler, so a given page must be
+//! written by one thread at a time — the same discipline Munin itself
+//! requires of multiple writers between synchronization points.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+#[cfg(unix)]
+mod unix;
+
+#[cfg(unix)]
+pub use unix::ProtectedRegion;
+
+/// Error type for the VM substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// `mmap` failed.
+    Map(i32),
+    /// `mprotect` failed.
+    Protect(i32),
+    /// Installing the signal handler failed.
+    Handler(i32),
+    /// The global region registry is full.
+    TooManyRegions,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::Map(e) => write!(f, "mmap failed: errno {e}"),
+            VmError::Protect(e) => write!(f, "mprotect failed: errno {e}"),
+            VmError::Handler(e) => write!(f, "sigaction failed: errno {e}"),
+            VmError::TooManyRegions => write!(f, "too many protected regions registered"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}

@@ -1,0 +1,371 @@
+//! Unix implementation of the write-trap substrate.
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Once;
+
+use crate::VmError;
+
+/// Maximum number of simultaneously registered regions. Sixteen comfortably
+/// covers the test suite and benchmarks; registration fails loudly beyond it.
+const MAX_REGIONS: usize = 16;
+
+/// State shared between a [`ProtectedRegion`] and the signal handler.
+///
+/// The handler only reads `base`, `len`, and `page_size`, copies the faulting
+/// page into its twin buffer, sets the dirty flag, and re-enables writes; all
+/// of these operations are async-signal-safe (raw memory copies, atomics, and
+/// the `mprotect` system call).
+struct RegionShared {
+    base: usize,
+    len: usize,
+    page_size: usize,
+    /// One pre-allocated twin buffer per page, written only by the faulting
+    /// thread from inside the handler.
+    twins: Vec<*mut u8>,
+    dirty: Vec<AtomicBool>,
+}
+
+// SAFETY: the raw twin pointers refer to heap buffers owned by the region and
+// are only written by the thread that takes the fault for the corresponding
+// page; the dirty flags are atomics.
+unsafe impl Send for RegionShared {}
+// SAFETY: see above — shared access is confined to atomics and per-page
+// buffers written by a single thread at a time.
+unsafe impl Sync for RegionShared {}
+
+/// Global registry consulted by the signal handler. Slots hold raw pointers
+/// obtained from `Box::into_raw`; a null pointer marks a free slot.
+static REGISTRY: [AtomicPtr<RegionShared>; MAX_REGIONS] =
+    [const { AtomicPtr::new(std::ptr::null_mut()) }; MAX_REGIONS];
+
+static INSTALL_HANDLER: Once = Once::new();
+static PREVIOUS_HANDLER: AtomicUsize = AtomicUsize::new(0);
+
+/// The process-wide SIGSEGV handler: if the faulting address falls inside a
+/// registered region, make a twin of the page, mark it dirty, unprotect it,
+/// and resume; otherwise forward to the previously installed handler.
+extern "C" fn segv_handler(
+    sig: libc::c_int,
+    info: *mut libc::siginfo_t,
+    ctx: *mut libc::c_void,
+) {
+    // SAFETY: `info` is provided by the kernel for a SA_SIGINFO handler.
+    let addr = unsafe { (*info).si_addr() } as usize;
+    for slot in &REGISTRY {
+        let ptr = slot.load(Ordering::Acquire);
+        if ptr.is_null() {
+            continue;
+        }
+        // SAFETY: non-null slots point to live, registered RegionShared
+        // blocks; they are only freed after being removed from the registry.
+        let region = unsafe { &*ptr };
+        if addr < region.base || addr >= region.base + region.len {
+            continue;
+        }
+        let page = (addr - region.base) / region.page_size;
+        let page_base = region.base + page * region.page_size;
+        // SAFETY: the page lies inside the mapped region; the twin buffer was
+        // allocated with the page size. The page is currently readable
+        // (PROT_READ), so copying from it is permitted.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                page_base as *const u8,
+                region.twins[page],
+                region.page_size,
+            );
+        }
+        region.dirty[page].store(true, Ordering::Release);
+        // SAFETY: page_base/page_size describe one page of our own mapping.
+        let rc = unsafe {
+            libc::mprotect(
+                page_base as *mut libc::c_void,
+                region.page_size,
+                libc::PROT_READ | libc::PROT_WRITE,
+            )
+        };
+        if rc == 0 {
+            return;
+        }
+        break;
+    }
+    // Not ours (or mprotect failed): forward to the previous handler, or
+    // restore the default disposition and let the fault re-raise.
+    let prev = PREVIOUS_HANDLER.load(Ordering::Acquire);
+    if prev != 0 && prev != libc::SIG_IGN {
+        if prev == libc::SIG_DFL {
+            // SAFETY: restoring the default disposition for SIGSEGV.
+            unsafe { libc::signal(sig, libc::SIG_DFL) };
+            return;
+        }
+        // SAFETY: `prev` was stored from the previously installed sa_sigaction.
+        let f: extern "C" fn(libc::c_int, *mut libc::siginfo_t, *mut libc::c_void) =
+            unsafe { std::mem::transmute(prev) };
+        f(sig, info, ctx);
+    } else {
+        // SAFETY: restoring the default disposition for SIGSEGV.
+        unsafe { libc::signal(sig, libc::SIG_DFL) };
+    }
+}
+
+fn install_handler() -> Result<(), VmError> {
+    let mut result = Ok(());
+    INSTALL_HANDLER.call_once(|| {
+        // SAFETY: zero-initialised sigaction is a valid starting point; we
+        // fill in the fields the kernel requires before calling sigaction.
+        unsafe {
+            let mut action: libc::sigaction = std::mem::zeroed();
+            action.sa_sigaction = segv_handler as *const () as usize;
+            action.sa_flags = libc::SA_SIGINFO | libc::SA_NODEFER;
+            libc::sigemptyset(&mut action.sa_mask);
+            let mut old: libc::sigaction = std::mem::zeroed();
+            if libc::sigaction(libc::SIGSEGV, &action, &mut old) != 0 {
+                result = Err(VmError::Handler(*libc::__errno_location()));
+                return;
+            }
+            PREVIOUS_HANDLER.store(old.sa_sigaction, Ordering::Release);
+        }
+    });
+    result
+}
+
+/// A page-aligned, write-protectable memory region with twin-on-first-write
+/// semantics — the real-VM counterpart of Munin's DUQ write detection.
+pub struct ProtectedRegion {
+    shared: *mut RegionShared,
+    slot: usize,
+    pages: usize,
+    /// Owned twin buffers (the raw pointers in `RegionShared` point here).
+    twin_storage: Vec<Vec<u8>>,
+}
+
+impl ProtectedRegion {
+    /// Maps `pages` system pages of zeroed memory and registers them with the
+    /// fault handler. The region starts read-write (unprotected).
+    pub fn new(pages: usize) -> Result<Self, VmError> {
+        install_handler()?;
+        // SAFETY: querying the system page size has no preconditions.
+        let page_size = unsafe { libc::sysconf(libc::_SC_PAGESIZE) } as usize;
+        let len = pages * page_size;
+        // SAFETY: anonymous private mapping with no address hint.
+        let base = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if base == libc::MAP_FAILED {
+            // SAFETY: reading errno after a failed libc call.
+            return Err(VmError::Map(unsafe { *libc::__errno_location() }));
+        }
+        let mut twin_storage: Vec<Vec<u8>> = (0..pages).map(|_| vec![0u8; page_size]).collect();
+        let twins: Vec<*mut u8> = twin_storage.iter_mut().map(|t| t.as_mut_ptr()).collect();
+        let shared = Box::into_raw(Box::new(RegionShared {
+            base: base as usize,
+            len,
+            page_size,
+            twins,
+            dirty: (0..pages).map(|_| AtomicBool::new(false)).collect(),
+        }));
+        // Register in a free slot.
+        let mut slot = usize::MAX;
+        for (i, s) in REGISTRY.iter().enumerate() {
+            if s.compare_exchange(
+                std::ptr::null_mut(),
+                shared,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+            {
+                slot = i;
+                break;
+            }
+        }
+        if slot == usize::MAX {
+            // SAFETY: unmapping the region we just mapped; reclaiming the box.
+            unsafe {
+                libc::munmap(base, len);
+                drop(Box::from_raw(shared));
+            }
+            return Err(VmError::TooManyRegions);
+        }
+        Ok(ProtectedRegion {
+            shared,
+            slot,
+            pages,
+            twin_storage,
+        })
+    }
+
+    fn shared(&self) -> &RegionShared {
+        // SAFETY: `self.shared` stays valid until Drop.
+        unsafe { &*self.shared }
+    }
+
+    /// The system page size used by this region.
+    pub fn page_size(&self) -> usize {
+        self.shared().page_size
+    }
+
+    /// Number of pages in the region.
+    pub fn pages(&self) -> usize {
+        self.pages
+    }
+
+    /// Base pointer of the mapped region.
+    pub fn base_ptr(&self) -> *mut u8 {
+        self.shared().base as *mut u8
+    }
+
+    /// Write-protects every page and clears the dirty state, so the next
+    /// write to each page traps and produces a fresh twin — what Munin does
+    /// after every DUQ flush.
+    pub fn protect_all(&mut self) -> Result<(), VmError> {
+        let shared = self.shared();
+        for d in &shared.dirty {
+            d.store(false, Ordering::Release);
+        }
+        // SAFETY: protecting our own mapping.
+        let rc = unsafe {
+            libc::mprotect(shared.base as *mut libc::c_void, shared.len, libc::PROT_READ)
+        };
+        if rc != 0 {
+            // SAFETY: reading errno after a failed libc call.
+            return Err(VmError::Protect(unsafe { *libc::__errno_location() }));
+        }
+        Ok(())
+    }
+
+    /// Indices of the pages written since the last [`ProtectedRegion::protect_all`].
+    pub fn dirty_pages(&self) -> Vec<usize> {
+        self.shared()
+            .dirty
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.load(Ordering::Acquire))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The twin (pre-write snapshot) of a page, if the page has trapped since
+    /// the last protection pass.
+    pub fn twin(&self, page: usize) -> Option<&[u8]> {
+        if self.shared().dirty[page].load(Ordering::Acquire) {
+            Some(&self.twin_storage[page])
+        } else {
+            None
+        }
+    }
+
+    /// Current contents of a page.
+    pub fn page(&self, page: usize) -> &[u8] {
+        let shared = self.shared();
+        // SAFETY: the page lies inside the mapping and is at least readable.
+        unsafe {
+            std::slice::from_raw_parts(
+                (shared.base + page * shared.page_size) as *const u8,
+                shared.page_size,
+            )
+        }
+    }
+}
+
+impl Drop for ProtectedRegion {
+    fn drop(&mut self) {
+        REGISTRY[self.slot].store(std::ptr::null_mut(), Ordering::Release);
+        let shared = self.shared();
+        // SAFETY: unmapping the region this struct owns; the registry no
+        // longer references it, and signal handlers racing with this drop are
+        // prevented by the caller not writing to the region while dropping it.
+        unsafe {
+            libc::munmap(shared.base as *mut libc::c_void, shared.len);
+            drop(Box::from_raw(self.shared));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_trap_creates_twin_and_dirty_bit() {
+        let mut region = ProtectedRegion::new(4).unwrap();
+        // Pre-fill page 2 with a recognizable pattern while writable.
+        // SAFETY: offsets lie inside the mapping.
+        unsafe {
+            for i in 0..region.page_size() {
+                std::ptr::write_volatile(
+                    region.base_ptr().add(2 * region.page_size() + i),
+                    0xAB,
+                );
+            }
+        }
+        region.protect_all().unwrap();
+        assert!(region.dirty_pages().is_empty());
+        // SAFETY: writing one byte inside page 2 of the mapping.
+        unsafe {
+            std::ptr::write_volatile(region.base_ptr().add(2 * region.page_size() + 5), 0x11);
+        }
+        assert_eq!(region.dirty_pages(), vec![2]);
+        // The twin preserves the pre-write contents; the page has the new byte.
+        assert_eq!(region.twin(2).unwrap()[5], 0xAB);
+        assert_eq!(region.page(2)[5], 0x11);
+        assert_eq!(region.page(2)[6], 0xAB);
+        // Untouched pages have no twin.
+        assert!(region.twin(0).is_none());
+    }
+
+    #[test]
+    fn subsequent_writes_do_not_retrap() {
+        let mut region = ProtectedRegion::new(1).unwrap();
+        region.protect_all().unwrap();
+        // SAFETY: offsets 0 and 1 are inside the single mapped page.
+        unsafe {
+            std::ptr::write_volatile(region.base_ptr(), 1u8);
+            std::ptr::write_volatile(region.base_ptr().add(1), 2u8);
+        }
+        assert_eq!(region.dirty_pages(), vec![0]);
+        // The twin reflects the state before the *first* write only.
+        assert_eq!(region.twin(0).unwrap()[0], 0);
+        assert_eq!(region.twin(0).unwrap()[1], 0);
+    }
+
+    #[test]
+    fn reprotect_resets_dirty_state() {
+        let mut region = ProtectedRegion::new(2).unwrap();
+        region.protect_all().unwrap();
+        // SAFETY: writing inside page 1.
+        unsafe { std::ptr::write_volatile(region.base_ptr().add(region.page_size()), 7u8) };
+        assert_eq!(region.dirty_pages(), vec![1]);
+        region.protect_all().unwrap();
+        assert!(region.dirty_pages().is_empty());
+        // A new write traps again and snapshots the *current* contents.
+        // SAFETY: same page as above.
+        unsafe { std::ptr::write_volatile(region.base_ptr().add(region.page_size()), 9u8) };
+        assert_eq!(region.twin(1).unwrap()[0], 7);
+    }
+
+    #[test]
+    fn diffing_a_twin_matches_the_core_encoder_expectations() {
+        // The twin produced by the trap is exactly what munin-core's diff
+        // encoder consumes: only the written word differs.
+        let mut region = ProtectedRegion::new(1).unwrap();
+        region.protect_all().unwrap();
+        // SAFETY: writing a u32 at word 3 of the mapped page.
+        unsafe {
+            let p = region.base_ptr().add(12) as *mut u32;
+            std::ptr::write_volatile(p, 0xDEAD_BEEF);
+        }
+        let twin = region.twin(0).unwrap().to_vec();
+        let current = region.page(0).to_vec();
+        let changed: Vec<usize> = (0..current.len() / 4)
+            .filter(|w| current[w * 4..w * 4 + 4] != twin[w * 4..w * 4 + 4])
+            .collect();
+        assert_eq!(changed, vec![3]);
+    }
+}

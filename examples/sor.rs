@@ -1,0 +1,47 @@
+//! The paper's Successive Over-Relaxation program (Table 5): the grid is
+//! annotated `producer_consumer`; after the first iteration only the boundary
+//! rows move between adjacent sections, exactly like the hand-coded
+//! message-passing version.
+//!
+//! Run with: `cargo run --release --example sor [-- <procs> [iterations]]`
+
+use munin::apps::sor::{self, SorParams};
+use munin::CostModel;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let procs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let iterations: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+
+    let mut params = SorParams::paper(procs);
+    params.rows = 512;
+    params.cols = 256;
+    params.iterations = iterations;
+    let cost = CostModel::sun_ethernet_1991();
+
+    println!(
+        "SOR, {}x{} grid, {} iterations, {} processors",
+        params.rows, params.cols, iterations, procs
+    );
+    let (munin_run, g_munin) = sor::run_munin(params, cost.clone()).expect("munin run");
+    let (dm_run, g_dm) = sor::run_message_passing(params, cost).expect("mp run");
+    let max_err = g_munin
+        .iter()
+        .zip(&g_dm)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_err < 1e-9, "grids must agree (max error {max_err})");
+
+    println!(
+        "  message passing : {:>8.2} s ({} messages)",
+        dm_run.secs(),
+        dm_run.net.total.msgs
+    );
+    println!(
+        "  Munin           : {:>8.2} s ({} messages, {} update msgs)",
+        munin_run.secs(),
+        munin_run.net.total.msgs,
+        munin_run.net.class("update").msgs
+    );
+    println!("  Munin overhead  : {:+.1} %", munin_run.percent_diff(&dm_run));
+}

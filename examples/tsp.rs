@@ -1,0 +1,28 @@
+//! Branch-and-bound TSP on Munin: the global bound is a `reduction` object
+//! maintained with Fetch_and_min, the distance table is `read_only`, and the
+//! best tour is a `migratory` record that travels with its lock.
+//!
+//! Run with: `cargo run --release --example tsp [-- <procs> [cities]]`
+
+use munin::apps::tsp::{self, TspParams};
+use munin::CostModel;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let procs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let cities: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+
+    let params = TspParams { cities, procs };
+    println!("TSP branch-and-bound, {cities} cities, {procs} processors");
+    let (run, result) = tsp::run_munin(params, CostModel::sun_ethernet_1991()).expect("tsp run");
+    let reference = tsp::serial(cities);
+    println!("  best tour length : {} (serial reference {})", result.best_len, reference.best_len);
+    println!("  best tour        : {:?}", result.best_tour);
+    println!("  virtual time     : {:.3} s", run.secs());
+    println!(
+        "  Fetch_and_min requests: {}, lock grants: {}",
+        run.net.class("reduce_request").msgs,
+        run.net.class("lock_grant").msgs
+    );
+    assert_eq!(result.best_len, reference.best_len);
+}

@@ -1,0 +1,27 @@
+//! Facade crate for the Munin reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and downstream
+//! users can depend on a single `munin` crate:
+//!
+//! * [`dsm`] — the Munin distributed shared memory runtime (`munin-core`).
+//! * [`sim`] — the simulated cluster substrate (`munin-sim`).
+//! * [`msgpass`] — the hand-coded message-passing baseline (`munin-msgpass`).
+//! * [`apps`] — the paper's application programs (`munin-apps`).
+//! * [`vm`] — the real `mprotect`/`SIGSEGV` write-trap substrate (`munin-vm`).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for the
+//! mapping from the paper's tables to the benchmark harnesses.
+
+#![warn(missing_docs)]
+
+pub use munin_apps as apps;
+pub use munin_core as dsm;
+pub use munin_msgpass as msgpass;
+pub use munin_sim as sim;
+pub use munin_vm as vm;
+
+pub use munin_core::{
+    BarrierId, LockId, MuninConfig, MuninProgram, MuninReport, SharedVar, SharingAnnotation,
+    WorkerCtx,
+};
+pub use munin_sim::CostModel;

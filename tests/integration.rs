@@ -1,0 +1,232 @@
+//! Cross-crate integration tests: Munin programs, the message-passing
+//! baseline, and the serial references must all agree; the runtime errors the
+//! paper describes must be detected; the advanced hints must behave as
+//! documented; and the data motion must match the paper's qualitative claims.
+
+use munin::apps::{matmul, sor, tsp, workloads};
+use munin::dsm::MuninError;
+use munin::{CostModel, MuninConfig, MuninProgram, SharingAnnotation};
+
+const FAST: fn() -> CostModel = CostModel::fast_test;
+
+#[test]
+fn matmul_munin_mp_and_serial_agree_across_processor_counts() {
+    let n = 20;
+    let reference = matmul::serial(n);
+    for procs in [1, 2, 5] {
+        let params = matmul::MatmulParams::small(n, procs);
+        let (_m, c) = matmul::run_munin(params, FAST()).unwrap();
+        assert_eq!(c, reference, "munin result at {procs} procs");
+        let (_m, c) = matmul::run_message_passing(params, FAST()).unwrap();
+        assert_eq!(c, reference, "message passing result at {procs} procs");
+    }
+}
+
+#[test]
+fn sor_munin_mp_and_serial_agree() {
+    let (rows, cols, iters) = (20, 12, 3);
+    let reference = sor::serial(rows, cols, iters);
+    for procs in [1, 2, 4] {
+        let params = sor::SorParams::small(rows, cols, iters, procs);
+        let (_m, grid) = sor::run_munin(params, FAST()).unwrap();
+        let max_err = grid
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 1e-9, "munin SOR at {procs} procs, max error {max_err}");
+        let (_m, grid) = sor::run_message_passing(params, FAST()).unwrap();
+        let max_err = grid
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 1e-9, "MP SOR at {procs} procs, max error {max_err}");
+    }
+}
+
+#[test]
+fn paper_cost_model_runs_end_to_end_at_small_scale() {
+    // The same programs run under the 1991 cost model (as the benches do),
+    // just at a reduced problem size so the test stays quick.
+    let mut params = matmul::MatmulParams::paper(4);
+    params.n = 32;
+    let (munin_run, c) = matmul::run_munin(params, CostModel::sun_ethernet_1991()).unwrap();
+    let (dm_run, c2) = matmul::run_message_passing(params, CostModel::sun_ethernet_1991()).unwrap();
+    assert_eq!(c, c2);
+    assert_eq!(c, matmul::serial(32));
+    // Virtual times are nonzero and of the same order of magnitude.
+    assert!(munin_run.secs() > 0.0 && dm_run.secs() > 0.0);
+    assert!(munin_run.secs() < dm_run.secs() * 10.0);
+}
+
+#[test]
+fn tsp_exercises_reduction_migratory_and_lock_association() {
+    let params = tsp::TspParams { cities: 7, procs: 2 };
+    let (run, result) = tsp::run_munin(params, FAST()).unwrap();
+    assert_eq!(result.best_len, tsp::serial(7).best_len);
+    assert!(run.net.class("reduce_request").msgs > 0);
+    // The distance table is replicated on demand to the non-root worker.
+    assert!(run.net.class("object_data").msgs > 0);
+}
+
+#[test]
+fn write_to_read_only_variable_is_detected() {
+    let mut prog = MuninProgram::new(MuninConfig::fast_test(1));
+    let ro = prog.declare::<i32>("ro", 8, SharingAnnotation::ReadOnly);
+    let report = prog.run(move |ctx| ctx.write(&ro, 3, 1)).unwrap();
+    assert!(matches!(report.results[0], Err(MuninError::ReadOnlyWrite(_))));
+    assert_eq!(report.stats_total().runtime_errors, 1);
+}
+
+#[test]
+fn out_of_bounds_accesses_are_rejected_with_context() {
+    let mut prog = MuninProgram::new(MuninConfig::fast_test(1));
+    let v = prog.declare::<i64>("v", 4, SharingAnnotation::WriteShared);
+    let report = prog
+        .run(move |ctx| {
+            let err = ctx.read(&v, 9).unwrap_err();
+            assert!(matches!(err, MuninError::OutOfBounds { var: "v", .. }));
+            ctx.write(&v, 0, 5)?;
+            ctx.read(&v, 0)
+        })
+        .unwrap();
+    assert_eq!(*report.results[0].as_ref().unwrap(), 5);
+}
+
+#[test]
+fn change_annotation_switches_protocol_mid_run() {
+    let mut prog = MuninProgram::new(MuninConfig::fast_test(2));
+    let v = prog.declare::<i32>("v", 16, SharingAnnotation::WriteShared);
+    let sync = prog.create_barrier("sync");
+    prog.user_init(move |init| init.write_slice(&v, 0, &[0; 16]).unwrap());
+    let report = prog
+        .run(move |ctx| {
+            // Phase 1: both nodes write disjoint halves under write-shared.
+            let me = ctx.node_id();
+            ctx.write(&v, me * 8, me as i32 + 1)?;
+            ctx.wait_at_barrier(sync)?;
+            // Phase 2: switch to conventional and have node 0 read both halves.
+            ctx.change_annotation(&v, SharingAnnotation::Conventional)?;
+            ctx.wait_at_barrier(sync)?;
+            if me == 0 {
+                Ok((ctx.read(&v, 0)?, ctx.read(&v, 8)?))
+            } else {
+                Ok((0, 0))
+            }
+        })
+        .unwrap();
+    assert_eq!(*report.results[0].as_ref().unwrap(), (1, 2));
+}
+
+#[test]
+fn flush_and_pre_acquire_hints_work() {
+    let mut prog = MuninProgram::new(MuninConfig::fast_test(2));
+    let v = prog.declare::<i64>("v", 32, SharingAnnotation::ProducerConsumer);
+    let sync = prog.create_barrier("sync");
+    prog.user_init(move |init| init.write_slice(&v, 0, &[0; 32]).unwrap());
+    let report = prog
+        .run(move |ctx| {
+            if ctx.node_id() == 1 {
+                // Consumer: pre-fetch the producer's region before it is
+                // needed, then wait for the producer's flush.
+                ctx.pre_acquire(&v, 0, 32)?;
+            }
+            ctx.wait_at_barrier(sync)?;
+            if ctx.node_id() == 0 {
+                for i in 0..16 {
+                    ctx.write(&v, i, i as i64 * 3)?;
+                }
+                // Push the buffered writes out explicitly (Flush hint) before
+                // the barrier would have done it anyway.
+                ctx.flush()?;
+            }
+            ctx.wait_at_barrier(sync)?;
+            let sum: i64 = ctx.read_slice(&v, 0, 16)?.iter().sum();
+            Ok(sum)
+        })
+        .unwrap();
+    let expected: i64 = (0..16).map(|i| i * 3).sum();
+    for r in &report.results {
+        assert_eq!(*r.as_ref().unwrap(), expected);
+    }
+}
+
+#[test]
+fn invalidate_hint_returns_data_to_the_home_node() {
+    let mut prog = MuninProgram::new(MuninConfig::fast_test(2));
+    let v = prog.declare::<i64>("v", 8, SharingAnnotation::WriteShared);
+    let sync = prog.create_barrier("sync");
+    prog.user_init(move |init| init.write_slice(&v, 0, &[0; 8]).unwrap());
+    let report = prog
+        .run(move |ctx| {
+            if ctx.node_id() == 1 {
+                ctx.write(&v, 0, 99)?;
+                ctx.invalidate(v.id())?;
+            }
+            ctx.wait_at_barrier(sync)?;
+            if ctx.node_id() == 0 {
+                ctx.read(&v, 0)
+            } else {
+                Ok(0)
+            }
+        })
+        .unwrap();
+    assert_eq!(*report.results[0].as_ref().unwrap(), 99);
+}
+
+#[test]
+fn matmul_data_motion_matches_the_papers_description() {
+    // "In the Munin version, after the workers have acquired their input
+    // data, they execute independently without communication, as in the
+    // message passing version. Furthermore the various parts of the output
+    // matrix are sent from the node where they are computed to the root."
+    let params = matmul::MatmulParams::small(24, 4);
+    let (m, _c) = matmul::run_munin(params, FAST()).unwrap();
+    // Result updates: one per non-root worker.
+    assert_eq!(m.net.class("update").msgs, 3);
+    // No invalidations are needed anywhere in the multi-protocol version.
+    assert_eq!(m.net.class("invalidate").msgs, 0);
+}
+
+#[test]
+fn sor_uses_fewer_messages_with_multiple_protocols_than_forced_conventional() {
+    let small = sor::SorParams::small(32, 16, 5, 4);
+    let (multi, _) = sor::run_munin(small, FAST()).unwrap();
+    let mut forced = small;
+    forced.annotation_override = Some(SharingAnnotation::Conventional);
+    let (conv, _) = sor::run_munin(forced, FAST()).unwrap();
+    assert!(
+        conv.net.class("object_fetch").msgs > multi.net.class("object_fetch").msgs,
+        "conventional must re-fault boundary pages every iteration"
+    );
+}
+
+#[test]
+fn workload_partition_is_exhaustive_for_paper_sizes() {
+    for (total, parts) in [(400, 16), (1024, 16), (400, 7)] {
+        let mut covered = 0;
+        for idx in 0..parts {
+            let (lo, hi) = workloads::partition(total, parts, idx);
+            covered += hi - lo;
+        }
+        assert_eq!(covered, total);
+    }
+}
+
+#[test]
+fn single_object_hint_reduces_access_misses() {
+    let n = 48;
+    let base = matmul::MatmulParams::small(n, 3);
+    let (plain, c1) = matmul::run_munin(base, FAST()).unwrap();
+    let mut optimized = base;
+    optimized.single_object_input = true;
+    let (single, c2) = matmul::run_munin(optimized, FAST()).unwrap();
+    assert_eq!(c1, c2);
+    let plain_fetches = plain.net.class("object_fetch").msgs;
+    let single_fetches = single.net.class("object_fetch").msgs;
+    assert!(
+        single_fetches < plain_fetches,
+        "SingleObject must reduce access misses: {single_fetches} vs {plain_fetches}"
+    );
+}
