@@ -419,7 +419,7 @@ mod tests {
         }
         // The row adjacent to the hot boundary is warmer than the one
         // adjacent to the cold boundary.
-        assert!(grid[1 * 16 + 8] > grid[14 * 16 + 8]);
+        assert!(grid[16 + 8] > grid[14 * 16 + 8]);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use std::time::Instant;
 
 fn main() {
-    #[cfg(unix)]
+    #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
     {
         use munin_vm::ProtectedRegion;
         let pages = 64;

@@ -161,6 +161,12 @@ pub fn format_protocol_table(rows: &[ProtocolRow]) -> String {
     out
 }
 
+/// Predicate selecting the changed words of a modification pattern.
+type PatternFn = fn(usize) -> bool;
+
+/// Projection of one Table 2 component out of a breakdown row.
+type ComponentFn = fn(&DuqBreakdown) -> VirtTime;
+
 /// Component breakdown of pushing one object through the DUQ (Table 2).
 #[derive(Clone, Debug)]
 pub struct DuqBreakdown {
@@ -193,7 +199,7 @@ impl DuqBreakdown {
 /// and every other word changed (the encoder's worst case).
 pub fn duq_breakdown(size: usize, cost: &CostModel) -> Vec<DuqBreakdown> {
     let words = size / 4;
-    let patterns: [(&'static str, fn(usize) -> bool); 3] = [
+    let patterns: [(&'static str, PatternFn); 3] = [
         ("one word", |w| w == 7),
         ("all words", |_| true),
         ("alternate words", |w| w % 2 == 0),
@@ -231,7 +237,7 @@ pub fn format_duq_table(rows: &[DuqBreakdown]) -> String {
         "{:<16} {:>10} {:>10} {:>16}\n",
         "Component", "One Word", "All Words", "Alternate Words"
     ));
-    let components: [(&str, fn(&DuqBreakdown) -> VirtTime); 6] = [
+    let components: [(&str, ComponentFn); 6] = [
         ("Handle fault", |r| r.handle_fault),
         ("Copy object", |r| r.copy),
         ("Encode object", |r| r.encode),

@@ -57,7 +57,8 @@ use crate::sync::{BarrierId, LockId};
 /// Element types that may live in Munin shared memory.
 ///
 /// Elements are stored little-endian in the shared data segment so the
-/// word-granularity diff of the delayed update queue is well defined.
+/// word-granularity flat diff of the delayed update queue (see
+/// [`crate::diff`] and `DESIGN.md`) is well defined.
 pub trait Shareable: Copy + Send + Sync + 'static {
     /// Size of one element in bytes.
     const ELEM_SIZE: usize;

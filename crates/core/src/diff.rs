@@ -1,4 +1,4 @@
-//! Twins and run-length encoded diffs.
+//! Twins and run-length encoded diffs, in a flat zero-copy wire format.
 //!
 //! When a thread first writes to an object whose protocol allows multiple
 //! writers, Munin makes a copy of the object — its *twin*. When the delayed
@@ -8,63 +8,312 @@
 //! identical words, the number of differing words that follow, and the data
 //! associated with those differing words." (Section 3.3.)
 //!
-//! This module implements exactly that encoding, its decoder, and merging of
-//! an encoded diff into another copy of the object.
+//! # Wire format
+//!
+//! A [`Diff`] is a single contiguous buffer — exactly the bytes that would go
+//! on the wire — with this layout (all fields little-endian `u32`):
+//!
+//! ```text
+//! ┌───────┬──────┬───────┬─────────────────┬──────┬───────┬──────────┬──
+//! │ words │ skip │ count │ count*4 data …  │ skip │ count │ data …   │ …
+//! └───────┴──────┴───────┴─────────────────┴──────┴───────┴──────────┴──
+//!   header └──────────── run 0 ───────────┘ └──────────── run 1 ──────…
+//! ```
+//!
+//! * `words` — length of the object in 32-bit words (validates application).
+//! * Each run: `skip` identical words, then `count` differing words whose new
+//!   values follow inline. Runs are maximal: `count > 0` always, and two
+//!   consecutive runs are separated by at least one identical word
+//!   (`skip > 0` for every run but possibly the first).
+//!
+//! Because the encoding *is* the wire representation, sending a diff to N
+//! destinations shares one buffer behind an [`Arc`] instead of deep-cloning
+//! nested run vectors, and [`apply`] copies whole runs with
+//! `copy_from_slice` straight off the buffer.
+//!
+//! # Block-skip encoding
+//!
+//! [`DiffScratch::encode`] compares [`BLOCK_WORDS`]-word (128-byte) blocks
+//! via slice equality first — `memcmp` speed — and only drops to `u64` lanes
+//! and then single words inside a block that differs. Identical regions, the
+//! common case for sparse diffs like SOR edge exchanges, are skipped at
+//! memory bandwidth. This is safe because block comparison is only used to
+//! *find* the next differing word; run boundaries are always determined at
+//! word granularity, so the output is bit-identical to the word-by-word
+//! reference encoder ([`encode_reference`]).
+//!
+//! See `DESIGN.md` for the full layout rationale and invariants.
+
+use std::sync::Arc;
 
 use crate::error::{MuninError, Result};
 use crate::object::ObjectId;
 
-/// One run of the run-length encoding: `skip` identical words followed by
-/// `data.len()` differing words whose new values are `data`.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Run {
-    /// Number of identical (unchanged) words preceding the differing words.
-    pub skip: u32,
-    /// New values of the differing words.
-    pub data: Vec<u32>,
+/// Words per comparison block: 32 words = 128 bytes.
+pub const BLOCK_WORDS: usize = 32;
+
+/// Byte size of the `words` header that prefixes every encoded diff.
+pub const HEADER_LEN: usize = 4;
+
+/// Byte size of a run header (`skip` + `count`).
+pub const RUN_HEADER_LEN: usize = 8;
+
+/// A run-length encoded diff of an object against its twin, stored in its
+/// flat wire format behind an [`Arc`] so multi-destination fan-out shares
+/// one encoding.
+#[derive(Clone, Debug)]
+pub struct Diff {
+    bytes: Arc<[u8]>,
 }
 
-/// A run-length encoded diff of an object against its twin.
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
-pub struct Diff {
-    /// The runs, in object order.
-    pub runs: Vec<Run>,
-    /// Length of the object in words (needed to validate application).
-    pub words: u32,
+impl PartialEq for Diff {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes == other.bytes
+    }
 }
+
+impl Eq for Diff {}
 
 impl Diff {
+    /// An empty diff (no changed words) for an object of `words` words.
+    pub fn empty(words: u32) -> Diff {
+        Diff {
+            bytes: Arc::from(words.to_le_bytes().as_slice()),
+        }
+    }
+
+    /// Wraps bytes received from the wire, validating the framing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MuninError::ProtocolViolation`] if the buffer is truncated
+    /// or a run overruns the object length declared in the header.
+    pub fn from_wire(bytes: Arc<[u8]>) -> Result<Diff> {
+        validate(&bytes)?;
+        Ok(Diff { bytes })
+    }
+
+    /// The raw wire bytes of the encoding.
+    pub fn as_wire_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Length of the object in words (needed to validate application).
+    pub fn words(&self) -> u32 {
+        u32::from_le_bytes(self.bytes[..HEADER_LEN].try_into().unwrap())
+    }
+
     /// Whether the diff contains no changed words.
     pub fn is_empty(&self) -> bool {
-        self.runs.iter().all(|r| r.data.is_empty())
+        self.bytes.len() <= HEADER_LEN
     }
 
     /// Total number of differing words carried by the diff.
     pub fn changed_words(&self) -> usize {
-        self.runs.iter().map(|r| r.data.len()).sum()
+        self.runs().map(|r| r.data.len() / 4).sum()
     }
 
     /// Number of runs in the encoding.
     pub fn run_count(&self) -> usize {
-        self.runs.len()
+        self.runs().count()
     }
 
-    /// Size of the encoding on the wire: each run costs two count words plus
-    /// its data words, plus one header word for the total length.
+    /// Size of the encoding on the wire: the buffer length itself (header
+    /// word plus two count words and the data words of every run).
     pub fn encoded_bytes(&self) -> usize {
-        4 + self
-            .runs
-            .iter()
-            .map(|r| 8 + 4 * r.data.len())
-            .sum::<usize>()
+        self.bytes.len()
+    }
+
+    /// Iterates the runs, yielding borrowed views straight off the buffer.
+    pub fn runs(&self) -> Runs<'_> {
+        Runs {
+            rest: &self.bytes[HEADER_LEN..],
+        }
+    }
+
+    /// Whether two diffs share the same underlying buffer (one encoding
+    /// fanned out to several destinations).
+    pub fn shares_buffer(&self, other: &Diff) -> bool {
+        Arc::ptr_eq(&self.bytes, &other.bytes)
     }
 }
 
-/// Reads the object bytes as little-endian 32-bit words.
-fn words_of(bytes: &[u8]) -> impl Iterator<Item = u32> + '_ {
-    bytes
-        .chunks_exact(4)
-        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+/// One run of a [`Diff`], borrowed from the wire buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunRef<'a> {
+    /// Number of identical (unchanged) words preceding the differing words.
+    pub skip: u32,
+    /// New values of the differing words, as word-aligned little-endian
+    /// bytes (`4 * count` long).
+    pub data: &'a [u8],
+}
+
+impl RunRef<'_> {
+    /// The differing words decoded to `u32` values (allocates; use `data`
+    /// directly on hot paths).
+    pub fn words(&self) -> Vec<u32> {
+        self.data
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+}
+
+/// Iterator over the runs of a [`Diff`].
+pub struct Runs<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for Runs<'a> {
+    type Item = RunRef<'a>;
+
+    fn next(&mut self) -> Option<RunRef<'a>> {
+        if self.rest.len() < RUN_HEADER_LEN {
+            return None;
+        }
+        let skip = u32::from_le_bytes(self.rest[0..4].try_into().unwrap());
+        let count = u32::from_le_bytes(self.rest[4..8].try_into().unwrap()) as usize;
+        let data_end = RUN_HEADER_LEN + count * 4;
+        // Diffs are validated on construction, so a well-formed buffer never
+        // truncates mid-run; stop defensively if one somehow does.
+        if self.rest.len() < data_end {
+            self.rest = &[];
+            return None;
+        }
+        let data = &self.rest[RUN_HEADER_LEN..data_end];
+        self.rest = &self.rest[data_end..];
+        Some(RunRef { skip, data })
+    }
+}
+
+/// Checks the framing of an encoded diff buffer, returning the object length
+/// in words.
+fn validate(bytes: &[u8]) -> Result<u32> {
+    if bytes.len() < HEADER_LEN {
+        return Err(MuninError::ProtocolViolation("truncated diff header"));
+    }
+    let words = u32::from_le_bytes(bytes[..HEADER_LEN].try_into().unwrap());
+    let mut pos = HEADER_LEN;
+    let mut word_idx: u64 = 0;
+    while pos < bytes.len() {
+        if bytes.len() - pos < RUN_HEADER_LEN {
+            return Err(MuninError::ProtocolViolation("truncated diff run header"));
+        }
+        let skip = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let count = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        pos += RUN_HEADER_LEN;
+        if count == 0 {
+            // The encoder never emits empty runs; accepting one would let
+            // `is_empty()` disagree with `changed_words()`.
+            return Err(MuninError::ProtocolViolation("empty diff run"));
+        }
+        let data_len = count as usize * 4;
+        if bytes.len() - pos < data_len {
+            return Err(MuninError::ProtocolViolation("truncated diff run data"));
+        }
+        pos += data_len;
+        word_idx += skip as u64 + count as u64;
+        if word_idx > words as u64 {
+            return Err(MuninError::ProtocolViolation("diff run overruns object"));
+        }
+    }
+    Ok(words)
+}
+
+/// Reusable encoding buffer: one per node, so repeated DUQ flushes perform
+/// no per-run heap allocations (the scratch grows to the high-water mark and
+/// stays there).
+#[derive(Debug, Default)]
+pub struct DiffScratch {
+    buf: Vec<u8>,
+}
+
+impl DiffScratch {
+    /// Creates an empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current capacity of the scratch in bytes (observable for tests that
+    /// assert the buffer is reused across flushes).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Computes the run-length encoded diff of `current` against `twin`,
+    /// writing the flat wire format into the reused scratch buffer and
+    /// returning it as a shareable [`Diff`].
+    ///
+    /// Identical regions are skipped with [`BLOCK_WORDS`]-word block
+    /// comparisons (and `u64` lanes inside a differing block); run
+    /// boundaries are resolved at word granularity, so the output is
+    /// identical to [`encode_reference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two buffers differ in length or are not word-aligned;
+    /// objects are always padded to a word multiple when the segment is laid
+    /// out.
+    pub fn encode(&mut self, current: &[u8], twin: &[u8]) -> Diff {
+        assert_eq!(
+            current.len(),
+            twin.len(),
+            "object and twin must be the same size"
+        );
+        assert_eq!(current.len() % 4, 0, "objects are word-aligned");
+        let words = current.len() / 4;
+        let buf = &mut self.buf;
+        buf.clear();
+        buf.extend_from_slice(&(words as u32).to_le_bytes());
+
+        let mut i = 0usize; // word cursor
+        let mut last_end = 0usize; // one past the previous run's last word
+        while i < words {
+            i = next_mismatch(current, twin, i, words);
+            if i == words {
+                break;
+            }
+            let start = i;
+            while i < words && current[i * 4..i * 4 + 4] != twin[i * 4..i * 4 + 4] {
+                i += 1;
+            }
+            buf.extend_from_slice(&((start - last_end) as u32).to_le_bytes());
+            buf.extend_from_slice(&((i - start) as u32).to_le_bytes());
+            buf.extend_from_slice(&current[start * 4..i * 4]);
+            last_end = i;
+        }
+        Diff {
+            bytes: Arc::from(buf.as_slice()),
+        }
+    }
+}
+
+/// Advances `i` to the next word where `current` and `twin` differ, or to
+/// `words` if the tails are identical. Whole [`BLOCK_WORDS`] blocks are
+/// compared with slice equality (memcmp), then `u64` lanes, then words.
+#[inline]
+fn next_mismatch(current: &[u8], twin: &[u8], mut i: usize, words: usize) -> usize {
+    const BLOCK_BYTES: usize = BLOCK_WORDS * 4;
+    while i + BLOCK_WORDS <= words {
+        let at = i * 4;
+        if current[at..at + BLOCK_BYTES] != twin[at..at + BLOCK_BYTES] {
+            break;
+        }
+        i += BLOCK_WORDS;
+    }
+    while i + 2 <= words {
+        let at = i * 4;
+        let a = u64::from_le_bytes(current[at..at + 8].try_into().unwrap());
+        let b = u64::from_le_bytes(twin[at..at + 8].try_into().unwrap());
+        if a != b {
+            break;
+        }
+        i += 2;
+    }
+    while i < words && current[i * 4..i * 4 + 4] == twin[i * 4..i * 4 + 4] {
+        i += 1;
+    }
+    i
 }
 
 /// Creates a twin: a private copy of the object made on the first write.
@@ -72,64 +321,105 @@ pub fn make_twin(object: &[u8]) -> Vec<u8> {
     object.to_vec()
 }
 
-/// Computes the run-length encoded diff of `current` against `twin`.
+/// Computes the run-length encoded diff of `current` against `twin` using a
+/// one-shot scratch buffer. Hot paths (the DUQ flush) keep a [`DiffScratch`]
+/// alive instead so the buffer is reused across flushes.
 ///
 /// # Panics
 ///
-/// Panics if the two buffers differ in length or are not word-aligned;
-/// objects are always padded to a word multiple when the segment is laid out.
+/// Panics if the two buffers differ in length or are not word-aligned.
 pub fn encode(current: &[u8], twin: &[u8]) -> Diff {
-    assert_eq!(current.len(), twin.len(), "object and twin must be the same size");
+    DiffScratch::new().encode(current, twin)
+}
+
+/// Reference word-by-word encoder: the straightforward implementation of the
+/// paper's description, with no block skipping. Produces bit-identical
+/// output to [`DiffScratch::encode`]; kept as the oracle for differential
+/// tests and as the baseline in the `micro_diff` benchmark.
+///
+/// # Panics
+///
+/// Panics if the two buffers differ in length or are not word-aligned.
+pub fn encode_reference(current: &[u8], twin: &[u8]) -> Diff {
+    assert_eq!(
+        current.len(),
+        twin.len(),
+        "object and twin must be the same size"
+    );
     assert_eq!(current.len() % 4, 0, "objects are word-aligned");
-    let mut runs = Vec::new();
-    let mut skip: u32 = 0;
-    let mut pending: Vec<u32> = Vec::new();
-    for (cur, old) in words_of(current).zip(words_of(twin)) {
-        if cur == old {
-            if !pending.is_empty() {
-                runs.push(Run {
-                    skip,
-                    data: std::mem::take(&mut pending),
-                });
-                skip = 0;
+    let words = current.len() / 4;
+    let mut buf = Vec::with_capacity(HEADER_LEN);
+    buf.extend_from_slice(&(words as u32).to_le_bytes());
+    let mut run_start: Option<usize> = None;
+    let mut last_end = 0usize;
+    for w in 0..words {
+        let differs = current[w * 4..w * 4 + 4] != twin[w * 4..w * 4 + 4];
+        match (differs, run_start) {
+            (true, None) => run_start = Some(w),
+            (false, Some(start)) => {
+                buf.extend_from_slice(&((start - last_end) as u32).to_le_bytes());
+                buf.extend_from_slice(&((w - start) as u32).to_le_bytes());
+                buf.extend_from_slice(&current[start * 4..w * 4]);
+                last_end = w;
+                run_start = None;
             }
-            skip += 1;
-        } else {
-            pending.push(cur);
+            _ => {}
         }
     }
-    if !pending.is_empty() {
-        runs.push(Run { skip, data: pending });
+    if let Some(start) = run_start {
+        buf.extend_from_slice(&((start - last_end) as u32).to_le_bytes());
+        buf.extend_from_slice(&((words - start) as u32).to_le_bytes());
+        buf.extend_from_slice(&current[start * 4..words * 4]);
     }
     Diff {
-        runs,
-        words: (current.len() / 4) as u32,
+        bytes: Arc::from(buf.as_slice()),
     }
 }
 
 /// Applies `diff` to `target`, overwriting the words the diff marks as
-/// changed. `target` is typically a remote copy of the object (or the
+/// changed with whole-run `copy_from_slice` copies straight off the wire
+/// buffer. `target` is typically a remote copy of the object (or the
 /// owner's master copy for `result` objects).
 ///
 /// # Errors
 ///
 /// Returns [`MuninError::ProtocolViolation`] if the diff does not fit the
-/// target (length mismatch or runs overrunning the object).
+/// target (length mismatch or runs overrunning the object) or the buffer is
+/// malformed.
 pub fn apply(diff: &Diff, target: &mut [u8]) -> Result<()> {
-    if target.len() % 4 != 0 || target.len() / 4 != diff.words as usize {
+    let bytes: &[u8] = &diff.bytes;
+    if bytes.len() < HEADER_LEN {
+        return Err(MuninError::ProtocolViolation("truncated diff header"));
+    }
+    let words = u32::from_le_bytes(bytes[..HEADER_LEN].try_into().unwrap()) as usize;
+    if !target.len().is_multiple_of(4) || target.len() / 4 != words {
         return Err(MuninError::ProtocolViolation("diff length mismatch"));
     }
-    let mut word_idx: usize = 0;
-    for run in &diff.runs {
-        word_idx += run.skip as usize;
-        let end = word_idx + run.data.len();
-        if end > diff.words as usize {
+    let mut pos = HEADER_LEN;
+    let mut word_idx = 0usize;
+    while pos < bytes.len() {
+        if bytes.len() - pos < RUN_HEADER_LEN {
+            return Err(MuninError::ProtocolViolation("truncated diff run header"));
+        }
+        let skip = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let count = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap()) as usize;
+        pos += RUN_HEADER_LEN;
+        if count == 0 {
+            // Kept in lockstep with `validate`: the encoder never emits
+            // empty runs.
+            return Err(MuninError::ProtocolViolation("empty diff run"));
+        }
+        let data_len = count * 4;
+        if bytes.len() - pos < data_len {
+            return Err(MuninError::ProtocolViolation("truncated diff run data"));
+        }
+        word_idx += skip;
+        let end = word_idx + count;
+        if end > words {
             return Err(MuninError::ProtocolViolation("diff run overruns object"));
         }
-        for (i, word) in run.data.iter().enumerate() {
-            let off = (word_idx + i) * 4;
-            target[off..off + 4].copy_from_slice(&word.to_le_bytes());
-        }
+        target[word_idx * 4..end * 4].copy_from_slice(&bytes[pos..pos + data_len]);
+        pos += data_len;
         word_idx = end;
     }
     Ok(())
@@ -153,6 +443,19 @@ mod tests {
         words.iter().flat_map(|w| w.to_le_bytes()).collect()
     }
 
+    /// Deterministic pseudo-random word buffer for differential tests.
+    fn random_words(n: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed;
+        let mut out = Vec::with_capacity(n * 4);
+        for _ in 0..n {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            out.extend_from_slice(&((state >> 24) as u32).to_le_bytes());
+        }
+        out
+    }
+
     #[test]
     fn identical_buffers_produce_empty_diff() {
         let a = to_bytes(&[1, 2, 3, 4]);
@@ -160,6 +463,8 @@ mod tests {
         assert!(d.is_empty());
         assert_eq!(d.changed_words(), 0);
         assert_eq!(d.run_count(), 0);
+        assert_eq!(d.words(), 4);
+        assert_eq!(d.encoded_bytes(), HEADER_LEN);
     }
 
     #[test]
@@ -169,7 +474,9 @@ mod tests {
         cur[12..16].copy_from_slice(&7u32.to_le_bytes());
         let d = encode(&cur, &twin);
         assert_eq!(d.run_count(), 1);
-        assert_eq!(d.runs[0], Run { skip: 3, data: vec![7] });
+        let run = d.runs().next().unwrap();
+        assert_eq!(run.skip, 3);
+        assert_eq!(run.words(), vec![7]);
         assert_eq!(d.changed_words(), 1);
     }
 
@@ -179,7 +486,7 @@ mod tests {
         let cur = to_bytes(&[9; 16]);
         let d = encode(&cur, &twin);
         assert_eq!(d.run_count(), 1);
-        assert_eq!(d.runs[0].skip, 0);
+        assert_eq!(d.runs().next().unwrap().skip, 0);
         assert_eq!(d.changed_words(), 16);
     }
 
@@ -241,6 +548,70 @@ mod tests {
     }
 
     #[test]
+    fn apply_rejects_overrunning_run() {
+        // Hand-build a malformed wire buffer: claims 4 words but a run of 8.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&4u32.to_le_bytes()); // words
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // skip
+        bytes.extend_from_slice(&8u32.to_le_bytes()); // count
+        bytes.extend_from_slice(&[0u8; 32]); // 8 words of data
+        let d = Diff {
+            bytes: Arc::from(bytes.as_slice()),
+        };
+        let mut target = vec![0u8; 16];
+        assert_eq!(
+            apply(&d, &mut target),
+            Err(MuninError::ProtocolViolation("diff run overruns object"))
+        );
+        // from_wire rejects the same framing up front.
+        assert!(Diff::from_wire(Arc::from(d.as_wire_bytes())).is_err());
+    }
+
+    #[test]
+    fn apply_rejects_truncated_buffer() {
+        let twin = random_words(16, 3);
+        let cur = random_words(16, 4);
+        let d = encode(&cur, &twin);
+        let wire = d.as_wire_bytes();
+        // Chop mid-run-data and mid-run-header.
+        for cut in [wire.len() - 3, HEADER_LEN + 5] {
+            let truncated = Diff {
+                bytes: Arc::from(&wire[..cut]),
+            };
+            let mut target = twin.clone();
+            assert!(apply(&truncated, &mut target).is_err());
+            assert!(Diff::from_wire(Arc::from(&wire[..cut])).is_err());
+        }
+    }
+
+    #[test]
+    fn from_wire_rejects_empty_run() {
+        // [words=4][skip=0, count=0]: the encoder never emits empty runs and
+        // the validator must not accept them from the wire.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(
+            Diff::from_wire(Arc::from(bytes.as_slice())),
+            Err(MuninError::ProtocolViolation("empty diff run"))
+        );
+    }
+
+    #[test]
+    fn from_wire_accepts_valid_encoding() {
+        let twin = random_words(64, 1);
+        let mut cur = twin.clone();
+        cur[8..12].copy_from_slice(&9u32.to_le_bytes());
+        let d = encode(&cur, &twin);
+        let rt = Diff::from_wire(Arc::from(d.as_wire_bytes())).unwrap();
+        assert_eq!(rt, d);
+        let mut target = twin.clone();
+        apply(&rt, &mut target).unwrap();
+        assert_eq!(target, cur);
+    }
+
+    #[test]
     fn encoded_bytes_tracks_runs_and_data() {
         let twin = to_bytes(&[0; 4]);
         let mut cur = twin.clone();
@@ -254,5 +625,124 @@ mod tests {
     #[should_panic(expected = "same size")]
     fn encode_panics_on_length_mismatch() {
         let _ = encode(&[0u8; 8], &[0u8; 4]);
+    }
+
+    #[test]
+    fn cloned_diffs_share_the_buffer() {
+        let twin = to_bytes(&[0; 8]);
+        let cur = to_bytes(&[1; 8]);
+        let d = encode(&cur, &twin);
+        let c = d.clone();
+        assert!(d.shares_buffer(&c));
+        // An equal but separately encoded diff does not share.
+        let e = encode(&cur, &twin);
+        assert_eq!(d, e);
+        assert!(!d.shares_buffer(&e));
+    }
+
+    #[test]
+    fn scratch_buffer_is_reused_across_encodes() {
+        let twin = random_words(512, 7);
+        let mut cur = twin.clone();
+        cur[100..104].copy_from_slice(&1u32.to_le_bytes());
+        let mut scratch = DiffScratch::new();
+        let _ = scratch.encode(&cur, &twin);
+        let cap = scratch.capacity();
+        assert!(cap > 0);
+        for _ in 0..10 {
+            let _ = scratch.encode(&cur, &twin);
+        }
+        assert_eq!(
+            scratch.capacity(),
+            cap,
+            "scratch must not reallocate for same-size encodes"
+        );
+    }
+
+    /// Differential test: the block-skip encoder and the word-by-word
+    /// reference encoder produce bit-identical wire buffers over the
+    /// patterns the protocol actually generates.
+    #[test]
+    fn block_skip_matches_reference_encoder() {
+        let sizes = [0usize, 1, 2, 31, 32, 33, 63, 64, 65, 96, 256, 1000];
+        for (case, &words) in sizes.iter().enumerate() {
+            let twin = random_words(words, case as u64 + 1);
+
+            // Identical buffers.
+            let cur = twin.clone();
+            assert_eq!(
+                encode(&cur, &twin).as_wire_bytes(),
+                encode_reference(&cur, &twin).as_wire_bytes()
+            );
+
+            // Fully dirty.
+            let cur = random_words(words, case as u64 + 1000);
+            assert_eq!(
+                encode(&cur, &twin).as_wire_bytes(),
+                encode_reference(&cur, &twin).as_wire_bytes()
+            );
+
+            // Sparse: every 37th word flipped.
+            let mut cur = twin.clone();
+            for w in (0..words).step_by(37) {
+                cur[w * 4] ^= 0xFF;
+            }
+            assert_eq!(
+                encode(&cur, &twin).as_wire_bytes(),
+                encode_reference(&cur, &twin).as_wire_bytes()
+            );
+
+            // Run boundaries straddling block edges: dirty stripes around
+            // every multiple of BLOCK_WORDS.
+            let mut cur = twin.clone();
+            for w in 0..words {
+                let m = w % BLOCK_WORDS;
+                if m == 0 || m == BLOCK_WORDS - 1 {
+                    cur[w * 4 + 1] ^= 0x5A;
+                }
+            }
+            assert_eq!(
+                encode(&cur, &twin).as_wire_bytes(),
+                encode_reference(&cur, &twin).as_wire_bytes()
+            );
+
+            // Random mask (~1/3 words changed).
+            let mut cur = twin.clone();
+            let mut state = 0xDEAD_BEEF_u64.wrapping_add(case as u64);
+            for w in 0..words {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if state.is_multiple_of(3) {
+                    cur[w * 4 + 2] = cur[w * 4 + 2].wrapping_add(1);
+                }
+            }
+            assert_eq!(
+                encode(&cur, &twin).as_wire_bytes(),
+                encode_reference(&cur, &twin).as_wire_bytes()
+            );
+        }
+    }
+
+    /// Round-trip: encode with either encoder, apply to a copy of the twin,
+    /// and recover `current` exactly.
+    #[test]
+    fn round_trip_reconstructs_current() {
+        for words in [1usize, 31, 32, 33, 128, 999] {
+            let twin = random_words(words, words as u64);
+            let mut cur = twin.clone();
+            let mut state = words as u64;
+            for w in 0..words {
+                state = state.wrapping_mul(48271) % 0x7FFF_FFFF;
+                if state.is_multiple_of(4) {
+                    cur[w * 4..w * 4 + 4].copy_from_slice(&(state as u32).to_le_bytes());
+                }
+            }
+            for d in [encode(&cur, &twin), encode_reference(&cur, &twin)] {
+                let mut target = twin.clone();
+                apply(&d, &mut target).unwrap();
+                assert_eq!(target, cur, "{words} words");
+            }
+        }
     }
 }

@@ -8,10 +8,21 @@
 //!
 //! An entry records the object and, when the protocol allows multiple
 //! writers, the twin made at the first write since the last flush.
+//!
+//! Twin buffers are recycled through a small pool: a first-write fault takes
+//! a buffer from the pool instead of allocating, and the flush path returns
+//! the buffer once the diff is encoded. Under a steady flush cadence the
+//! write-shared hot path therefore performs no twin allocations after
+//! warm-up.
 
 use std::collections::HashMap;
 
 use crate::object::ObjectId;
+
+/// Maximum number of twin buffers kept for reuse; beyond this, returned
+/// buffers are simply freed. Sized for the largest flush bursts the paper's
+/// workloads generate.
+const TWIN_POOL_CAP: usize = 64;
 
 /// One pending entry of the DUQ.
 #[derive(Clone, Debug)]
@@ -29,6 +40,8 @@ pub struct DuqEntry {
 pub struct DelayedUpdateQueue {
     entries: Vec<DuqEntry>,
     index: HashMap<ObjectId, usize>,
+    /// Freed twin buffers awaiting reuse by the next first-write fault.
+    twin_pool: Vec<Vec<u8>>,
 }
 
 impl DelayedUpdateQueue {
@@ -47,28 +60,66 @@ impl DelayedUpdateQueue {
     /// the state at the first write since the last flush.
     pub fn enqueue(&mut self, object: ObjectId, twin: Option<Vec<u8>>) {
         if self.contains(object) {
+            // A superfluous twin snapshot goes back to the pool.
+            if let Some(buf) = twin {
+                self.recycle_twin(buf);
+            }
             return;
         }
         self.index.insert(object, self.entries.len());
         self.entries.push(DuqEntry { object, twin });
     }
 
-    /// Returns a reference to the twin of a pending object, if present.
-    pub fn twin_of(&self, object: ObjectId) -> Option<&Vec<u8>> {
+    /// Returns the twin bytes of a pending object, if present.
+    pub fn twin_of(&self, object: ObjectId) -> Option<&[u8]> {
         self.index
             .get(&object)
-            .and_then(|i| self.entries[*i].twin.as_ref())
+            .and_then(|i| self.entries[*i].twin.as_deref())
     }
 
     /// Merges externally received changes into a pending twin so that words
     /// updated by a remote writer are not re-propagated as local changes at
     /// the next flush. Used when an update arrives for a dirty object.
-    pub fn patch_twin<F: FnOnce(&mut Vec<u8>)>(&mut self, object: ObjectId, f: F) {
+    pub fn patch_twin<F: FnOnce(&mut [u8])>(&mut self, object: ObjectId, f: F) {
         if let Some(i) = self.index.get(&object) {
-            if let Some(twin) = self.entries[*i].twin.as_mut() {
+            if let Some(twin) = self.entries[*i].twin.as_deref_mut() {
                 f(twin);
             }
         }
+    }
+
+    /// Takes a twin buffer from the pool (or a fresh one), ready for the
+    /// caller to fill with an object snapshot of roughly `size` bytes. The
+    /// returned buffer is empty but retains its capacity; a pooled buffer
+    /// whose capacity already fits `size` is preferred so small twins do not
+    /// pin large allocations while large first-writes reallocate anyway.
+    pub fn acquire_twin_buffer(&mut self, size: usize) -> Vec<u8> {
+        let fit = self
+            .twin_pool
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.capacity() >= size)
+            .min_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i);
+        let mut buf = match fit {
+            Some(i) => self.twin_pool.swap_remove(i),
+            None => self.twin_pool.pop().unwrap_or_default(),
+        };
+        buf.clear();
+        buf
+    }
+
+    /// Returns a twin buffer to the pool for reuse by a later first-write
+    /// fault. Called by the flush path once the diff has been encoded.
+    pub fn recycle_twin(&mut self, buf: Vec<u8>) {
+        if self.twin_pool.len() < TWIN_POOL_CAP {
+            self.twin_pool.push(buf);
+        }
+    }
+
+    /// Number of twin buffers currently pooled (observable for tests).
+    pub fn pooled_twins(&self) -> usize {
+        self.twin_pool.len()
     }
 
     /// Number of pending entries.
@@ -130,7 +181,9 @@ mod tests {
         duq.enqueue(ObjectId::new(1), Some(vec![9]));
         duq.enqueue(ObjectId::new(1), Some(vec![7]));
         assert_eq!(duq.len(), 1);
-        assert_eq!(duq.twin_of(ObjectId::new(1)), Some(&vec![9]));
+        assert_eq!(duq.twin_of(ObjectId::new(1)), Some(&[9u8][..]));
+        // The duplicate's snapshot was recycled, not leaked.
+        assert_eq!(duq.pooled_twins(), 1);
     }
 
     #[test]
@@ -155,7 +208,7 @@ mod tests {
         duq.patch_twin(ObjectId::new(0), |t| t[0] = 5);
         duq.patch_twin(ObjectId::new(1), |t| t[0] = 5);
         duq.patch_twin(ObjectId::new(9), |t| t[0] = 5);
-        assert_eq!(duq.twin_of(ObjectId::new(0)), Some(&vec![5, 0]));
+        assert_eq!(duq.twin_of(ObjectId::new(0)), Some(&[5u8, 0][..]));
         assert_eq!(duq.twin_of(ObjectId::new(1)), None);
     }
 
@@ -165,5 +218,51 @@ mod tests {
         duq.enqueue(ObjectId::new(4), None);
         duq.enqueue(ObjectId::new(5), None);
         assert_eq!(duq.pending(), vec![ObjectId::new(4), ObjectId::new(5)]);
+    }
+
+    #[test]
+    fn twin_pool_recycles_buffers() {
+        let mut duq = DelayedUpdateQueue::new();
+        // Simulate a flush cycle: acquire, fill, enqueue, drain, recycle.
+        let mut buf = duq.acquire_twin_buffer(4);
+        assert!(buf.is_empty());
+        buf.extend_from_slice(&[1, 2, 3, 4]);
+        let ptr = buf.as_ptr();
+        duq.enqueue(ObjectId::new(0), Some(buf));
+        let drained = duq.flush();
+        let twin = drained.into_iter().next().unwrap().twin.unwrap();
+        duq.recycle_twin(twin);
+        assert_eq!(duq.pooled_twins(), 1);
+        // The next fault reuses the same allocation.
+        let reused = duq.acquire_twin_buffer(4);
+        assert_eq!(reused.as_ptr(), ptr);
+        assert!(reused.is_empty());
+        assert!(reused.capacity() >= 4);
+    }
+
+    #[test]
+    fn twin_pool_prefers_a_buffer_that_fits() {
+        let mut duq = DelayedUpdateQueue::new();
+        duq.recycle_twin(Vec::with_capacity(8));
+        duq.recycle_twin(Vec::with_capacity(1024));
+        duq.recycle_twin(Vec::with_capacity(16));
+        // A 512-byte twin takes the 1024-capacity buffer, not the LIFO tail.
+        let buf = duq.acquire_twin_buffer(512);
+        assert!(buf.capacity() >= 512);
+        assert_eq!(duq.pooled_twins(), 2);
+        // Best fit: a small twin must not pin the largest remaining buffer.
+        duq.recycle_twin(Vec::with_capacity(2048));
+        let small = duq.acquire_twin_buffer(8);
+        assert!(small.capacity() >= 8);
+        assert!(small.capacity() < 2048, "smallest fitting buffer preferred");
+    }
+
+    #[test]
+    fn twin_pool_is_bounded() {
+        let mut duq = DelayedUpdateQueue::new();
+        for _ in 0..(TWIN_POOL_CAP + 10) {
+            duq.recycle_twin(vec![0u8; 8]);
+        }
+        assert_eq!(duq.pooled_twins(), TWIN_POOL_CAP);
     }
 }

@@ -28,9 +28,14 @@ pub enum FetchKind {
 
 /// Payload of one object inside an update message: either a run-length
 /// encoded diff against the twin, or the complete object contents.
+///
+/// The diff variant carries the flat wire-format buffer behind an
+/// `Arc<[u8]>` (see [`crate::diff::Diff`]), so cloning the payload for each
+/// destination of a flush fan-out shares one encoding instead of deep-
+/// copying run vectors.
 #[derive(Clone, Debug, PartialEq)]
 pub enum UpdatePayload {
-    /// Word diff produced by [`crate::diff::encode`].
+    /// Flat word diff produced by [`crate::diff::DiffScratch::encode`].
     Diff(Diff),
     /// The full object image (used when no twin exists).
     Full(Vec<u8>),
@@ -362,8 +367,24 @@ mod tests {
 
     #[test]
     fn empty_diff_payload_is_small() {
-        let d = Diff { runs: vec![], words: 16 };
+        let d = Diff::empty(16);
         assert_eq!(UpdatePayload::Diff(d).model_bytes(), 4);
+    }
+
+    #[test]
+    fn cloned_diff_payloads_share_one_encoding() {
+        let twin = vec![0u8; 64];
+        let mut cur = twin.clone();
+        cur[0] = 1;
+        let diff = encode(&cur, &twin);
+        let payload = UpdatePayload::Diff(diff);
+        let fanned: Vec<UpdatePayload> = (0..3).map(|_| payload.clone()).collect();
+        for p in &fanned {
+            let (UpdatePayload::Diff(a), UpdatePayload::Diff(b)) = (&fanned[0], p) else {
+                panic!("diff payload expected");
+            };
+            assert!(a.shares_buffer(b));
+        }
     }
 
     #[test]

@@ -219,7 +219,11 @@ impl NodeRuntime {
         let twin = if make_twin {
             bump(&self.stats.twins_created);
             self.charge_sys(self.cost.copy(size as u64));
-            Some(self.object_bytes(object))
+            // Reuse a pooled twin buffer instead of allocating a fresh copy:
+            // flushes return their twins to the pool after encoding.
+            let mut buf = self.duq.lock().acquire_twin_buffer(size);
+            self.read_object_into(object, &mut buf);
+            Some(buf)
         } else {
             None
         };
@@ -440,7 +444,7 @@ mod tests {
         rt.dir.lock().entry_mut(ws).state.rights = AccessRights::Read;
         rt.write_fault(ws).unwrap();
         assert_eq!(rt.duq.lock().len(), 1);
-        assert_eq!(rt.duq.lock().twin_of(ws).unwrap(), &vec![0u8; 32]);
+        assert_eq!(rt.duq.lock().twin_of(ws).unwrap(), vec![0u8; 32].as_slice());
     }
 
     #[test]

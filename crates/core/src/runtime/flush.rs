@@ -23,7 +23,6 @@ use munin_sim::NodeId;
 
 use crate::config::CopysetStrategy;
 use crate::copyset::CopySet;
-use crate::diff;
 use crate::directory::AccessRights;
 use crate::duq::DuqEntry;
 use crate::error::{MuninError, Result};
@@ -78,9 +77,12 @@ impl NodeRuntime {
             }
         }
 
-        // Step 2: encode changes and group them by destination.
+        // Step 2: encode changes and group them by destination. Each entry is
+        // encoded exactly once; the flat diff buffer is shared (via `Arc`)
+        // between the per-destination clones of the payload.
         let mut per_dest: BTreeMap<NodeId, Vec<UpdateItem>> = BTreeMap::new();
-        for entry in &entries {
+        for entry in entries {
+            let object = entry.object;
             let (payload, destinations) = self.encode_entry(entry)?;
             let Some(payload) = payload else { continue };
             for dest in destinations {
@@ -88,7 +90,7 @@ impl NodeRuntime {
                     .entry(dest)
                     .or_default()
                     .push(UpdateItem {
-                        object: entry.object,
+                        object,
                         payload: payload.clone(),
                     });
             }
@@ -132,12 +134,17 @@ impl NodeRuntime {
     /// per-protocol state transitions (re-protection, invalidation of the
     /// local copy for `result` objects, private-page promotion for stable
     /// objects with an empty copyset).
-    fn encode_entry(
+    ///
+    /// The entry is consumed: its twin buffer is returned to the DUQ's pool
+    /// once the diff has been encoded. The diff is encoded exactly once into
+    /// the node's reusable scratch buffer and shared via `Arc` when the
+    /// caller fans it out to several destinations.
+    pub(crate) fn encode_entry(
         self: &Arc<Self>,
-        entry: &DuqEntry,
+        entry: DuqEntry,
     ) -> Result<(Option<UpdatePayload>, Vec<NodeId>)> {
         let object = entry.object;
-        let current = self.object_bytes(object);
+        let range = self.object_range(object);
         let (flush_to_owner, home, copyset, stable) = {
             let dir = self.dir.lock();
             let e = dir.entry(object);
@@ -149,22 +156,27 @@ impl NodeRuntime {
             )
         };
 
-        // Encode: diff against the twin when there is one, otherwise the full
-        // object image.
-        let payload = match &entry.twin {
+        // Encode: diff against the twin when there is one (straight out of
+        // segment memory, no object copy), otherwise the full object image.
+        let payload = match entry.twin {
             Some(twin) => {
-                let d = diff::encode(&current, twin);
+                let d = {
+                    let mem = self.memory.lock();
+                    let mut scratch = self.diff_scratch.lock();
+                    scratch.encode(&mem[range.clone()], &twin)
+                };
                 self.charge_sys(self.cost.encode(
-                    (current.len() / 4) as u64,
+                    (range.len() / 4) as u64,
                     d.run_count() as u64,
                 ));
+                self.duq.lock().recycle_twin(twin);
                 if d.is_empty() {
                     None
                 } else {
                     Some(UpdatePayload::Diff(d))
                 }
             }
-            None => Some(UpdatePayload::Full(current)),
+            None => Some(UpdatePayload::Full(self.object_bytes(object))),
         };
 
         let mut dir = self.dir.lock();
@@ -507,5 +519,92 @@ mod tests {
         assert_eq!(snap.duq_flushes, 1);
         assert_eq!(snap.duq_objects_flushed, 0);
         assert_eq!(snap.updates_sent, 0);
+    }
+
+    /// Builds a runtime on node 0 of a three-node network (the peers are
+    /// driven manually) so copysets with several members can be exercised.
+    fn three_node_runtime() -> Arc<NodeRuntime> {
+        let mut table = SharedDataTable::new(64);
+        table.declare("ws", SharingAnnotation::WriteShared, 4, 8, false);
+        let table = Arc::new(table);
+        let cfg = Arc::new(MuninConfig::fast_test(3));
+        let clock = NodeClock::new();
+        let mut net: Network<DsmMsg> = Network::new(3, CostModel::fast_test());
+        let (sender, _rx0) = net.endpoint(0, clock.clone()).unwrap();
+        let rt = NodeRuntime::new(
+            NodeId::new(0),
+            3,
+            cfg,
+            table,
+            vec![],
+            vec![],
+            clock,
+            Arc::new(CostModel::fast_test()),
+            sender,
+        );
+        let touched: HashSet<_> = rt.table().objects().iter().map(|o| o.id).collect();
+        rt.finish_root_init(&touched);
+        rt
+    }
+
+    /// The flush fan-out guarantee: one DUQ entry is diff-encoded exactly
+    /// once, and the per-destination payload clones share that single flat
+    /// buffer via `Arc` instead of re-encoding or deep-copying.
+    #[test]
+    fn encode_entry_shares_one_encoding_across_destinations() {
+        let rt = three_node_runtime();
+        let ws = obj(&rt, "ws");
+        // Take a write fault (creates the twin), modify the object, and give
+        // the object a two-member copyset so the flush fans out.
+        rt.write_fault(ws).unwrap();
+        rt.install_object_bytes(ws, &[7u8; 32]);
+        {
+            let mut dir = rt.dir.lock();
+            let e = dir.entry_mut(ws);
+            e.copyset.insert(NodeId::new(1));
+            e.copyset.insert(NodeId::new(2));
+        }
+        let entry = rt.duq.lock().flush().into_iter().next().unwrap();
+        assert!(entry.twin.is_some());
+        let (payload, destinations) = rt.encode_entry(entry).unwrap();
+        assert_eq!(destinations, vec![NodeId::new(1), NodeId::new(2)]);
+        let payload = payload.expect("modified object yields a payload");
+        let UpdatePayload::Diff(ref d) = payload else {
+            panic!("twin-backed entry must encode a diff, not a full image");
+        };
+        assert_eq!(d.changed_words(), 8);
+        // Fan the payload out as flush_duq does and verify every clone
+        // shares the same underlying buffer — i.e. exactly one encoding.
+        let fanned: Vec<UpdatePayload> =
+            destinations.iter().map(|_| payload.clone()).collect();
+        for p in &fanned {
+            let UpdatePayload::Diff(c) = p else { unreachable!() };
+            assert!(c.shares_buffer(d), "per-destination clones must share one encoding");
+        }
+        // The twin buffer went back to the pool for the next first-write.
+        assert_eq!(rt.duq.lock().pooled_twins(), 1);
+    }
+
+    /// Flushing reuses both the twin buffer (via the DUQ pool) and the diff
+    /// scratch allocation across flush cycles.
+    #[test]
+    fn flush_cycle_reuses_twin_and_scratch_allocations() {
+        let rt = single_node();
+        let ws = obj(&rt, "ws");
+        // First cycle warms the pool and the scratch.
+        rt.write_fault(ws).unwrap();
+        rt.install_object_bytes(ws, &[1u8; 32]);
+        rt.flush_duq().unwrap();
+        assert_eq!(rt.duq.lock().pooled_twins(), 1);
+        let scratch_cap = rt.diff_scratch.lock().capacity();
+        assert!(scratch_cap > 0);
+        // Second cycle must not grow either allocation.
+        rt.dir.lock().entry_mut(ws).state.rights = AccessRights::Read;
+        rt.write_fault(ws).unwrap();
+        assert_eq!(rt.duq.lock().pooled_twins(), 0, "twin taken from pool");
+        rt.install_object_bytes(ws, &[2u8; 32]);
+        rt.flush_duq().unwrap();
+        assert_eq!(rt.duq.lock().pooled_twins(), 1);
+        assert_eq!(rt.diff_scratch.lock().capacity(), scratch_cap);
     }
 }

@@ -32,6 +32,7 @@ use parking_lot::Mutex;
 use munin_sim::{CostModel, Envelope, NodeClock, NodeId, Sender, TimeKind, VirtTime};
 
 use crate::config::MuninConfig;
+use crate::diff::DiffScratch;
 use crate::directory::{AccessRights, Directory};
 use crate::duq::DelayedUpdateQueue;
 use crate::error::{MuninError, Result};
@@ -63,6 +64,9 @@ pub struct NodeRuntime {
     dir: Mutex<Directory>,
     /// The delayed update queue (owns the twins of pending objects).
     duq: Mutex<DelayedUpdateQueue>,
+    /// Reusable diff-encoding buffer: flushes encode into this scratch so
+    /// the write-shared hot path performs no per-run allocations.
+    diff_scratch: Mutex<DiffScratch>,
     /// The synchronization object directory.
     sync: Mutex<SyncDirectory>,
     /// Requests deferred because their directory entry was busy.
@@ -103,6 +107,7 @@ impl NodeRuntime {
             memory: Mutex::new(vec![0u8; table.segment_len()]),
             dir: Mutex::new(dir),
             duq: Mutex::new(DelayedUpdateQueue::new()),
+            diff_scratch: Mutex::new(DiffScratch::new()),
             sync: Mutex::new(sync),
             deferred: Mutex::new(Vec::new()),
             stats: MuninStats::new(),
@@ -224,6 +229,15 @@ impl NodeRuntime {
     pub(crate) fn object_bytes(&self, object: ObjectId) -> Vec<u8> {
         let range = self.object_range(object);
         self.memory.lock()[range].to_vec()
+    }
+
+    /// Copies the current contents of an object into `buf` (cleared first),
+    /// reusing `buf`'s existing allocation. Used by the twin pool so
+    /// first-write faults do not allocate once the pool is warm.
+    pub(crate) fn read_object_into(&self, object: ObjectId, buf: &mut Vec<u8>) {
+        let range = self.object_range(object);
+        buf.clear();
+        buf.extend_from_slice(&self.memory.lock()[range]);
     }
 
     /// Overwrites the local contents of an object.

@@ -263,10 +263,18 @@ impl NodeRuntime {
                 let mut duq = self.duq.lock();
                 duq.remove(object).and_then(|e| e.twin)
             };
-            let current = self.object_bytes(object);
             let payload = match twin {
-                Some(twin) => UpdatePayload::Diff(diff::encode(&current, &twin)),
-                None => UpdatePayload::Full(current),
+                Some(twin) => {
+                    let range = self.object_range(object);
+                    let d = {
+                        let mem = self.memory.lock();
+                        let mut scratch = self.diff_scratch.lock();
+                        scratch.encode(&mem[range], &twin)
+                    };
+                    self.duq.lock().recycle_twin(twin);
+                    UpdatePayload::Diff(d)
+                }
+                None => UpdatePayload::Full(self.object_bytes(object)),
             };
             let _ = self.send_service(
                 requester,
@@ -323,7 +331,7 @@ impl NodeRuntime {
                         .cost
                         .decode(d.changed_words() as u64, d.run_count() as u64);
                     self.charge_sys(cost);
-                    service = service + cost;
+                    service += cost;
                     {
                         let mut mem = self.memory.lock();
                         if diff::apply(&d, &mut mem[range.clone()]).is_err() {
@@ -341,7 +349,7 @@ impl NodeRuntime {
                 UpdatePayload::Full(data) => {
                     let cost = self.cost.copy(data.len() as u64);
                     self.charge_sys(cost);
-                    service = service + cost;
+                    service += cost;
                     let mut mem = self.memory.lock();
                     if range.len() == data.len() {
                         mem[range].copy_from_slice(&data);

@@ -54,27 +54,23 @@ impl NodeRuntime {
                 requester: self.node,
             },
         )?;
-        loop {
-            let (_env, reply) = self.wait_reply()?;
-            match reply {
-                DsmMsg::LockGrant {
-                    lock: l,
-                    queue,
-                    piggyback,
-                } if l == lock => {
-                    {
-                        let mut sync = self.sync.lock();
-                        sync.lock_mut(lock).receive_grant(queue, self.node);
-                    }
-                    self.install_piggyback(piggyback);
-                    return Ok(());
+        let (_env, reply) = self.wait_reply()?;
+        match reply {
+            DsmMsg::LockGrant {
+                lock: l,
+                queue,
+                piggyback,
+            } if l == lock => {
+                {
+                    let mut sync = self.sync.lock();
+                    sync.lock_mut(lock).receive_grant(queue, self.node);
                 }
-                _ => {
-                    return Err(MuninError::ProtocolViolation(
-                        "unexpected reply while waiting for a lock grant",
-                    ))
-                }
+                self.install_piggyback(piggyback);
+                Ok(())
             }
+            _ => Err(MuninError::ProtocolViolation(
+                "unexpected reply while waiting for a lock grant",
+            )),
         }
     }
 
@@ -141,16 +137,12 @@ impl NodeRuntime {
                 from: self.node,
             },
         )?;
-        loop {
-            let (_env, reply) = self.wait_reply()?;
-            match reply {
-                DsmMsg::BarrierRelease { barrier: b } if b == barrier => return Ok(()),
-                _ => {
-                    return Err(MuninError::ProtocolViolation(
-                        "unexpected reply while waiting at a barrier",
-                    ))
-                }
-            }
+        let (_env, reply) = self.wait_reply()?;
+        match reply {
+            DsmMsg::BarrierRelease { barrier: b } if b == barrier => Ok(()),
+            _ => Err(MuninError::ProtocolViolation(
+                "unexpected reply while waiting at a barrier",
+            )),
         }
     }
 

@@ -383,7 +383,7 @@ mod tests {
         cost.wire_ns_per_byte = 100;
         cost.wire_prop_ns = 0;
         cost.msg_fixed_ns = 0;
-        let clocks = vec![NodeClock::new(), NodeClock::new()];
+        let clocks = [NodeClock::new(), NodeClock::new()];
         let mut net: Network<u8> = Network::new(2, cost);
         let (tx0, _rx0) = net.endpoint(0, clocks[0].clone()).unwrap();
         let (_tx1, rx1) = net.endpoint(1, clocks[1].clone()).unwrap();

@@ -12,7 +12,7 @@
 //! # Example
 //!
 //! ```
-//! # #[cfg(unix)] {
+//! # #[cfg(all(target_os = "linux", target_pointer_width = "64"))] {
 //! use munin_vm::ProtectedRegion;
 //!
 //! let mut region = ProtectedRegion::new(4).unwrap();
@@ -37,10 +37,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-#[cfg(unix)]
+// The write-trap substrate binds to glibc's 64-bit Linux ABI (matching the
+// in-tree libc shim); other platforms get the error type only.
+#[cfg(all(target_os = "linux", target_pointer_width = "64"))]
 mod unix;
 
-#[cfg(unix)]
+#[cfg(all(target_os = "linux", target_pointer_width = "64"))]
 pub use unix::ProtectedRegion;
 
 /// Error type for the VM substrate.

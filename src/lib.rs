@@ -9,8 +9,8 @@
 //! * [`apps`] — the paper's application programs (`munin-apps`).
 //! * [`vm`] — the real `mprotect`/`SIGSEGV` write-trap substrate (`munin-vm`).
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for the
-//! mapping from the paper's tables to the benchmark harnesses.
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture and
+//! the flat diff wire-format specification.
 
 #![warn(missing_docs)]
 
