@@ -43,6 +43,8 @@ pub struct MatmulParams {
     pub annotation_override: Option<SharingAnnotation>,
     /// Consistency-unit size in bytes (the prototype's pages are 8 KB).
     pub page_size: usize,
+    /// Event-engine configuration (schedule seed, fault injection).
+    pub engine: munin_sim::EngineConfig,
 }
 
 impl MatmulParams {
@@ -54,6 +56,7 @@ impl MatmulParams {
             single_object_input: false,
             annotation_override: None,
             page_size: 8192,
+            engine: munin_sim::EngineConfig::from_env(),
         }
     }
 
@@ -65,6 +68,7 @@ impl MatmulParams {
             single_object_input: false,
             annotation_override: None,
             page_size: 512,
+            engine: munin_sim::EngineConfig::from_env(),
         }
     }
 }
@@ -110,7 +114,8 @@ pub fn run_munin(
     let n = params.n;
     let mut cfg = MuninConfig::paper(params.procs)
         .with_cost(cost)
-        .with_page_size(params.page_size);
+        .with_page_size(params.page_size)
+        .with_engine(params.engine);
     if let Some(ann) = params.annotation_override {
         cfg = cfg.with_annotation_override(ann);
     }
@@ -201,11 +206,24 @@ pub fn run_message_passing(
                 if wlo >= whi {
                     continue;
                 }
-                let a_band: Vec<i64> =
-                    a[wlo * n..whi * n].iter().map(|x| *x as i64).collect();
-                ctx.send(w, MpMsg::Ints { tag: 1, data: a_band }).unwrap();
+                let a_band: Vec<i64> = a[wlo * n..whi * n].iter().map(|x| *x as i64).collect();
+                ctx.send(
+                    w,
+                    MpMsg::Ints {
+                        tag: 1,
+                        data: a_band,
+                    },
+                )
+                .unwrap();
                 let b_all: Vec<i64> = b.iter().map(|x| *x as i64).collect();
-                ctx.send(w, MpMsg::Ints { tag: 2, data: b_all }).unwrap();
+                ctx.send(
+                    w,
+                    MpMsg::Ints {
+                        tag: 2,
+                        data: b_all,
+                    },
+                )
+                .unwrap();
             }
             let mut c = vec![0i32; n * n];
             if lo < hi {

@@ -48,6 +48,8 @@ pub struct SorParams {
     pub copyset_strategy: CopysetStrategy,
     /// Consistency-unit size in bytes (the prototype's pages are 8 KB).
     pub page_size: usize,
+    /// Event-engine configuration (schedule seed, fault injection).
+    pub engine: munin_sim::EngineConfig,
 }
 
 impl SorParams {
@@ -61,6 +63,7 @@ impl SorParams {
             annotation_override: None,
             copyset_strategy: CopysetStrategy::Broadcast,
             page_size: 8192,
+            engine: munin_sim::EngineConfig::from_env(),
         }
     }
 
@@ -74,6 +77,7 @@ impl SorParams {
             annotation_override: None,
             copyset_strategy: CopysetStrategy::Broadcast,
             page_size: 512,
+            engine: munin_sim::EngineConfig::from_env(),
         }
     }
 }
@@ -154,7 +158,8 @@ pub fn run_munin(
     let mut cfg = MuninConfig::paper(procs)
         .with_cost(cost)
         .with_page_size(params.page_size)
-        .with_copyset_strategy(params.copyset_strategy);
+        .with_copyset_strategy(params.copyset_strategy)
+        .with_engine(params.engine);
     if let Some(ann) = params.annotation_override {
         cfg = cfg.with_annotation_override(ann);
     }
@@ -285,7 +290,9 @@ pub fn run_message_passing(
             band = grid[lo * cols..hi * cols].to_vec();
         } else {
             let (_src, msg) = ctx.recv().unwrap();
-            let MpMsg::Floats { data, .. } = msg else { panic!("expected band") };
+            let MpMsg::Floats { data, .. } = msg else {
+                panic!("expected band")
+            };
             band = data;
         }
         let mut ghost_above = vec![0.0f64; cols];
@@ -303,13 +310,22 @@ pub fn run_message_passing(
             // Exchange boundary rows with neighbours (send first, then
             // receive: channels are buffered so this cannot deadlock).
             if me > 0 {
-                ctx.send(me - 1, MpMsg::Floats { tag: 1, data: band[0..cols].to_vec() })
-                    .unwrap();
+                ctx.send(
+                    me - 1,
+                    MpMsg::Floats {
+                        tag: 1,
+                        data: band[0..cols].to_vec(),
+                    },
+                )
+                .unwrap();
             }
             if me + 1 < nodes {
                 ctx.send(
                     me + 1,
-                    MpMsg::Floats { tag: 2, data: band[(hi - lo - 1) * cols..].to_vec() },
+                    MpMsg::Floats {
+                        tag: 2,
+                        data: band[(hi - lo - 1) * cols..].to_vec(),
+                    },
                 )
                 .unwrap();
             }
@@ -325,7 +341,9 @@ pub fn run_message_passing(
             }
             while !(have_above && have_below) {
                 let (src, msg) = ctx.recv().unwrap();
-                let MpMsg::Floats { tag, data } = msg else { panic!("expected row") };
+                let MpMsg::Floats { tag, data } = msg else {
+                    panic!("expected row")
+                };
                 if tag == 3 {
                     early_bands.push((src, data));
                     continue;
@@ -373,7 +391,9 @@ pub fn run_message_passing(
             }
             while received < nodes - 1 {
                 let (src, msg) = ctx.recv().unwrap();
-                let MpMsg::Floats { tag, data } = msg else { panic!("expected band") };
+                let MpMsg::Floats { tag, data } = msg else {
+                    panic!("expected band")
+                };
                 if tag != 3 {
                     // A leftover ghost row from a neighbour's final iteration.
                     continue;

@@ -78,7 +78,14 @@ pub fn serial(cities: usize) -> TspResult {
             if !used[next] {
                 used[next] = true;
                 tour.push(next as i64);
-                dfs(cities, dist, tour, used, len + dist[last * cities + next], best);
+                dfs(
+                    cities,
+                    dist,
+                    tour,
+                    used,
+                    len + dist[last * cities + next],
+                    best,
+                );
                 tour.pop();
                 used[next] = false;
             }
@@ -242,7 +249,10 @@ mod tests {
 
     #[test]
     fn munin_tsp_matches_serial_bound() {
-        let params = TspParams { cities: 8, procs: 3 };
+        let params = TspParams {
+            cities: 8,
+            procs: 3,
+        };
         let (_m, result) = run_munin(params, CostModel::fast_test()).unwrap();
         let reference = serial(8);
         assert_eq!(result.best_len, reference.best_len);
@@ -251,14 +261,20 @@ mod tests {
 
     #[test]
     fn munin_tsp_single_node() {
-        let params = TspParams { cities: 7, procs: 1 };
+        let params = TspParams {
+            cities: 7,
+            procs: 1,
+        };
         let (_m, result) = run_munin(params, CostModel::fast_test()).unwrap();
         assert_eq!(result.best_len, serial(7).best_len);
     }
 
     #[test]
     fn parallel_run_uses_reduction_and_lock_protocols() {
-        let params = TspParams { cities: 8, procs: 4 };
+        let params = TspParams {
+            cities: 8,
+            procs: 4,
+        };
         let (m, _result) = run_munin(params, CostModel::fast_test()).unwrap();
         assert!(m.net.class("reduce_request").msgs > 0);
         // At least one of the four workers must have obtained the lock from a

@@ -139,10 +139,12 @@ mod tests {
             let (s, e) = partition(512, 16, idx);
             assert_eq!(e - s, 32);
         }
-        let sizes: Vec<usize> = (0..3).map(|i| {
-            let (s, e) = partition(10, 3, i);
-            e - s
-        }).collect();
+        let sizes: Vec<usize> = (0..3)
+            .map(|i| {
+                let (s, e) = partition(10, 3, i);
+                e - s
+            })
+            .collect();
         assert_eq!(sizes.iter().sum::<usize>(), 10);
         assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
     }

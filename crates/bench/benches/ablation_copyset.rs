@@ -8,7 +8,10 @@ use munin_bench::copyset_ablation;
 
 fn main() {
     println!("=== Ablation: copyset determination algorithm (SOR, 16 processors) ===");
-    println!("{:<34} {:>12} {:>16}", "Configuration", "Total (s)", "Copyset queries");
+    println!(
+        "{:<34} {:>12} {:>16}",
+        "Configuration", "Total (s)", "Copyset queries"
+    );
     for row in copyset_ablation(16) {
         println!(
             "{:<34} {:>12.2} {:>16}",

@@ -6,7 +6,10 @@ use munin_bench::hints_ablation;
 
 fn main() {
     println!("=== Ablation: AssociateDataAndSynch (8 processors, 20 lock rounds each) ===");
-    println!("{:<26} {:>12} {:>16}", "Configuration", "Total (s)", "Object fetches");
+    println!(
+        "{:<26} {:>12} {:>16}",
+        "Configuration", "Total (s)", "Object fetches"
+    );
     for row in hints_ablation(8, 20) {
         println!(
             "{:<26} {:>12.3} {:>16}",

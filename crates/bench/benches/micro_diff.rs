@@ -23,19 +23,23 @@ use std::time::Duration;
 fn patterns() -> Vec<(&'static str, Vec<u8>, Vec<u8>)> {
     let size = 8192;
     let words = size / 4;
-    [("one_word", 7usize..8), ("all_words", 0..words), ("alternate_words", 0..words)]
-        .into_iter()
-        .map(|(name, range)| {
-            let twin = vec![0u8; size];
-            let mut cur = twin.clone();
-            for w in range {
-                if name != "alternate_words" || w % 2 == 0 {
-                    cur[w * 4..w * 4 + 4].copy_from_slice(&1u32.to_le_bytes());
-                }
+    [
+        ("one_word", 7usize..8),
+        ("all_words", 0..words),
+        ("alternate_words", 0..words),
+    ]
+    .into_iter()
+    .map(|(name, range)| {
+        let twin = vec![0u8; size];
+        let mut cur = twin.clone();
+        for w in range {
+            if name != "alternate_words" || w % 2 == 0 {
+                cur[w * 4..w * 4 + 4].copy_from_slice(&1u32.to_le_bytes());
             }
-            (name, cur, twin)
-        })
-        .collect()
+        }
+        (name, cur, twin)
+    })
+    .collect()
 }
 
 fn bench_diff(c: &mut Criterion) {

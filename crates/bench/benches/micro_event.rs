@@ -1,0 +1,80 @@
+//! Criterion microbenchmarks of the discrete-event delivery engine: wall
+//! clock per message through the virtual-time scheduler, compared against the
+//! legacy passthrough (raw FIFO) mode, plus the pure submit/drain heap cost.
+//!
+//! Refresh the committed baseline with:
+//! `BENCH_JSON_OUT=BENCH_sim.json cargo bench -p munin-bench --bench micro_event`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use munin_sim::{CostModel, DeliveryMode, EngineConfig, Network, NodeClock, NodeId};
+use std::time::Duration;
+
+/// Measures a two-node ping-pong round trip (send + deliver + reply).
+fn bench_pingpong(c: &mut Criterion, mode: DeliveryMode, label: &str) {
+    let mut group = c.benchmark_group("event_engine");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(15);
+    group.bench_function(format!("pingpong/{label}"), |b| {
+        let cfg = EngineConfig::seeded(7).with_mode(mode);
+        let mut net: Network<u64> = Network::with_engine(2, CostModel::fast_test(), cfg);
+        let (tx0, rx0) = net.endpoint(0, NodeClock::new()).unwrap();
+        let (tx1, rx1) = net.endpoint(1, NodeClock::new()).unwrap();
+        // Payload 0 is the stop sentinel: the echo thread holds its own
+        // sender, so it would never observe channel disconnection.
+        let echo = std::thread::spawn(move || {
+            while let Ok((_env, v)) = rx1.recv() {
+                if v == 0 || tx1.send(NodeId::new(0), "pong", 8, v).is_err() {
+                    break;
+                }
+            }
+        });
+        b.iter(|| {
+            tx0.send(NodeId::new(1), "ping", 8, 1).unwrap();
+            rx0.recv().unwrap().1
+        });
+        tx0.send(NodeId::new(1), "stop", 8, 0).unwrap();
+        drop(tx0);
+        drop(rx0);
+        drop(net);
+        let _ = echo.join();
+    });
+    group.finish();
+}
+
+/// Measures the single-threaded submit+drain cost of a 1024-message batch
+/// (the pure priority-queue overhead, no thread handoff).
+fn bench_submit_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_engine");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(15);
+    group.bench_function("submit_drain_1024/virtual_time", |b| {
+        let mut net: Network<u64> =
+            Network::with_engine(2, CostModel::fast_test(), EngineConfig::seeded(7));
+        let (tx0, _rx0) = net.endpoint(0, NodeClock::new()).unwrap();
+        let (_tx1, rx1) = net.endpoint(1, NodeClock::new()).unwrap();
+        b.iter(|| {
+            for i in 0..1024u64 {
+                tx0.send(NodeId::new(1), "batch", 64, i).unwrap();
+            }
+            let mut n = 0u64;
+            while let Some(_msg) = rx1.try_recv().unwrap() {
+                n += 1;
+            }
+            n
+        });
+    });
+    group.finish();
+}
+
+fn bench_event(c: &mut Criterion) {
+    bench_pingpong(c, DeliveryMode::VirtualTime, "virtual_time");
+    bench_pingpong(c, DeliveryMode::Passthrough, "passthrough");
+    bench_submit_drain(c);
+}
+
+criterion_group!(benches, bench_event);
+criterion_main!(benches);

@@ -10,9 +10,6 @@ fn main() {
         "{}",
         format_comparison_table("SOR, 1024x512 grid, 20 iterations", &rows)
     );
-    let worst = rows
-        .iter()
-        .map(|r| r.diff_pct())
-        .fold(f64::MIN, f64::max);
+    let worst = rows.iter().map(|r| r.diff_pct()).fold(f64::MIN, f64::max);
     println!("worst-case Munin overhead vs message passing: {worst:.1}%");
 }

@@ -386,7 +386,11 @@ mod tests {
         let params = MatmulParams::small(16, 2);
         let (munin, _) = matmul::run_munin(params, cost.clone()).unwrap();
         let (dm, _) = matmul::run_message_passing(params, cost).unwrap();
-        let row = ComparisonRow { procs: 2, dm, munin };
+        let row = ComparisonRow {
+            procs: 2,
+            dm,
+            munin,
+        };
         let table = format_comparison_table("test", &[row]);
         assert!(table.contains("# Procs"));
         assert_eq!(table.lines().count(), 3);

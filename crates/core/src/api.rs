@@ -307,7 +307,8 @@ impl MuninProgram {
         let done = self.done.clone();
         let worker = &worker;
 
-        let cluster: Cluster<DsmMsg> = Cluster::new(nodes, self.cfg.cost.clone());
+        let cluster: Cluster<DsmMsg> =
+            Cluster::new(nodes, self.cfg.cost.clone()).with_engine(self.cfg.engine);
         let report = cluster
             .run(move |ctx| -> NodeOutcome<R> {
                 let (node, n, clock, cost, sender, receiver) = ctx.into_parts();
@@ -416,7 +417,12 @@ pub struct InitCtx<'a> {
 
 impl InitCtx<'_> {
     /// Writes one element of a shared variable.
-    pub fn write<T: Shareable>(&mut self, var: &SharedVar<T>, index: usize, value: T) -> Result<()> {
+    pub fn write<T: Shareable>(
+        &mut self,
+        var: &SharedVar<T>,
+        index: usize,
+        value: T,
+    ) -> Result<()> {
         var.check_range(index, 1)?;
         self.write_slice(var, index, &[value])
     }
@@ -507,14 +513,14 @@ impl WorkerCtx<'_> {
         if self.annotation_of(var.id) == SharingAnnotation::Reduction {
             for (i, slot) in out.iter_mut().enumerate() {
                 let obj_offset = (offset + i) * T::ELEM_SIZE;
-                let (object, within) = self
-                    .table
-                    .locate(var.id, obj_offset)
-                    .ok_or(MuninError::OutOfBounds {
-                        var: var.name,
-                        index: offset + i,
-                        len: var.len,
-                    })?;
+                let (object, within) =
+                    self.table
+                        .locate(var.id, obj_offset)
+                        .ok_or(MuninError::OutOfBounds {
+                            var: var.name,
+                            index: offset + i,
+                            len: var.len,
+                        })?;
                 let old = self.rt.reduce(object, within, ReduceOp::Read)?;
                 *slot = T::read_le(&old[..T::ELEM_SIZE]);
             }
@@ -596,12 +602,16 @@ impl WorkerCtx<'_> {
     /// `Fetch_and_add` on an element of a floating-point reduction variable.
     pub fn fetch_and_add_f64(&self, var: &SharedVar<f64>, index: usize, value: f64) -> Result<f64> {
         let old = self.fetch_and_raw(var.id, var.name, var.len, index, ReduceOp::AddF64(value))?;
-        Ok(f64::from_le_bytes(old[..8].try_into().expect("f64 element")))
+        Ok(f64::from_le_bytes(
+            old[..8].try_into().expect("f64 element"),
+        ))
     }
 
     fn fetch_and(&self, var: &SharedVar<i64>, index: usize, op: ReduceOp) -> Result<i64> {
         let old = self.fetch_and_raw(var.id, var.name, var.len, index, op)?;
-        Ok(i64::from_le_bytes(old[..8].try_into().expect("i64 element")))
+        Ok(i64::from_le_bytes(
+            old[..8].try_into().expect("i64 element"),
+        ))
     }
 
     fn fetch_and_raw(
@@ -613,12 +623,20 @@ impl WorkerCtx<'_> {
         op: ReduceOp,
     ) -> Result<Vec<u8>> {
         if index >= len {
-            return Err(MuninError::OutOfBounds { var: name, index, len });
+            return Err(MuninError::OutOfBounds {
+                var: name,
+                index,
+                len,
+            });
         }
-        let (object, within) = self
-            .table
-            .locate(var, index * 8)
-            .ok_or(MuninError::OutOfBounds { var: name, index, len })?;
+        let (object, within) =
+            self.table
+                .locate(var, index * 8)
+                .ok_or(MuninError::OutOfBounds {
+                    var: name,
+                    index,
+                    len,
+                })?;
         self.rt.reduce(object, within, op)
     }
 

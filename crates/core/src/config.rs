@@ -1,6 +1,6 @@
 //! Runtime configuration.
 
-use munin_sim::CostModel;
+use munin_sim::{CostModel, EngineConfig};
 
 use crate::annotation::SharingAnnotation;
 use crate::object::DEFAULT_PAGE_SIZE;
@@ -36,6 +36,10 @@ pub struct MuninConfig {
     pub annotation_override: Option<SharingAnnotation>,
     /// Copyset determination algorithm used at DUQ flushes.
     pub copyset_strategy: CopysetStrategy,
+    /// Event-engine configuration (schedule seed, delivery mode, fault
+    /// injection). A failing run can be replayed by re-running with the same
+    /// seed.
+    pub engine: EngineConfig,
 }
 
 impl MuninConfig {
@@ -48,6 +52,7 @@ impl MuninConfig {
             cost: CostModel::sun_ethernet_1991(),
             annotation_override: None,
             copyset_strategy: CopysetStrategy::Broadcast,
+            engine: EngineConfig::from_env(),
         }
     }
 
@@ -60,6 +65,7 @@ impl MuninConfig {
             cost: CostModel::fast_test(),
             annotation_override: None,
             copyset_strategy: CopysetStrategy::Broadcast,
+            engine: EngineConfig::from_env(),
         }
     }
 
@@ -86,6 +92,12 @@ impl MuninConfig {
         self.copyset_strategy = strategy;
         self
     }
+
+    /// Sets the event-engine configuration (schedule seed, fault plan).
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -108,7 +120,10 @@ mod tests {
             .with_annotation_override(SharingAnnotation::Conventional)
             .with_copyset_strategy(CopysetStrategy::OwnerCollected);
         assert_eq!(cfg.page_size, 128);
-        assert_eq!(cfg.annotation_override, Some(SharingAnnotation::Conventional));
+        assert_eq!(
+            cfg.annotation_override,
+            Some(SharingAnnotation::Conventional)
+        );
         assert_eq!(cfg.copyset_strategy, CopysetStrategy::OwnerCollected);
     }
 }

@@ -165,7 +165,10 @@ mod tests {
     fn union_saturates_to_all_nodes() {
         let a = CopySet::from_nodes([NodeId::new(1)]);
         let b = CopySet::from_nodes([NodeId::new(2)]);
-        assert_eq!(a.union(&b), CopySet::from_nodes([NodeId::new(1), NodeId::new(2)]));
+        assert_eq!(
+            a.union(&b),
+            CopySet::from_nodes([NodeId::new(1), NodeId::new(2)])
+        );
         assert_eq!(a.union(&CopySet::AllNodes), CopySet::AllNodes);
     }
 }

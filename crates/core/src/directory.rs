@@ -62,6 +62,14 @@ pub struct ObjectState {
     /// thread); incoming requests for it are deferred — the moral equivalent
     /// of the paper's per-entry access-control semaphore.
     pub busy: bool,
+    /// The local user thread holds this entry's access rights for an
+    /// in-progress memory access (the check-then-act window between the
+    /// rights check and the actual read/write of segment memory). Unlike
+    /// `busy`, a pinned entry is released without any intervening blocking,
+    /// so ownership-transferring fetches and invalidations can simply be
+    /// deferred until the access completes — this closes the lost-update race
+    /// where a fetch was served between `ensure_write` and the write.
+    pub pinned: bool,
 }
 
 /// One entry of the data object directory.
@@ -123,7 +131,12 @@ impl Directory {
         for obj in table.objects() {
             let declared = table.annotation_of(obj.id);
             let annotation = match annotation_override {
-                Some(forced) if declared != SharingAnnotation::ReadOnly || forced_applies_to_read_only(forced) => forced,
+                Some(forced)
+                    if declared != SharingAnnotation::ReadOnly
+                        || forced_applies_to_read_only(forced) =>
+                {
+                    forced
+                }
                 _ => declared,
             };
             let params = ProtocolParams::for_annotation(annotation);

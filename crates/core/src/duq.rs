@@ -196,7 +196,10 @@ mod tests {
         assert_eq!(removed.object, ObjectId::new(1));
         assert_eq!(duq.len(), 2);
         assert!(duq.contains(ObjectId::new(2)));
-        assert_eq!(duq.remove(ObjectId::new(2)).unwrap().object, ObjectId::new(2));
+        assert_eq!(
+            duq.remove(ObjectId::new(2)).unwrap().object,
+            ObjectId::new(2)
+        );
         assert!(duq.remove(ObjectId::new(7)).is_none());
     }
 

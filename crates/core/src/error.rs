@@ -66,7 +66,10 @@ impl fmt::Display for MuninError {
                 )
             }
             MuninError::OutOfBounds { var, index, len } => {
-                write!(f, "index {index} out of bounds for shared variable `{var}` of length {len}")
+                write!(
+                    f,
+                    "index {index} out of bounds for shared variable `{var}` of length {len}"
+                )
             }
             MuninError::NotAReductionObject(o) => {
                 write!(f, "Fetch_and_Φ applied to non-reduction object {o:?}")

@@ -46,7 +46,7 @@ pub mod stats;
 pub mod sync;
 
 pub use annotation::{render_table1, Param, ProtocolParams, SharingAnnotation};
-pub use api::{InitCtx, MuninProgram, MuninReport, SharedVar, Shareable, WorkerCtx};
+pub use api::{InitCtx, MuninProgram, MuninReport, Shareable, SharedVar, WorkerCtx};
 pub use config::{CopysetStrategy, MuninConfig};
 pub use error::{MuninError, Result};
 pub use object::{ObjectId, VarId, DEFAULT_PAGE_SIZE};

@@ -254,9 +254,7 @@ impl DsmMsg {
             DsmMsg::ObjectFetch { .. } => 8,
             DsmMsg::ObjectData { data, .. } => data.len() as u64 + 16,
             DsmMsg::Invalidate { .. } | DsmMsg::InvalidateAck { .. } => 8,
-            DsmMsg::Update { items, .. } => {
-                items.iter().map(|i| 8 + i.payload.model_bytes()).sum()
-            }
+            DsmMsg::Update { items, .. } => items.iter().map(|i| 8 + i.payload.model_bytes()).sum(),
             DsmMsg::UpdateAck { .. } => 8,
             DsmMsg::CopysetQuery { objects, .. } => 4 * objects.len() as u64,
             DsmMsg::CopysetReply { have } => 4 * have.len() as u64,
@@ -265,7 +263,9 @@ impl DsmMsg {
             DsmMsg::ReduceRequest { .. } => 24,
             DsmMsg::ReduceReply { old } => old.len() as u64,
             DsmMsg::LockAcquire { .. } => 8,
-            DsmMsg::LockGrant { queue, piggyback, .. } => {
+            DsmMsg::LockGrant {
+                queue, piggyback, ..
+            } => {
                 8 + 4 * queue.len() as u64
                     + piggyback
                         .iter()
@@ -407,7 +407,9 @@ mod tests {
     fn every_class_is_nonempty() {
         let msgs = [
             DsmMsg::Shutdown,
-            DsmMsg::WorkerDone { from: NodeId::new(0) },
+            DsmMsg::WorkerDone {
+                from: NodeId::new(0),
+            },
             DsmMsg::UpdateAck { count: 1 },
             DsmMsg::CopysetReply { have: vec![] },
         ];

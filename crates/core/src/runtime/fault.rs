@@ -55,6 +55,11 @@ impl NodeRuntime {
 
     /// Reads `out.len()` bytes starting at `byte_offset` of variable `var`'s
     /// storage, faulting in each covered object as needed.
+    ///
+    /// The covered entries are *pinned* (their rights held) from the final
+    /// rights check until the bytes have been copied out, so an
+    /// ownership-transferring fetch cannot invalidate the local copy inside
+    /// the check-then-act window.
     pub(crate) fn read_var_bytes(
         self: &Arc<Self>,
         var: crate::object::VarId,
@@ -64,17 +69,24 @@ impl NodeRuntime {
         let objects = self
             .table
             .objects_in_range(var, byte_offset, byte_offset + out.len());
-        for obj in &objects {
-            self.ensure_read(*obj)?;
-        }
+        self.pin_for_access(&objects, false)?;
         let base = self.table.var(var).segment_offset;
-        let mem = self.memory.lock();
-        out.copy_from_slice(&mem[base + byte_offset..base + byte_offset + out.len()]);
+        {
+            let mem = self.memory.lock();
+            out.copy_from_slice(&mem[base + byte_offset..base + byte_offset + out.len()]);
+        }
+        self.unpin(&objects);
         Ok(())
     }
 
     /// Writes `data` starting at `byte_offset` of variable `var`'s storage,
     /// faulting each covered object for write access as needed.
+    ///
+    /// The covered entries are pinned from the final rights check until the
+    /// bytes are in segment memory: a concurrently arriving
+    /// ownership-transferring fetch is deferred by the service thread until
+    /// the write has landed, so the served copy always contains it (the
+    /// ROADMAP lost-update race).
     pub(crate) fn write_var_bytes(
         self: &Arc<Self>,
         var: crate::object::VarId,
@@ -84,13 +96,66 @@ impl NodeRuntime {
         let objects = self
             .table
             .objects_in_range(var, byte_offset, byte_offset + data.len());
-        for obj in &objects {
-            self.ensure_write(*obj)?;
-        }
+        self.pin_for_access(&objects, true)?;
         let base = self.table.var(var).segment_offset;
-        let mut mem = self.memory.lock();
-        mem[base + byte_offset..base + byte_offset + data.len()].copy_from_slice(data);
+        {
+            let mut mem = self.memory.lock();
+            mem[base + byte_offset..base + byte_offset + data.len()].copy_from_slice(data);
+        }
+        self.unpin(&objects);
         Ok(())
+    }
+
+    /// Acquires the rights needed for a memory access of `objects` and pins
+    /// every covered entry under a single directory lock.
+    ///
+    /// Faulting (which may block on remote replies) happens *without* any pin
+    /// held, so two nodes faulting each other's objects cannot deadlock; the
+    /// verify-and-pin step then re-checks all rights atomically and retries
+    /// the faults if a racing ownership transfer revoked them in between.
+    fn pin_for_access(self: &Arc<Self>, objects: &[ObjectId], write: bool) -> Result<()> {
+        loop {
+            for obj in objects {
+                if write {
+                    self.ensure_write(*obj)?;
+                } else {
+                    self.ensure_read(*obj)?;
+                }
+            }
+            let mut dir = self.dir.lock();
+            let all_valid = objects.iter().all(|o| {
+                let rights = dir.entry(*o).state.rights;
+                if write {
+                    rights.allows_write()
+                } else {
+                    rights.allows_read()
+                }
+            });
+            if all_valid {
+                for obj in objects {
+                    let entry = dir.entry_mut(*obj);
+                    entry.state.pinned = true;
+                    if write {
+                        entry.state.dirty = true;
+                    }
+                }
+                return Ok(());
+            }
+            // Lost a race with a remote ownership transfer between the fault
+            // and the pin: drop the lock and fault again.
+        }
+    }
+
+    /// Releases the pins taken by [`Self::pin_for_access`] and retries any
+    /// requests the service thread deferred while the access was in flight.
+    fn unpin(self: &Arc<Self>, objects: &[ObjectId]) {
+        {
+            let mut dir = self.dir.lock();
+            for obj in objects {
+                dir.entry_mut(*obj).state.pinned = false;
+            }
+        }
+        self.note_unblocked_and_process_deferred();
     }
 
     /// Handles a read access fault.
@@ -272,6 +337,12 @@ impl NodeRuntime {
         }
         bump(&self.stats.objects_fetched);
         add(&self.stats.fetch_bytes, data.len() as u64);
+        crate::runtime::proto_trace!(
+            self,
+            "installed {object:?} from {:?} (ownership={ownership} writable={writable} arrival={}ns)",
+            env.src,
+            env.arrival.as_nanos()
+        );
         self.charge_sys(self.cost.dir_op());
         self.install_object_bytes(object, &data);
         let pending_invalidate = {
@@ -349,7 +420,7 @@ impl NodeRuntime {
             let mut dir = self.dir.lock();
             dir.entry_mut(object).state.busy = false;
         }
-        self.process_deferred();
+        self.note_unblocked_and_process_deferred();
     }
 }
 
@@ -428,7 +499,10 @@ mod tests {
         rt.write_fault(ws).unwrap();
         assert!(rt.duq.lock().contains(ws));
         assert!(rt.duq.lock().twin_of(ws).is_some());
-        assert_eq!(rt.dir.lock().entry(ws).state.rights, AccessRights::ReadWrite);
+        assert_eq!(
+            rt.dir.lock().entry(ws).state.rights,
+            AccessRights::ReadWrite
+        );
         assert_eq!(rt.stats().snapshot().twins_created, 1);
         assert_eq!(rt.stats().snapshot().write_faults, 1);
     }

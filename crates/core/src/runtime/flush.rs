@@ -62,7 +62,9 @@ impl NodeRuntime {
         };
         if !needs_determination.is_empty() {
             let determined = match self.cfg.copyset_strategy {
-                CopysetStrategy::Broadcast => self.determine_copysets_broadcast(&needs_determination)?,
+                CopysetStrategy::Broadcast => {
+                    self.determine_copysets_broadcast(&needs_determination)?
+                }
                 CopysetStrategy::OwnerCollected => {
                     self.determine_copysets_owner(&needs_determination)?
                 }
@@ -70,7 +72,28 @@ impl NodeRuntime {
             let mut dir = self.dir.lock();
             for (object, copyset) in determined {
                 let entry = dir.entry_mut(object);
-                entry.copyset = copyset;
+                // For objects this node owns, *merge* the determined set with
+                // the replicas recorded while serving fetches: a fetch served
+                // after the query replies were collected (its requester's
+                // reply raced the in-flight object data) must not be
+                // forgotten, or its holder would silently stop receiving
+                // updates — the seed-level SOR divergence. The merge is a
+                // deliberate over-approximation: a member that later dropped
+                // its copy (e.g. the Invalidate hint) cannot be pruned here,
+                // because "doesn't have a copy right now" is indistinguishable
+                // from "fetch in flight". Stale members cost one discarded
+                // update per flush and are reset by ownership transfers and
+                // invalidations, which clear the copyset.
+                if entry.state.owned {
+                    entry.copyset = entry.copyset.union(&copyset);
+                } else {
+                    entry.copyset = copyset;
+                }
+                crate::runtime::proto_trace!(
+                    self,
+                    "copyset of {object:?} determined: {:?}",
+                    entry.copyset.members(self.nodes, None)
+                );
                 if entry.params.is_stable() {
                     entry.state.copyset_fixed = true;
                 }
@@ -86,13 +109,10 @@ impl NodeRuntime {
             let (payload, destinations) = self.encode_entry(entry)?;
             let Some(payload) = payload else { continue };
             for dest in destinations {
-                per_dest
-                    .entry(dest)
-                    .or_default()
-                    .push(UpdateItem {
-                        object,
-                        payload: payload.clone(),
-                    });
+                per_dest.entry(dest).or_default().push(UpdateItem {
+                    object,
+                    payload: payload.clone(),
+                });
             }
         }
 
@@ -100,6 +120,11 @@ impl NodeRuntime {
         // release consistency: updates are performed at the release).
         let expected_acks = per_dest.len();
         for (dest, items) in per_dest {
+            crate::runtime::proto_trace!(
+                self,
+                "flush -> {dest:?}: {:?}",
+                items.iter().map(|i| i.object).collect::<Vec<_>>()
+            );
             add(&self.stats.updates_sent, 1);
             add(
                 &self.stats.update_bytes_sent,
@@ -165,10 +190,10 @@ impl NodeRuntime {
                     let mut scratch = self.diff_scratch.lock();
                     scratch.encode(&mem[range.clone()], &twin)
                 };
-                self.charge_sys(self.cost.encode(
-                    (range.len() / 4) as u64,
-                    d.run_count() as u64,
-                ));
+                self.charge_sys(
+                    self.cost
+                        .encode((range.len() / 4) as u64, d.run_count() as u64),
+                );
                 self.duq.lock().recycle_twin(twin);
                 if d.is_empty() {
                     None
@@ -351,8 +376,10 @@ impl NodeRuntime {
     /// information", so the next flush re-determines producer-consumer
     /// copysets.
     pub(crate) fn phase_change(self: &Arc<Self>) {
-        let duq = self.duq.lock();
+        // Lock order dir → duq, like every other path that holds both (the
+        // invalidate handler encodes its flush under the directory lock).
         let mut dir = self.dir.lock();
+        let duq = self.duq.lock();
         for idx in 0..dir.len() {
             let e = dir.entry_mut(ObjectId::new(idx as u32));
             if e.params.is_stable() {
@@ -575,11 +602,15 @@ mod tests {
         assert_eq!(d.changed_words(), 8);
         // Fan the payload out as flush_duq does and verify every clone
         // shares the same underlying buffer — i.e. exactly one encoding.
-        let fanned: Vec<UpdatePayload> =
-            destinations.iter().map(|_| payload.clone()).collect();
+        let fanned: Vec<UpdatePayload> = destinations.iter().map(|_| payload.clone()).collect();
         for p in &fanned {
-            let UpdatePayload::Diff(c) = p else { unreachable!() };
-            assert!(c.shares_buffer(d), "per-destination clones must share one encoding");
+            let UpdatePayload::Diff(c) = p else {
+                unreachable!()
+            };
+            assert!(
+                c.shares_buffer(d),
+                "per-destination clones must share one encoding"
+            );
         }
         // The twin buffer went back to the pool for the next first-write.
         assert_eq!(rt.duq.lock().pooled_twins(), 1);

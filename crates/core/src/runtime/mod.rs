@@ -47,6 +47,31 @@ use crate::sync::SyncDirectory;
 /// a correct protocol never hits it.
 const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
 
+/// Whether `MUNIN_PROTO_TRACE=1` protocol tracing is enabled (debugging aid
+/// for protocol races; logs go to stderr with node ids and virtual times).
+pub(crate) fn proto_trace_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var("MUNIN_PROTO_TRACE")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+    })
+}
+
+macro_rules! proto_trace {
+    ($self:expr, $($arg:tt)*) => {
+        if crate::runtime::proto_trace_enabled() {
+            eprintln!(
+                "[{:?} t={}ns] {}",
+                $self.node,
+                $self.clock.now().as_nanos(),
+                format!($($arg)*)
+            );
+        }
+    };
+}
+pub(crate) use proto_trace;
+
 /// The per-node runtime state shared by the user thread and the service
 /// thread.
 pub struct NodeRuntime {
@@ -71,6 +96,11 @@ pub struct NodeRuntime {
     sync: Mutex<SyncDirectory>,
     /// Requests deferred because their directory entry was busy.
     deferred: Mutex<Vec<(Envelope, DsmMsg)>>,
+    /// Bumped whenever a blocking condition clears (busy bit or pin
+    /// released). `process_deferred` re-loops when it observes a bump, so a
+    /// request re-deferred concurrently with the condition clearing cannot be
+    /// stranded with no remaining retry trigger.
+    deferred_gen: std::sync::atomic::AtomicU64,
     /// Statistics.
     stats: Arc<MuninStats>,
     reply_tx: channel::Sender<(Envelope, DsmMsg)>,
@@ -110,6 +140,7 @@ impl NodeRuntime {
             diff_scratch: Mutex::new(DiffScratch::new()),
             sync: Mutex::new(sync),
             deferred: Mutex::new(Vec::new()),
+            deferred_gen: std::sync::atomic::AtomicU64::new(0),
             stats: MuninStats::new(),
             reply_tx,
             reply_rx,
@@ -284,7 +315,9 @@ impl NodeRuntime {
     /// busy. Safe to call from either thread: the handlers it invokes never
     /// block on remote replies.
     pub(crate) fn process_deferred(self: &Arc<Self>) {
+        use std::sync::atomic::Ordering;
         loop {
+            let gen = self.deferred_gen.load(Ordering::SeqCst);
             let pending = {
                 let mut deferred = self.deferred.lock();
                 if deferred.is_empty() {
@@ -297,11 +330,25 @@ impl NodeRuntime {
                 self.handle_request(env, msg);
             }
             // If nothing was consumed (everything re-deferred), stop retrying
-            // until the next message or transition completion.
-            if self.deferred.lock().len() >= before {
+            // until the next message or transition completion — unless a
+            // blocking condition cleared while we were re-handling (the
+            // releasing thread's own `process_deferred` may have run against
+            // a momentarily empty queue), in which case retry now.
+            if self.deferred.lock().len() >= before
+                && self.deferred_gen.load(Ordering::SeqCst) == gen
+            {
                 return;
             }
         }
+    }
+
+    /// Records that a blocking condition (busy bit or pin) has been cleared,
+    /// then retries deferred requests. Must be called *after* the directory
+    /// update that cleared the condition.
+    pub(crate) fn note_unblocked_and_process_deferred(self: &Arc<Self>) {
+        self.deferred_gen
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        self.process_deferred();
     }
 
     /// Snapshot of this node's entire shared-segment memory (used by the root
@@ -381,7 +428,10 @@ mod tests {
         let rt = single_node_runtime();
         rt.compute(10);
         rt.charge_sys(VirtTime::from_nanos(50));
-        assert_eq!(rt.clock().user_time().as_nanos(), 10 * rt.cost.compute_op_ns);
+        assert_eq!(
+            rt.clock().user_time().as_nanos(),
+            10 * rt.cost.compute_op_ns
+        );
         assert_eq!(rt.clock().system_time().as_nanos(), 50);
     }
 }

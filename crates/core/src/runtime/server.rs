@@ -60,7 +60,7 @@ impl NodeRuntime {
                 requester,
             } => self.handle_object_fetch(env, object, access, requester),
             DsmMsg::Invalidate { object, requester } => {
-                self.handle_invalidate(object, requester, now)
+                self.handle_invalidate(env, object, requester)
             }
             DsmMsg::Update {
                 items,
@@ -68,7 +68,7 @@ impl NodeRuntime {
                 needs_ack,
             } => self.handle_update(items, requester, needs_ack, now),
             DsmMsg::CopysetQuery { objects, requester } => {
-                self.handle_copyset_query(objects, requester, now)
+                self.handle_copyset_query(env, objects, requester)
             }
             DsmMsg::OwnerCopysetQuery { objects, requester } => {
                 self.handle_owner_copyset_query(objects, requester, now)
@@ -104,7 +104,6 @@ impl NodeRuntime {
         requester: NodeId,
     ) {
         let now = env.arrival;
-        self.charge_sys(self.cost.dir_op());
         enum Action {
             Defer,
             Forward(NodeId),
@@ -117,7 +116,11 @@ impl NodeRuntime {
         let action = {
             let mut dir = self.dir.lock();
             let entry = dir.entry_mut(object);
-            if entry.state.busy {
+            if entry.state.busy || entry.state.pinned {
+                // Mid-transition, or the user thread holds the rights for an
+                // in-flight memory access: serve the fetch only after the
+                // transition/access completes, so a served copy can never
+                // miss a locally checked-but-not-yet-performed write.
                 Action::Defer
             } else if !entry.state.owned {
                 let hint = if entry.probable_owner == self.node {
@@ -193,8 +196,15 @@ impl NodeRuntime {
                 }
             }
         };
+        // The directory-lookup cost is charged once per request actually
+        // examined, not per defer-retry cycle: the number of retries depends
+        // on host thread interleaving and must not perturb virtual time.
+        if !matches!(action, Action::Defer) {
+            self.charge_sys(self.cost.dir_op());
+        }
         match action {
             Action::Defer => {
+                crate::runtime::proto_trace!(self, "defer fetch {object:?} from {requester:?}");
                 self.deferred.lock().push((
                     env,
                     DsmMsg::ObjectFetch {
@@ -220,6 +230,11 @@ impl NodeRuntime {
                 copyset,
                 writable,
             } => {
+                crate::runtime::proto_trace!(
+                    self,
+                    "serve fetch {object:?} to {requester:?} (ownership={ownership} writable={writable}, arrival={}ns)",
+                    env.arrival.as_nanos()
+                );
                 // Copy the object out of memory after the directory borrow is
                 // released, charging the copy cost the prototype pays when it
                 // assembles the reply.
@@ -242,40 +257,71 @@ impl NodeRuntime {
     }
 
     /// Invalidates the local copy of an object and acknowledges.
-    fn handle_invalidate(
-        self: &Arc<Self>,
-        object: ObjectId,
-        requester: NodeId,
-        now: munin_sim::VirtTime,
-    ) {
+    ///
+    /// If the local user thread holds the entry pinned for an in-flight
+    /// memory access, the invalidation is deferred: invalidating now would
+    /// lose the checked-but-not-yet-performed write. Pins are released
+    /// without blocking, so the deferral cannot deadlock (unlike deferring on
+    /// `busy`, whose holder may itself be waiting for this node's reply).
+    fn handle_invalidate(self: &Arc<Self>, env: Envelope, object: ObjectId, requester: NodeId) {
+        let now = env.arrival;
+        // Pinned guard, flush encode, and the invalidation itself run under
+        // ONE directory lock, so a pin cannot start (and a write cannot land
+        // unseen) anywhere between the guard and the rights change. The lock
+        // order is dir → duq → memory, consistent with every other path
+        // (`phase_change` takes dir before duq for this reason).
+        let flush_payload = {
+            let mut dir = self.dir.lock();
+            let entry = dir.entry_mut(object);
+            if entry.state.pinned {
+                // No virtual-time charge on a deferred attempt: retry counts
+                // are host-timing dependent.
+                drop(dir);
+                self.deferred
+                    .lock()
+                    .push((env, DsmMsg::Invalidate { object, requester }));
+                return;
+            }
+            let flush_first = entry.state.dirty && entry.params.allows_multiple_writers();
+            let payload = if flush_first {
+                // "If a Munin node with a dirty copy of an object receives an
+                // invalidation request for that object and multiple writers
+                // are allowed, any pending local updates are propagated."
+                let twin = {
+                    let mut duq = self.duq.lock();
+                    duq.remove(object).and_then(|e| e.twin)
+                };
+                match twin {
+                    Some(twin) => {
+                        let range = self.object_range(object);
+                        let d = {
+                            let mem = self.memory.lock();
+                            let mut scratch = self.diff_scratch.lock();
+                            scratch.encode(&mem[range], &twin)
+                        };
+                        self.duq.lock().recycle_twin(twin);
+                        Some(UpdatePayload::Diff(d))
+                    }
+                    None => Some(UpdatePayload::Full(self.object_bytes(object))),
+                }
+            } else {
+                if entry.state.dirty && !entry.params.allows_multiple_writers() {
+                    // Invalidation of a dirty single-writer copy: detected
+                    // runtime error (should be impossible under a correct
+                    // protocol).
+                    bump(&self.stats.runtime_errors);
+                }
+                None
+            };
+            entry.state.rights = AccessRights::Invalid;
+            entry.state.dirty = false;
+            entry.state.owned = false;
+            entry.probable_owner = requester;
+            payload
+        };
         self.charge_sys(self.cost.dir_op());
         bump(&self.stats.invalidations_received);
-        let flush_first = {
-            let dir = self.dir.lock();
-            let entry = dir.entry(object);
-            entry.state.dirty && entry.params.allows_multiple_writers()
-        };
-        if flush_first {
-            // "If a Munin node with a dirty copy of an object receives an
-            // invalidation request for that object and multiple writers are
-            // allowed, any pending local updates are propagated."
-            let twin = {
-                let mut duq = self.duq.lock();
-                duq.remove(object).and_then(|e| e.twin)
-            };
-            let payload = match twin {
-                Some(twin) => {
-                    let range = self.object_range(object);
-                    let d = {
-                        let mem = self.memory.lock();
-                        let mut scratch = self.diff_scratch.lock();
-                        scratch.encode(&mem[range], &twin)
-                    };
-                    self.duq.lock().recycle_twin(twin);
-                    UpdatePayload::Diff(d)
-                }
-                None => UpdatePayload::Full(self.object_bytes(object)),
-            };
+        if let Some(payload) = flush_payload {
             let _ = self.send_service(
                 requester,
                 DsmMsg::Update {
@@ -285,19 +331,6 @@ impl NodeRuntime {
                 },
                 now + self.cost.dir_op(),
             );
-        }
-        {
-            let mut dir = self.dir.lock();
-            let entry = dir.entry_mut(object);
-            if entry.state.dirty && !entry.params.allows_multiple_writers() {
-                // Invalidation of a dirty single-writer copy: detected runtime
-                // error (should be impossible under a correct protocol).
-                bump(&self.stats.runtime_errors);
-            }
-            entry.state.rights = AccessRights::Invalid;
-            entry.state.dirty = false;
-            entry.state.owned = false;
-            entry.probable_owner = requester;
         }
         let _ = self.send_service(
             requester,
@@ -321,6 +354,12 @@ impl NodeRuntime {
                 let dir = self.dir.lock();
                 dir.entry(item.object).state.rights.allows_read()
             };
+            crate::runtime::proto_trace!(
+                self,
+                "update {:?} from {requester:?} has_copy={has_copy} arrival={}ns",
+                item.object,
+                now.as_nanos()
+            );
             if !has_copy {
                 continue;
             }
@@ -360,26 +399,49 @@ impl NodeRuntime {
             bump(&self.stats.updates_applied);
         }
         if needs_ack {
-            let _ = self.send_service(requester, DsmMsg::UpdateAck { count: applied }, now + service);
+            let _ = self.send_service(
+                requester,
+                DsmMsg::UpdateAck { count: applied },
+                now + service,
+            );
         }
     }
 
     /// Answers a broadcast copyset query: which of the listed objects does
     /// this node hold a copy of?
+    ///
+    /// If any listed object is mid-fetch on this node (its busy bit is set),
+    /// the answer is deferred until the fetch completes: answering "don't
+    /// have" while the object data is in flight would let the flusher skip
+    /// this node, whose just-fetched copy would then miss the update forever.
     fn handle_copyset_query(
         self: &Arc<Self>,
+        env: Envelope,
         objects: Vec<ObjectId>,
         requester: NodeId,
-        now: munin_sim::VirtTime,
     ) {
-        self.charge_sys(self.cost.dir_op());
+        let now = env.arrival;
+        // Busy check and "have" computation under ONE directory lock: a fetch
+        // starting between two separate lock scopes would otherwise still be
+        // answered "don't have".
         let have: Vec<ObjectId> = {
             let dir = self.dir.lock();
+            if objects.iter().any(|o| dir.entry(*o).state.busy) {
+                // No virtual-time charge on a deferred attempt: retry counts
+                // are host-timing dependent.
+                drop(dir);
+                crate::runtime::proto_trace!(self, "defer copyset query from {requester:?}");
+                self.deferred
+                    .lock()
+                    .push((env, DsmMsg::CopysetQuery { objects, requester }));
+                return;
+            }
             objects
                 .into_iter()
                 .filter(|o| dir.entry(*o).state.rights.allows_read())
                 .collect()
         };
+        self.charge_sys(self.cost.dir_op());
         let _ = self.send_service(
             requester,
             DsmMsg::CopysetReply { have },
@@ -683,13 +745,7 @@ mod tests {
             }
             other => panic!("unexpected reply: {other:?}"),
         }
-        assert!(h
-            .rt
-            .dir
-            .lock()
-            .entry(ro)
-            .copyset
-            .contains(NodeId::new(1)));
+        assert!(h.rt.dir.lock().entry(ro).copyset.contains(NodeId::new(1)));
     }
 
     #[test]
@@ -711,7 +767,9 @@ mod tests {
         h.pump();
         match h.peer_recv() {
             DsmMsg::ObjectData {
-                ownership, writable, ..
+                ownership,
+                writable,
+                ..
             } => {
                 assert!(ownership);
                 assert!(writable);

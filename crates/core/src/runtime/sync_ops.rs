@@ -121,6 +121,7 @@ impl NodeRuntime {
     /// DUQ, notifies the barrier owner, and blocks until the barrier opens.
     pub(crate) fn wait_at_barrier(self: &Arc<Self>, barrier: BarrierId) -> Result<()> {
         self.flush_duq()?;
+        crate::runtime::proto_trace!(self, "arrive barrier {barrier:?}");
         bump(&self.stats.barrier_waits);
         self.charge_sys(self.cost.sync_op());
         let owner = {

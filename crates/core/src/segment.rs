@@ -27,7 +27,10 @@ pub struct SharedDataTable {
 impl SharedDataTable {
     /// Creates an empty table with the given consistency-unit (page) size.
     pub fn new(page_size: usize) -> Self {
-        assert!(page_size >= 4 && page_size.is_multiple_of(4), "page size must be a positive word multiple");
+        assert!(
+            page_size >= 4 && page_size.is_multiple_of(4),
+            "page size must be a positive word multiple"
+        );
         SharedDataTable {
             vars: Vec::new(),
             objects: Vec::new(),

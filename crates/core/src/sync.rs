@@ -267,8 +267,14 @@ mod tests {
     fn remote_acquire_queues_when_held() {
         let mut lock = LockState::new(n(0), n(0));
         assert!(lock.try_local_acquire());
-        assert_eq!(lock.handle_remote_acquire(n(1)), RemoteAcquireAction::Queued);
-        assert_eq!(lock.handle_remote_acquire(n(2)), RemoteAcquireAction::Queued);
+        assert_eq!(
+            lock.handle_remote_acquire(n(1)),
+            RemoteAcquireAction::Queued
+        );
+        assert_eq!(
+            lock.handle_remote_acquire(n(2)),
+            RemoteAcquireAction::Queued
+        );
         // Release hands ownership and the remaining queue to the head waiter.
         let (next, rest) = lock.release().unwrap();
         assert_eq!(next, n(1));

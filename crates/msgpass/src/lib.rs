@@ -166,7 +166,14 @@ mod tests {
     fn ints_round_trip_between_nodes() {
         let report = run_mp_program(2, CostModel::fast_test(), |ctx| {
             if ctx.node_id() == 0 {
-                ctx.send(1, MpMsg::Ints { tag: 7, data: vec![1, 2, 3] }).unwrap();
+                ctx.send(
+                    1,
+                    MpMsg::Ints {
+                        tag: 7,
+                        data: vec![1, 2, 3],
+                    },
+                )
+                .unwrap();
                 0
             } else {
                 let (src, tag, data) = ctx.recv_ints().unwrap();
@@ -194,8 +201,14 @@ mod tests {
 
     #[test]
     fn message_bytes_scale_with_payload() {
-        let small = MpMsg::Floats { tag: 0, data: vec![0.0; 2] };
-        let large = MpMsg::Floats { tag: 0, data: vec![0.0; 100] };
+        let small = MpMsg::Floats {
+            tag: 0,
+            data: vec![0.0; 2],
+        };
+        let large = MpMsg::Floats {
+            tag: 0,
+            data: vec![0.0; 100],
+        };
         assert!(large.model_bytes() > small.model_bytes());
         assert_eq!(MpMsg::BarrierArrive.model_bytes(), 36);
     }
@@ -206,8 +219,14 @@ mod tests {
         let report = run_mp_program(3, CostModel::fast_test(), |ctx| {
             if ctx.node_id() == 0 {
                 for n in 1..ctx.nodes() {
-                    ctx.send(n, MpMsg::Ints { tag: n as u32, data: vec![n as i64; 4] })
-                        .unwrap();
+                    ctx.send(
+                        n,
+                        MpMsg::Ints {
+                            tag: n as u32,
+                            data: vec![n as i64; 4],
+                        },
+                    )
+                    .unwrap();
                 }
                 let mut total = 0i64;
                 for _ in 1..ctx.nodes() {
@@ -232,7 +251,14 @@ mod tests {
         let report = run_mp_program(2, CostModel::fast_test(), |ctx| {
             if ctx.node_id() == 1 {
                 ctx.compute(1000);
-                ctx.send(0, MpMsg::Ints { tag: 0, data: vec![1] }).unwrap();
+                ctx.send(
+                    0,
+                    MpMsg::Ints {
+                        tag: 0,
+                        data: vec![1],
+                    },
+                )
+                .unwrap();
             } else {
                 let _ = ctx.recv().unwrap();
             }

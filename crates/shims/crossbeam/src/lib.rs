@@ -130,11 +130,7 @@ pub mod channel {
                 if self.inner.senders.load(Ordering::Acquire) == 0 {
                     return Err(RecvError);
                 }
-                q = self
-                    .inner
-                    .cond
-                    .wait(q)
-                    .unwrap_or_else(|e| e.into_inner());
+                q = self.inner.cond.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         }
 

@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use crate::cost::CostModel;
 use crate::error::SimError;
+use crate::event::{EngineConfig, TraceEntry};
 use crate::net::{Network, NodeId, Receiver, Sender};
 use crate::stats::{NetSnapshot, NodeTimes};
 use crate::time::{NodeClock, TimeKind, VirtTime};
@@ -57,7 +58,16 @@ impl<M: Send> NodeCtx<M> {
 
     /// Splits the context into its parts, for runtimes that move the receiver
     /// into a dedicated service thread.
-    pub fn into_parts(self) -> (NodeId, usize, NodeClock, Arc<CostModel>, Sender<M>, Receiver<M>) {
+    pub fn into_parts(
+        self,
+    ) -> (
+        NodeId,
+        usize,
+        NodeClock,
+        Arc<CostModel>,
+        Sender<M>,
+        Receiver<M>,
+    ) {
         (
             self.node,
             self.nodes,
@@ -78,17 +88,27 @@ impl<M: Send> NodeCtx<M> {
 pub struct Cluster<M> {
     nodes: usize,
     cost: CostModel,
+    engine: EngineConfig,
     _marker: std::marker::PhantomData<fn() -> M>,
 }
 
-impl<M: Send + 'static> Cluster<M> {
-    /// Creates a cluster of `nodes` nodes governed by `cost`.
+impl<M: Send + Clone + 'static> Cluster<M> {
+    /// Creates a cluster of `nodes` nodes governed by `cost`. The event
+    /// engine configuration defaults to [`EngineConfig::from_env`].
     pub fn new(nodes: usize, cost: CostModel) -> Self {
         Cluster {
             nodes,
             cost,
+            engine: EngineConfig::from_env(),
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Sets the event-engine configuration (schedule seed, delivery mode,
+    /// fault plan, trace recording) for this run.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Runs `f` once per node, each on its own OS thread, and collects the
@@ -107,8 +127,10 @@ impl<M: Send + 'static> Cluster<M> {
             return Err(SimError::EmptyCluster);
         }
         let clocks: Vec<NodeClock> = (0..self.nodes).map(|_| NodeClock::new()).collect();
-        let mut network: Network<M> = Network::new(self.nodes, self.cost.clone());
+        let mut network: Network<M> =
+            Network::with_engine(self.nodes, self.cost.clone(), self.engine);
         let stats = network.stats();
+        let engine = network.engine();
         let cost = Arc::new(self.cost);
 
         let mut ctxs = Vec::with_capacity(self.nodes);
@@ -166,11 +188,18 @@ impl<M: Send + 'static> Cluster<M> {
             .iter()
             .map(|t| t.total)
             .fold(VirtTime::ZERO, VirtTime::max);
+        let trace = engine.trace_snapshot();
+        let trace_digest = crate::event::trace_digest_of(&trace);
         Ok(ClusterReport {
             elapsed,
             node_times,
             net: stats.snapshot(),
-            results: results.into_iter().map(|r| r.expect("checked above")).collect(),
+            trace,
+            trace_digest,
+            results: results
+                .into_iter()
+                .map(|r| r.expect("checked above"))
+                .collect(),
         })
     }
 }
@@ -184,6 +213,12 @@ pub struct ClusterReport<R> {
     pub node_times: Vec<NodeTimes>,
     /// Network statistics for the whole run.
     pub net: NetSnapshot,
+    /// Delivery trace, sorted by `(dst, seq_at_dst)`. Empty unless the engine
+    /// configuration enabled trace recording.
+    pub trace: Vec<TraceEntry>,
+    /// Digest of the delivery trace (stable across runs that delivered the
+    /// same per-destination sequences).
+    pub trace_digest: u64,
     /// Per-node results returned by the node closures, indexed by node.
     pub results: Vec<R>,
 }
@@ -216,7 +251,10 @@ mod tests {
             })
             .unwrap();
         assert_eq!(report.results, vec![7]);
-        assert_eq!(report.elapsed.as_nanos(), 100 * CostModel::fast_test().compute_op_ns);
+        assert_eq!(
+            report.elapsed.as_nanos(),
+            100 * CostModel::fast_test().compute_op_ns
+        );
         assert_eq!(report.root_times().user, report.elapsed);
     }
 

@@ -1,0 +1,723 @@
+//! The deterministic virtual-time event engine.
+//!
+//! The old interconnect handed every message straight to an OS channel, so a
+//! destination observed messages in *real thread-scheduling order*. Under CPU
+//! oversubscription that order can disagree with virtual-time order, breaking
+//! the per-object ordering the Munin protocol argument assumes (see
+//! `ROADMAP.md`). This module replaces raw channels with a discrete-event
+//! scheduler:
+//!
+//! * every message becomes an [`Envelope`] scheduled on a per-destination
+//!   priority queue keyed by `(deliver_at, seeded tie-break, seqno)`;
+//! * per `(src, dst)` *lane*, delivery times are clamped to be nondecreasing
+//!   (links do not reorder — the FIFO-pipe property the protocol relies on
+//!   for update-after-ownership-transfer sequences);
+//! * per destination, the effective delivery time is clamped to the delivery
+//!   *frontier* (the largest time already delivered), so a receiver observes
+//!   a nondecreasing virtual-time sequence no matter how host threads race;
+//! * ties are broken by a hash seeded from [`EngineConfig::seed`], so equal
+//!   timestamps are delivered in an order that is stable under replay with
+//!   the same seed and *different* under a different seed — adversarial
+//!   schedule coverage without nondeterminism;
+//! * an optional seeded fault plan injects extra delay, reorder jitter, and
+//!   duplicates, all derived from per-lane counters so a replay with the same
+//!   seed sees the identical faults.
+//!
+//! A node *receives a message once its `NodeClock` has reached the message's
+//! delivery time*: popping the queue advances the receiver's clock to the
+//! effective delivery time (charging the gap as wait time), exactly like the
+//! old channel path, but the pop itself always selects the earliest
+//! deliverable message instead of the earliest *sent* one.
+//!
+//! The engine can also record the delivery trace (per-destination sequence of
+//! deliveries) so a run can be fingerprinted and replayed: two runs of a
+//! recv-driven workload with the same [`EngineConfig`] produce byte-identical
+//! per-destination traces.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::{Condvar, Mutex};
+
+use crate::error::SimError;
+use crate::net::{Envelope, NodeId};
+use crate::time::VirtTime;
+
+/// Default engine seed ("MUNIN" in ASCII).
+pub const DEFAULT_SEED: u64 = 0x4d_55_4e_49_4e;
+
+/// Environment variable overriding the default engine seed (used by CI to run
+/// the suite under a second schedule).
+pub const SEED_ENV_VAR: &str = "MUNIN_ENGINE_SEED";
+
+/// Environment variable selecting the delivery mode (`passthrough` restores
+/// the legacy raw-channel ordering).
+pub const MODE_ENV_VAR: &str = "MUNIN_ENGINE_MODE";
+
+/// How the engine orders deliveries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DeliveryMode {
+    /// Discrete-event delivery in `(deliver_at, seeded tie-break, seqno)`
+    /// order with per-lane FIFO clamping. The default.
+    #[default]
+    VirtualTime,
+    /// Legacy behaviour: per-destination FIFO in real enqueue order, no
+    /// clamping, no faults. Kept as an escape hatch for A/B debugging.
+    Passthrough,
+}
+
+/// Seeded fault-injection knobs. Probabilities are expressed in parts per
+/// million so the configuration stays `Eq` and hashable. All draws come from
+/// a per-lane generator, so the same seed injects the same faults on replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Probability (ppm) of adding an extra delivery delay to a message.
+    pub delay_ppm: u32,
+    /// Maximum extra delay in nanoseconds of virtual time.
+    pub max_delay_ns: u64,
+    /// Probability (ppm) of adding reorder jitter to a message (a small
+    /// timestamp perturbation that can push it behind later traffic).
+    pub reorder_ppm: u32,
+    /// Maximum reorder jitter in nanoseconds of virtual time.
+    pub reorder_window_ns: u64,
+    /// Probability (ppm) of duplicating a message. The duplicate carries the
+    /// same payload bytes and a slightly later delivery time. Only protocols
+    /// that tolerate duplicates should enable this.
+    pub duplicate_ppm: u32,
+}
+
+impl FaultPlan {
+    /// No faults (the default).
+    pub const fn none() -> Self {
+        FaultPlan {
+            delay_ppm: 0,
+            max_delay_ns: 0,
+            reorder_ppm: 0,
+            reorder_window_ns: 0,
+            duplicate_ppm: 0,
+        }
+    }
+
+    /// A delay + reorder plan suitable for protocol stress tests: `ppm`
+    /// of messages get up to `window_ns` of extra latency or jitter.
+    pub const fn jittery(ppm: u32, window_ns: u64) -> Self {
+        FaultPlan {
+            delay_ppm: ppm,
+            max_delay_ns: window_ns,
+            reorder_ppm: ppm,
+            reorder_window_ns: window_ns,
+            duplicate_ppm: 0,
+        }
+    }
+
+    fn is_none(&self) -> bool {
+        *self == FaultPlan::none()
+    }
+}
+
+/// Configuration of the event engine for one network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Seed for tie-breaking and fault injection. A failing run prints its
+    /// seed; re-running with the same seed replays the same schedule.
+    pub seed: u64,
+    /// Delivery ordering mode.
+    pub mode: DeliveryMode,
+    /// Fault-injection knobs.
+    pub faults: FaultPlan,
+    /// Whether to record the delivery trace (per-destination sequences).
+    pub record_trace: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: DEFAULT_SEED,
+            mode: DeliveryMode::VirtualTime,
+            faults: FaultPlan::none(),
+            record_trace: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// An engine with the given schedule seed.
+    pub fn seeded(seed: u64) -> Self {
+        EngineConfig {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Default configuration, with the seed (`MUNIN_ENGINE_SEED`) and mode
+    /// (`MUNIN_ENGINE_MODE=passthrough`) overridable from the environment, so
+    /// CI can run the whole suite under a second schedule without code
+    /// changes.
+    pub fn from_env() -> Self {
+        // Parsed once per process: from_env is called by every config
+        // constructor, and a malformed override should warn exactly once.
+        static FROM_ENV: std::sync::OnceLock<EngineConfig> = std::sync::OnceLock::new();
+        *FROM_ENV.get_or_init(|| {
+            let mut cfg = Self::default();
+            if let Ok(v) = std::env::var(SEED_ENV_VAR) {
+                match v.trim().parse::<u64>() {
+                    Ok(seed) => cfg.seed = seed,
+                    // A present-but-invalid override must be loud, or CI's
+                    // "second schedule" run could silently test the default.
+                    Err(_) => eprintln!(
+                        "warning: ignoring unparsable {SEED_ENV_VAR}={v:?} (expected a decimal u64)"
+                    ),
+                }
+            }
+            if let Ok(v) = std::env::var(MODE_ENV_VAR) {
+                let mode = v.trim();
+                if mode.eq_ignore_ascii_case("passthrough") {
+                    cfg.mode = DeliveryMode::Passthrough;
+                } else if !mode.eq_ignore_ascii_case("virtual_time") && !mode.is_empty() {
+                    eprintln!(
+                        "warning: ignoring unknown {MODE_ENV_VAR}={v:?} (expected \"passthrough\" or \"virtual_time\")"
+                    );
+                }
+            }
+            cfg
+        })
+    }
+
+    /// Sets the fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Enables delivery-trace recording.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Selects the delivery mode.
+    pub fn with_mode(mut self, mode: DeliveryMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// One recorded delivery. Traces are per-destination sequences: `seq_at_dst`
+/// numbers the deliveries each destination observed, and snapshots are sorted
+/// by `(dst, seq_at_dst)` so the trace is independent of how host threads
+/// interleaved *across* destinations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Position of this delivery in the destination's sequence (0-based).
+    pub seq_at_dst: u64,
+    /// Source node.
+    pub src: NodeId,
+    /// Message class.
+    pub class: &'static str,
+    /// Effective virtual delivery time.
+    pub deliver_at: VirtTime,
+}
+
+/// SplitMix64 step: the engine's only randomness primitive.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mixes the seed with lane coordinates into an independent stream seed.
+fn lane_seed(seed: u64, src: u32, dst: u32) -> u64 {
+    let mut s = seed ^ ((src as u64) << 32) ^ (dst as u64) ^ 0xa076_1d64_78bd_642f;
+    // One full SplitMix64 avalanche decorrelates nearby lane coordinates.
+    splitmix64(&mut s);
+    s
+}
+
+/// Sort key of a scheduled delivery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct DeliveryKey {
+    deliver_at_ns: u64,
+    tie: u64,
+    seq: u64,
+}
+
+struct Scheduled<M> {
+    key: DeliveryKey,
+    env: Envelope,
+    payload: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest key first.
+        other.key.cmp(&self.key)
+    }
+}
+
+/// Per-`(src, dst)` link state: FIFO clamp and fault stream.
+struct LaneState {
+    last_arrival_ns: u64,
+    rng: u64,
+}
+
+/// Per-destination delivery queue.
+struct NodeQueue<M> {
+    heap: BinaryHeap<Scheduled<M>>,
+    /// Largest effective delivery time handed out so far.
+    frontier_ns: u64,
+    /// Number of messages delivered to this node.
+    delivered: u64,
+    /// False once the node's `Receiver` has been dropped (sends then fail,
+    /// matching the disconnected-channel semantics of the old transport).
+    open: bool,
+}
+
+struct EngineState<M> {
+    queues: Vec<NodeQueue<M>>,
+    lanes: HashMap<u64, LaneState>,
+    /// Number of live `Sender` handles; receives fail once it reaches zero
+    /// and the queue is empty.
+    senders: usize,
+    next_seq: u64,
+    trace: Vec<TraceEntry>,
+}
+
+/// The discrete-event scheduler shared by every endpoint of one [`Network`].
+///
+/// [`Network`]: crate::net::Network
+pub struct EventEngine<M> {
+    cfg: EngineConfig,
+    n: usize,
+    state: Mutex<EngineState<M>>,
+    /// One condvar per destination (all paired with `state`): a submit wakes
+    /// only the targeted receiver, not the whole cluster.
+    conds: Vec<Condvar>,
+}
+
+impl<M> EventEngine<M> {
+    /// Creates an engine for `n` nodes.
+    pub(crate) fn new(n: usize, cfg: EngineConfig) -> Self {
+        EventEngine {
+            cfg,
+            n,
+            state: Mutex::new(EngineState {
+                queues: (0..n)
+                    .map(|_| NodeQueue {
+                        heap: BinaryHeap::new(),
+                        frontier_ns: 0,
+                        delivered: 0,
+                        open: true,
+                    })
+                    .collect(),
+                lanes: HashMap::new(),
+                senders: 0,
+                next_seq: 0,
+                trace: Vec::new(),
+            }),
+            conds: (0..n).map(|_| Condvar::new()).collect(),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Number of nodes.
+    pub(crate) fn nodes(&self) -> usize {
+        self.n
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, EngineState<M>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn sender_registered(&self) {
+        self.lock().senders += 1;
+    }
+
+    pub(crate) fn sender_dropped(&self) {
+        let mut st = self.lock();
+        st.senders -= 1;
+        if st.senders == 0 {
+            // Wake all blocked receivers so they can observe the
+            // disconnection.
+            for cond in &self.conds {
+                cond.notify_all();
+            }
+        }
+    }
+
+    pub(crate) fn receiver_dropped(&self, node: usize) {
+        let mut st = self.lock();
+        if let Some(q) = st.queues.get_mut(node) {
+            q.open = false;
+        }
+        if let Some(cond) = self.conds.get(node) {
+            cond.notify_all();
+        }
+    }
+
+    /// Schedules `payload` for delivery, applying faults and the lane clamp.
+    /// Returns the envelope with its effective (scheduled) delivery time.
+    pub(crate) fn submit(&self, env: Envelope, payload: M) -> Result<Envelope, SimError>
+    where
+        M: Clone,
+    {
+        let dst = env.dst.as_usize();
+        let mut st = self.lock();
+        if !st.queues.get(dst).map(|q| q.open).unwrap_or(false) {
+            return Err(SimError::Disconnected);
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let env = match self.cfg.mode {
+            DeliveryMode::Passthrough => {
+                // Legacy FIFO: the global enqueue sequence is the whole key.
+                st.queues[dst].heap.push(Scheduled {
+                    key: DeliveryKey {
+                        deliver_at_ns: 0,
+                        tie: 0,
+                        seq,
+                    },
+                    env,
+                    payload,
+                });
+                env
+            }
+            DeliveryMode::VirtualTime => {
+                let seed = self.cfg.seed;
+                let src = env.src.as_usize() as u32;
+                let lane_key = ((src as u64) << 32) | dst as u64;
+                let lane = st.lanes.entry(lane_key).or_insert_with(|| LaneState {
+                    last_arrival_ns: 0,
+                    rng: lane_seed(seed, src, dst as u32),
+                });
+                let mut arrival_ns = env.arrival.as_nanos();
+                let mut duplicate = false;
+                if !self.cfg.faults.is_none() {
+                    let f = &self.cfg.faults;
+                    if f.delay_ppm > 0 && splitmix64(&mut lane.rng) % 1_000_000 < f.delay_ppm as u64
+                    {
+                        arrival_ns += 1 + splitmix64(&mut lane.rng) % f.max_delay_ns.max(1);
+                    }
+                    if f.reorder_ppm > 0
+                        && splitmix64(&mut lane.rng) % 1_000_000 < f.reorder_ppm as u64
+                    {
+                        arrival_ns += 1 + splitmix64(&mut lane.rng) % f.reorder_window_ns.max(1);
+                    }
+                    duplicate = f.duplicate_ppm > 0
+                        && splitmix64(&mut lane.rng) % 1_000_000 < f.duplicate_ppm as u64;
+                }
+                // Lane FIFO: a link never reorders its own traffic.
+                arrival_ns = arrival_ns.max(lane.last_arrival_ns);
+                lane.last_arrival_ns = arrival_ns;
+                // Seeded tie-break over (src, dst, deliver_at) only: two
+                // same-lane messages clamped to the same delivery time share
+                // the hash and fall through to the submission seqno, which
+                // preserves lane FIFO; equal-time messages from *different*
+                // sources are ordered by the seed.
+                let tie = {
+                    let mut s = seed
+                        ^ arrival_ns.rotate_left(17)
+                        ^ ((src as u64) << 40)
+                        ^ ((dst as u64) << 20);
+                    splitmix64(&mut s)
+                };
+                let mut env = env;
+                env.arrival = VirtTime::from_nanos(arrival_ns);
+                // Clone the payload only when duplicate injection fires: the
+                // common path moves it straight into the heap (object-data
+                // payloads can be large).
+                if duplicate {
+                    let dup_seq = st.next_seq;
+                    st.next_seq += 1;
+                    let mut dup_env = env;
+                    dup_env.arrival = VirtTime::from_nanos(arrival_ns + 1);
+                    st.queues[dst].heap.push(Scheduled {
+                        key: DeliveryKey {
+                            deliver_at_ns: arrival_ns + 1,
+                            tie,
+                            seq: dup_seq,
+                        },
+                        env: dup_env,
+                        payload: payload.clone(),
+                    });
+                }
+                st.queues[dst].heap.push(Scheduled {
+                    key: DeliveryKey {
+                        deliver_at_ns: arrival_ns,
+                        tie,
+                        seq,
+                    },
+                    env,
+                    payload,
+                });
+                env
+            }
+        };
+        drop(st);
+        self.conds[dst].notify_all();
+        Ok(env)
+    }
+
+    /// Pops the earliest deliverable message for `node`, applying the
+    /// delivery-frontier clamp and recording the trace.
+    fn pop(&self, st: &mut EngineState<M>, node: usize) -> Option<(Envelope, M)> {
+        let record = self.cfg.record_trace;
+        let virtual_time = self.cfg.mode == DeliveryMode::VirtualTime;
+        let q = &mut st.queues[node];
+        let sched = q.heap.pop()?;
+        let mut env = sched.env;
+        if virtual_time {
+            // Per-destination monotonicity: a message computed to arrive in
+            // the destination's past is delivered at the frontier.
+            let eff = env.arrival.as_nanos().max(q.frontier_ns);
+            q.frontier_ns = eff;
+            env.arrival = VirtTime::from_nanos(eff);
+        }
+        let seq_at_dst = q.delivered;
+        q.delivered += 1;
+        if record {
+            st.trace.push(TraceEntry {
+                dst: env.dst,
+                seq_at_dst,
+                src: env.src,
+                class: env.class,
+                deliver_at: env.arrival,
+            });
+        }
+        Some((env, sched.payload))
+    }
+
+    /// Blocking receive for `node`.
+    pub(crate) fn recv(&self, node: usize) -> Result<(Envelope, M), SimError> {
+        let mut st = self.lock();
+        loop {
+            if let Some(delivery) = self.pop(&mut st, node) {
+                return Ok(delivery);
+            }
+            if st.senders == 0 {
+                return Err(SimError::Disconnected);
+            }
+            st = self.conds[node].wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking receive for `node`.
+    pub(crate) fn try_recv(&self, node: usize) -> Result<Option<(Envelope, M)>, SimError> {
+        let mut st = self.lock();
+        if let Some(delivery) = self.pop(&mut st, node) {
+            return Ok(Some(delivery));
+        }
+        if st.senders == 0 {
+            return Err(SimError::Disconnected);
+        }
+        Ok(None)
+    }
+
+    /// Snapshot of the delivery trace, sorted by `(dst, seq_at_dst)` so it is
+    /// independent of cross-destination thread interleaving. Empty unless
+    /// [`EngineConfig::record_trace`] is set.
+    pub fn trace_snapshot(&self) -> Vec<TraceEntry> {
+        let st = self.lock();
+        let mut trace = st.trace.clone();
+        trace.sort_by_key(|e| (e.dst.as_usize(), e.seq_at_dst));
+        trace
+    }
+
+    /// Digest of the current delivery trace (snapshot + [`trace_digest_of`]).
+    pub fn trace_digest(&self) -> u64 {
+        trace_digest_of(&self.trace_snapshot())
+    }
+}
+
+/// A 64-bit digest of a sorted delivery trace (as returned by
+/// [`EventEngine::trace_snapshot`]): two runs delivered the same
+/// per-destination sequences iff the digests match.
+pub fn trace_digest_of(trace: &[TraceEntry]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for e in trace {
+        for word in [
+            e.dst.as_usize() as u64,
+            e.seq_at_dst,
+            e.src.as_usize() as u64,
+            e.deliver_at.as_nanos(),
+        ] {
+            h = (h ^ word).wrapping_mul(0x1000_0000_01b3);
+        }
+        for b in e.class.as_bytes() {
+            h = (h ^ *b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src: usize, dst: usize, arrival_ns: u64) -> Envelope {
+        Envelope {
+            src: NodeId::new(src),
+            dst: NodeId::new(dst),
+            class: "t",
+            model_bytes: 0,
+            sent_at: VirtTime::ZERO,
+            arrival: VirtTime::from_nanos(arrival_ns),
+        }
+    }
+
+    fn engine(n: usize, cfg: EngineConfig) -> EventEngine<u64> {
+        let e = EventEngine::new(n, cfg);
+        e.sender_registered(); // keep receives from reporting disconnection
+        e
+    }
+
+    #[test]
+    fn delivers_in_virtual_time_order_not_submit_order() {
+        let e = engine(2, EngineConfig::seeded(1));
+        e.submit(env(0, 1, 300), 3).unwrap();
+        e.submit(env(0, 1, 400), 4).unwrap();
+        // Sent last from another lane but arriving first.
+        e.submit(env(1, 1, 100), 1).unwrap();
+        let order: Vec<u64> = (0..3).map(|_| e.recv(1).unwrap().1).collect();
+        assert_eq!(order, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn passthrough_preserves_submit_order() {
+        let e = engine(
+            2,
+            EngineConfig::seeded(1).with_mode(DeliveryMode::Passthrough),
+        );
+        e.submit(env(0, 1, 300), 3).unwrap();
+        e.submit(env(1, 1, 100), 1).unwrap();
+        let order: Vec<u64> = (0..2).map(|_| e.recv(1).unwrap().1).collect();
+        assert_eq!(order, vec![3, 1]);
+    }
+
+    #[test]
+    fn lane_fifo_clamp_prevents_same_link_overtaking() {
+        let e = engine(2, EngineConfig::seeded(1));
+        // A big message followed by a small one on the same lane: the small
+        // one's computed arrival is earlier, but the link may not reorder.
+        e.submit(env(0, 1, 500), 10).unwrap();
+        let clamped = e.submit(env(0, 1, 200), 11).unwrap();
+        assert_eq!(clamped.arrival.as_nanos(), 500);
+        let order: Vec<u64> = (0..2).map(|_| e.recv(1).unwrap().1).collect();
+        assert_eq!(order, vec![10, 11]);
+    }
+
+    #[test]
+    fn frontier_clamp_keeps_delivery_times_monotone() {
+        let e = engine(3, EngineConfig::seeded(1));
+        e.submit(env(0, 2, 900), 1).unwrap();
+        let (first, _) = e.recv(2).unwrap();
+        assert_eq!(first.arrival.as_nanos(), 900);
+        // A straggler scheduled in the destination's past is delivered at the
+        // frontier.
+        e.submit(env(1, 2, 100), 2).unwrap();
+        let (late, _) = e.recv(2).unwrap();
+        assert_eq!(late.arrival.as_nanos(), 900);
+    }
+
+    #[test]
+    fn equal_timestamps_break_ties_identically_on_replay() {
+        let run = |seed: u64| -> Vec<u64> {
+            let e = engine(3, EngineConfig::seeded(seed));
+            for (i, src) in [0usize, 1, 0, 1].iter().enumerate() {
+                e.submit(env(*src, 2, 777), i as u64).unwrap();
+            }
+            (0..4).map(|_| e.recv(2).unwrap().1).collect()
+        };
+        assert_eq!(run(42), run(42));
+        // Different seeds produce different tie-break orders for at least one
+        // of a handful of seeds (all-equal would mean the seed is unused).
+        let base = run(0);
+        assert!((1..16).any(|s| run(s) != base));
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_per_seed() {
+        let faults = FaultPlan::jittery(500_000, 10_000);
+        let run = |seed: u64| -> Vec<(u64, u64)> {
+            let e = engine(2, EngineConfig::seeded(seed).with_faults(faults));
+            for i in 0..32u64 {
+                e.submit(env(0, 1, 100 * i), i).unwrap();
+            }
+            (0..32)
+                .map(|_| {
+                    let (env, v) = e.recv(1).unwrap();
+                    (env.arrival.as_nanos(), v)
+                })
+                .collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "fault schedule must depend on the seed");
+        // Lane FIFO holds even under injected jitter.
+        let arrivals: Vec<u64> = run(7).iter().map(|(a, _)| *a).collect();
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn duplicates_are_injected_when_enabled() {
+        let faults = FaultPlan {
+            duplicate_ppm: 1_000_000,
+            ..FaultPlan::none()
+        };
+        let e = engine(2, EngineConfig::seeded(3).with_faults(faults));
+        e.submit(env(0, 1, 100), 9).unwrap();
+        assert_eq!(e.recv(1).unwrap().1, 9);
+        assert_eq!(e.recv(1).unwrap().1, 9);
+        assert!(e.try_recv(1).unwrap().is_none());
+    }
+
+    #[test]
+    fn trace_records_per_destination_sequences() {
+        let e = engine(2, EngineConfig::seeded(1).with_trace());
+        e.submit(env(0, 1, 200), 1).unwrap();
+        e.submit(env(0, 0, 100), 2).unwrap();
+        e.recv(1).unwrap();
+        e.recv(0).unwrap();
+        let trace = e.trace_snapshot();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].dst, NodeId::new(0));
+        assert_eq!(trace[0].seq_at_dst, 0);
+        assert_eq!(trace[1].dst, NodeId::new(1));
+        assert_ne!(e.trace_digest(), 0);
+    }
+
+    #[test]
+    fn recv_disconnects_when_all_senders_drop() {
+        let e: EventEngine<u64> = EventEngine::new(1, EngineConfig::default());
+        e.sender_registered();
+        e.submit(env(0, 0, 5), 1).unwrap();
+        e.sender_dropped();
+        assert!(e.recv(0).is_ok(), "queued messages drain first");
+        assert_eq!(e.recv(0).err(), Some(SimError::Disconnected));
+    }
+
+    #[test]
+    fn submit_to_dropped_receiver_fails() {
+        let e = engine(2, EngineConfig::default());
+        e.receiver_dropped(1);
+        assert_eq!(
+            e.submit(env(0, 1, 5), 1).err(),
+            Some(SimError::Disconnected)
+        );
+    }
+}

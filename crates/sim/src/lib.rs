@@ -15,6 +15,11 @@
 //! * [`net`] — a typed message-passing [`Network`] between node endpoints.
 //!   Data really moves between OS threads (so correctness is exercised
 //!   end-to-end) while *latency* is virtual and derived from the cost model.
+//! * [`event`] — the discrete-event engine behind the network: a seeded,
+//!   virtual-time-ordered delivery scheduler ([`EngineConfig`]) with
+//!   per-link FIFO guarantees, deterministic tie-breaking, optional fault
+//!   injection (delay / reorder / duplicate), and a replayable delivery
+//!   trace.
 //! * [`cluster`] — helpers for spawning one OS thread per simulated node and
 //!   collecting a [`ClusterReport`] (elapsed virtual time, per-node
 //!   user/system split, network statistics).
@@ -51,6 +56,7 @@
 pub mod cluster;
 pub mod cost;
 pub mod error;
+pub mod event;
 pub mod net;
 pub mod stats;
 pub mod time;
@@ -58,6 +64,7 @@ pub mod time;
 pub use cluster::{Cluster, ClusterReport, NodeCtx};
 pub use cost::CostModel;
 pub use error::SimError;
+pub use event::{DeliveryMode, EngineConfig, EventEngine, FaultPlan, TraceEntry};
 pub use net::{Envelope, Network, NodeId, Receiver, Sender};
 pub use stats::{NetStats, NodeTimes};
 pub use time::{NodeClock, TimeKind, VirtTime};

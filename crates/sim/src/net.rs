@@ -1,8 +1,8 @@
 //! The simulated interconnect.
 //!
-//! Messages really travel between OS threads through channels, so every
-//! protocol path in the DSM is exercised end-to-end; only their *latency* is
-//! simulated. The latency of a message is
+//! Messages really travel between OS threads, so every protocol path in the
+//! DSM is exercised end-to-end; only their *latency* is simulated. The
+//! latency of a message is
 //!
 //! ```text
 //! arrival = max(bus_free_at, sender_clock_at_send) + wire_time(bytes) + propagation
@@ -10,17 +10,22 @@
 //!
 //! when the shared-bus model is enabled (the paper's dedicated 10 Mbps
 //! Ethernet segment), or simply `send_time + wire_time(bytes)` otherwise.
-//! The receiver moves its clock forward to the arrival time when it picks the
-//! message up, charging the gap as wait time.
+//!
+//! Transport and ordering are provided by the discrete-event engine in
+//! [`crate::event`]: every send is scheduled on the destination's priority
+//! queue keyed by `(deliver_at, seeded tie-break, seqno)`, and a receive pops
+//! the earliest deliverable message and moves the receiver's clock forward to
+//! its effective delivery time (charging the gap as wait time). This makes
+//! delivery a function of *virtual* time and the engine seed instead of host
+//! thread scheduling; see `DESIGN.md` ("Deterministic event engine").
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel;
-
 use crate::cost::CostModel;
 use crate::error::SimError;
+use crate::event::{EngineConfig, EventEngine};
 use crate::stats::NetStats;
 use crate::time::{NodeClock, TimeKind, VirtTime};
 
@@ -67,7 +72,8 @@ pub struct Envelope {
     pub model_bytes: u64,
     /// Sender's virtual time when the message was handed to the network.
     pub sent_at: VirtTime,
-    /// Virtual time at which the message is available at the destination.
+    /// Virtual time at which the message is delivered at the destination
+    /// (including any engine-injected delay and ordering clamps).
     pub arrival: VirtTime,
 }
 
@@ -108,19 +114,36 @@ impl Shared {
 }
 
 /// Sending half of a node's network endpoint. Cheap to clone; clones share
-/// the node's clock and the global statistics.
-#[derive(Clone)]
+/// the node's clock, the event engine, and the global statistics.
 pub struct Sender<M> {
     node: NodeId,
     clock: NodeClock,
-    peers: Arc<Vec<channel::Sender<(Envelope, M)>>>,
+    engine: Arc<EventEngine<M>>,
     shared: Arc<Shared>,
 }
 
-impl<M: Send> Sender<M> {
+impl<M> Clone for Sender<M> {
+    fn clone(&self) -> Self {
+        self.engine.sender_registered();
+        Sender {
+            node: self.node,
+            clock: self.clock.clone(),
+            engine: Arc::clone(&self.engine),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<M> Drop for Sender<M> {
+    fn drop(&mut self) {
+        self.engine.sender_dropped();
+    }
+}
+
+impl<M: Send + Clone> Sender<M> {
     /// Sends `payload` to `dst`, charging the fixed per-message software cost
     /// to this node's system time and recording the message in the network
-    /// statistics. Returns the envelope that was delivered.
+    /// statistics. Returns the envelope that was scheduled.
     ///
     /// `model_bytes` is the number of bytes the message would occupy on the
     /// wire in the real system (header + payload); it determines wire time.
@@ -168,7 +191,9 @@ impl<M: Send> Sender<M> {
         sent_at: VirtTime,
     ) -> Result<Envelope, SimError> {
         let idx = dst.as_usize();
-        let peer = self.peers.get(idx).ok_or(SimError::NoSuchNode(idx))?;
+        if idx >= self.engine.nodes() {
+            return Err(SimError::NoSuchNode(idx));
+        }
         let arrival = self.shared.arrival(sent_at, model_bytes);
         let env = Envelope {
             src: self.node,
@@ -179,8 +204,7 @@ impl<M: Send> Sender<M> {
             arrival,
         };
         self.shared.stats.record(class, model_bytes);
-        peer.send((env, payload)).map_err(|_| SimError::Disconnected)?;
-        Ok(env)
+        self.engine.submit(env, payload)
     }
 
     /// The node this sender belongs to.
@@ -190,7 +214,7 @@ impl<M: Send> Sender<M> {
 
     /// Number of nodes reachable through this sender.
     pub fn nodes(&self) -> usize {
-        self.peers.len()
+        self.engine.nodes()
     }
 
     /// The clock charged by this sender.
@@ -208,27 +232,33 @@ impl<M: Send> Sender<M> {
 pub struct Receiver<M> {
     node: NodeId,
     clock: NodeClock,
-    rx: channel::Receiver<(Envelope, M)>,
+    engine: Arc<EventEngine<M>>,
+}
+
+impl<M> Drop for Receiver<M> {
+    fn drop(&mut self) {
+        self.engine.receiver_dropped(self.node.as_usize());
+    }
 }
 
 impl<M: Send> Receiver<M> {
-    /// Blocks until a message arrives, then advances this node's clock to the
-    /// message's virtual arrival time (charging the gap as wait time).
+    /// Blocks until the engine delivers the earliest scheduled message, then
+    /// advances this node's clock to the message's effective delivery time
+    /// (charging the gap as wait time).
     pub fn recv(&self) -> Result<(Envelope, M), SimError> {
-        let (env, payload) = self.rx.recv().map_err(|_| SimError::Disconnected)?;
+        let (env, payload) = self.engine.recv(self.node.as_usize())?;
         self.clock.advance_to(TimeKind::Wait, env.arrival);
         Ok((env, payload))
     }
 
     /// Non-blocking receive. Returns `Ok(None)` when no message is queued.
     pub fn try_recv(&self) -> Result<Option<(Envelope, M)>, SimError> {
-        match self.rx.try_recv() {
-            Ok((env, payload)) => {
+        match self.engine.try_recv(self.node.as_usize())? {
+            Some((env, payload)) => {
                 self.clock.advance_to(TimeKind::Wait, env.arrival);
                 Ok(Some((env, payload)))
             }
-            Err(channel::TryRecvError::Empty) => Ok(None),
-            Err(channel::TryRecvError::Disconnected) => Err(SimError::Disconnected),
+            None => Ok(None),
         }
     }
 
@@ -244,37 +274,38 @@ impl<M: Send> Receiver<M> {
 }
 
 /// A fully connected network between `n` simulated nodes exchanging messages
-/// of type `M`.
+/// of type `M`, scheduled by a seeded discrete-event engine.
 pub struct Network<M> {
     shared: Arc<Shared>,
-    peers: Arc<Vec<channel::Sender<(Envelope, M)>>>,
-    receivers: Vec<Option<channel::Receiver<(Envelope, M)>>>,
+    engine: Arc<EventEngine<M>>,
+    taken: Vec<bool>,
 }
 
 impl<M: Send> Network<M> {
-    /// Creates a network of `n` nodes governed by `cost`.
+    /// Creates a network of `n` nodes governed by `cost`, with the engine
+    /// configuration taken from the environment (`MUNIN_ENGINE_SEED`,
+    /// `MUNIN_ENGINE_MODE`) or the defaults.
     pub fn new(n: usize, cost: CostModel) -> Self {
-        let mut txs = Vec::with_capacity(n);
-        let mut rxs = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = channel::unbounded();
-            txs.push(tx);
-            rxs.push(Some(rx));
-        }
+        Self::with_engine(n, cost, EngineConfig::from_env())
+    }
+
+    /// Creates a network with an explicit engine configuration (seed, mode,
+    /// fault plan, trace recording).
+    pub fn with_engine(n: usize, cost: CostModel, engine: EngineConfig) -> Self {
         Network {
             shared: Arc::new(Shared {
                 cost,
                 stats: Arc::new(NetStats::new()),
                 bus_free_ns: AtomicU64::new(0),
             }),
-            peers: Arc::new(txs),
-            receivers: rxs,
+            engine: Arc::new(EventEngine::new(n, engine)),
+            taken: vec![false; n],
         }
     }
 
     /// Number of nodes in the network.
     pub fn nodes(&self) -> usize {
-        self.peers.len()
+        self.engine.nodes()
     }
 
     /// Global message statistics.
@@ -285,6 +316,12 @@ impl<M: Send> Network<M> {
     /// The cost model in effect.
     pub fn cost(&self) -> &CostModel {
         &self.shared.cost
+    }
+
+    /// The event engine scheduling this network's deliveries (for trace
+    /// snapshots and digests).
+    pub fn engine(&self) -> Arc<EventEngine<M>> {
+        Arc::clone(&self.engine)
     }
 
     /// Hands out the endpoint for node `idx`, binding it to `clock`.
@@ -298,21 +335,40 @@ impl<M: Send> Network<M> {
         idx: usize,
         clock: NodeClock,
     ) -> Result<(Sender<M>, Receiver<M>), SimError> {
-        let slot = self
-            .receivers
-            .get_mut(idx)
-            .ok_or(SimError::NoSuchNode(idx))?;
-        let rx = slot.take().ok_or(SimError::EndpointTaken(idx))?;
+        let slot = self.taken.get_mut(idx).ok_or(SimError::NoSuchNode(idx))?;
+        if *slot {
+            return Err(SimError::EndpointTaken(idx));
+        }
+        *slot = true;
         let node = NodeId::new(idx);
+        self.engine.sender_registered();
         Ok((
             Sender {
                 node,
                 clock: clock.clone(),
-                peers: Arc::clone(&self.peers),
+                engine: Arc::clone(&self.engine),
                 shared: Arc::clone(&self.shared),
             },
-            Receiver { node, clock, rx },
+            Receiver {
+                node,
+                clock,
+                engine: Arc::clone(&self.engine),
+            },
         ))
+    }
+}
+
+impl<M> Drop for Network<M> {
+    fn drop(&mut self) {
+        // Endpoints that were never handed out can never be received from:
+        // mark them closed so senders observe the disconnection instead of
+        // queueing forever (mirrors dropping the receiving half of the old
+        // channels).
+        for (idx, taken) in self.taken.iter().enumerate() {
+            if !taken {
+                self.engine.receiver_dropped(idx);
+            }
+        }
     }
 }
 
@@ -428,5 +484,58 @@ mod tests {
         let (mut net, clocks) = two_node_net();
         let (_tx0, rx0) = net.endpoint(0, clocks[0].clone()).unwrap();
         assert!(matches!(rx0.try_recv(), Ok(None)));
+    }
+
+    #[test]
+    fn messages_are_delivered_in_virtual_time_order() {
+        // A big (slow) message sent first from node 0 and a small (fast) one
+        // sent from node 1: the engine delivers the one that *arrives* first,
+        // regardless of real submission order.
+        let clocks = [NodeClock::new(), NodeClock::new(), NodeClock::new()];
+        let mut cost = CostModel::fast_test();
+        cost.msg_fixed_ns = 0;
+        cost.wire_ns_per_byte = 10;
+        // Pin the mode: this test asserts virtual-time ordering even when the
+        // environment selects passthrough for the rest of the suite.
+        let mut net: Network<u32> = Network::with_engine(3, cost, EngineConfig::seeded(1));
+        let (tx0, _rx0) = net.endpoint(0, clocks[0].clone()).unwrap();
+        let (tx1, _rx1) = net.endpoint(1, clocks[1].clone()).unwrap();
+        let (_tx2, rx2) = net.endpoint(2, clocks[2].clone()).unwrap();
+        tx0.send(NodeId::new(2), "big", 10_000, 1).unwrap();
+        tx1.send(NodeId::new(2), "small", 1, 2).unwrap();
+        assert_eq!(rx2.recv().unwrap().1, 2, "earlier arrival delivered first");
+        assert_eq!(rx2.recv().unwrap().1, 1);
+    }
+
+    #[test]
+    fn same_lane_messages_never_overtake() {
+        // On one (src, dst) link a later small message may not overtake an
+        // earlier big one, even though its computed wire time is shorter.
+        let clocks = [NodeClock::new(), NodeClock::new()];
+        let mut cost = CostModel::fast_test();
+        cost.msg_fixed_ns = 0;
+        cost.wire_ns_per_byte = 10;
+        // Pin the mode (independent of MUNIN_ENGINE_MODE in the environment).
+        let mut net: Network<u32> = Network::with_engine(2, cost, EngineConfig::seeded(1));
+        let (tx0, _rx0) = net.endpoint(0, clocks[0].clone()).unwrap();
+        let (_tx1, rx1) = net.endpoint(1, clocks[1].clone()).unwrap();
+        let big = tx0.send(NodeId::new(1), "big", 10_000, 1).unwrap();
+        let small = tx0.send(NodeId::new(1), "small", 1, 2).unwrap();
+        assert!(small.arrival >= big.arrival, "lane clamp orders the link");
+        assert_eq!(rx1.recv().unwrap().1, 1);
+        assert_eq!(rx1.recv().unwrap().1, 2);
+    }
+
+    #[test]
+    fn recv_disconnects_after_all_senders_drop() {
+        let (mut net, clocks) = two_node_net();
+        let (tx0, _rx0) = net.endpoint(0, clocks[0].clone()).unwrap();
+        let (tx1, rx1) = net.endpoint(1, clocks[1].clone()).unwrap();
+        tx0.send(NodeId::new(1), "x", 1, 7).unwrap();
+        drop(tx0);
+        drop(tx1);
+        drop(net);
+        assert_eq!(rx1.recv().unwrap().1, 7);
+        assert_eq!(rx1.recv().err(), Some(SimError::Disconnected));
     }
 }

@@ -134,7 +134,13 @@ mod tests {
         assert_eq!(stats.total_msgs(), 3);
         assert_eq!(stats.total_bytes(), 158);
         let snap = stats.snapshot();
-        assert_eq!(snap.class("update"), ClassStats { msgs: 2, bytes: 150 });
+        assert_eq!(
+            snap.class("update"),
+            ClassStats {
+                msgs: 2,
+                bytes: 150
+            }
+        );
         assert_eq!(snap.class("lock"), ClassStats { msgs: 1, bytes: 8 });
         assert_eq!(snap.class("missing"), ClassStats::default());
     }

@@ -44,11 +44,7 @@ static PREVIOUS_HANDLER: AtomicUsize = AtomicUsize::new(0);
 /// The process-wide SIGSEGV handler: if the faulting address falls inside a
 /// registered region, make a twin of the page, mark it dirty, unprotect it,
 /// and resume; otherwise forward to the previously installed handler.
-extern "C" fn segv_handler(
-    sig: libc::c_int,
-    info: *mut libc::siginfo_t,
-    ctx: *mut libc::c_void,
-) {
+extern "C" fn segv_handler(sig: libc::c_int, info: *mut libc::siginfo_t, ctx: *mut libc::c_void) {
     // SAFETY: `info` is provided by the kernel for a SA_SIGINFO handler.
     let addr = unsafe { (*info).si_addr() } as usize;
     for slot in &REGISTRY {
@@ -231,7 +227,11 @@ impl ProtectedRegion {
         }
         // SAFETY: protecting our own mapping.
         let rc = unsafe {
-            libc::mprotect(shared.base as *mut libc::c_void, shared.len, libc::PROT_READ)
+            libc::mprotect(
+                shared.base as *mut libc::c_void,
+                shared.len,
+                libc::PROT_READ,
+            )
         };
         if rc != 0 {
             // SAFETY: reading errno after a failed libc call.
@@ -299,10 +299,7 @@ mod tests {
         // SAFETY: offsets lie inside the mapping.
         unsafe {
             for i in 0..region.page_size() {
-                std::ptr::write_volatile(
-                    region.base_ptr().add(2 * region.page_size() + i),
-                    0xAB,
-                );
+                std::ptr::write_volatile(region.base_ptr().add(2 * region.page_size() + i), 0xAB);
             }
         }
         region.protect_all().unwrap();

@@ -33,5 +33,8 @@ fn main() {
         munin_run.root_system.as_secs_f64(),
         munin_run.root_user.as_secs_f64()
     );
-    println!("  Munin overhead  : {:+.1} %", munin_run.percent_diff(&dm_run));
+    println!(
+        "  Munin overhead  : {:+.1} %",
+        munin_run.percent_diff(&dm_run)
+    );
 }

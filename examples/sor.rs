@@ -43,5 +43,8 @@ fn main() {
         munin_run.net.total.msgs,
         munin_run.net.class("update").msgs
     );
-    println!("  Munin overhead  : {:+.1} %", munin_run.percent_diff(&dm_run));
+    println!(
+        "  Munin overhead  : {:+.1} %",
+        munin_run.percent_diff(&dm_run)
+    );
 }

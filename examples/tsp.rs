@@ -16,7 +16,10 @@ fn main() {
     println!("TSP branch-and-bound, {cities} cities, {procs} processors");
     let (run, result) = tsp::run_munin(params, CostModel::sun_ethernet_1991()).expect("tsp run");
     let reference = tsp::serial(cities);
-    println!("  best tour length : {} (serial reference {})", result.best_len, reference.best_len);
+    println!(
+        "  best tour length : {} (serial reference {})",
+        result.best_len, reference.best_len
+    );
     println!("  best tour        : {:?}", result.best_tour);
     println!("  virtual time     : {:.3} s", run.secs());
     println!(

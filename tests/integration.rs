@@ -34,14 +34,20 @@ fn sor_munin_mp_and_serial_agree() {
             .zip(&reference)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
-        assert!(max_err < 1e-9, "munin SOR at {procs} procs, max error {max_err}");
+        assert!(
+            max_err < 1e-9,
+            "munin SOR at {procs} procs, max error {max_err}"
+        );
         let (_m, grid) = sor::run_message_passing(params, FAST()).unwrap();
         let max_err = grid
             .iter()
             .zip(&reference)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
-        assert!(max_err < 1e-9, "MP SOR at {procs} procs, max error {max_err}");
+        assert!(
+            max_err < 1e-9,
+            "MP SOR at {procs} procs, max error {max_err}"
+        );
     }
 }
 
@@ -62,7 +68,10 @@ fn paper_cost_model_runs_end_to_end_at_small_scale() {
 
 #[test]
 fn tsp_exercises_reduction_migratory_and_lock_association() {
-    let params = tsp::TspParams { cities: 7, procs: 2 };
+    let params = tsp::TspParams {
+        cities: 7,
+        procs: 2,
+    };
     let (run, result) = tsp::run_munin(params, FAST()).unwrap();
     assert_eq!(result.best_len, tsp::serial(7).best_len);
     assert!(run.net.class("reduce_request").msgs > 0);
@@ -75,7 +84,10 @@ fn write_to_read_only_variable_is_detected() {
     let mut prog = MuninProgram::new(MuninConfig::fast_test(1));
     let ro = prog.declare::<i32>("ro", 8, SharingAnnotation::ReadOnly);
     let report = prog.run(move |ctx| ctx.write(&ro, 3, 1)).unwrap();
-    assert!(matches!(report.results[0], Err(MuninError::ReadOnlyWrite(_))));
+    assert!(matches!(
+        report.results[0],
+        Err(MuninError::ReadOnlyWrite(_))
+    ));
     assert_eq!(report.stats_total().runtime_errors, 1);
 }
 
