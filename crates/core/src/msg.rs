@@ -134,14 +134,24 @@ pub enum DsmMsg {
     UpdateAck {
         /// Number of objects that were applied.
         count: usize,
+        /// For every updated object the acknowledging node *owns*, its
+        /// authoritative recorded copyset (the determined set merged with
+        /// serve-time replica records). The flusher compares this against the
+        /// set it actually sent to and re-sends the update to any member it
+        /// missed — a replica served by the owner *after* the flusher's
+        /// copyset query was answered would otherwise silently miss the
+        /// update forever (the 16-node SOR stale-ghost-row divergence).
+        owned_copysets: Vec<(ObjectId, CopySet)>,
     },
     /// Dynamic copyset determination, broadcast variant: "a message
     /// indicating which objects have been modified locally is sent to all
     /// other nodes; each node replies with the subset of these objects for
     /// which it has a copy."
     CopysetQuery {
-        /// The modified objects.
-        objects: Vec<ObjectId>,
+        /// The modified objects. Behind `Arc` so the broadcast fan-out to
+        /// every peer shares one allocation instead of cloning the list per
+        /// peer.
+        objects: std::sync::Arc<[ObjectId]>,
         /// Node awaiting the replies.
         requester: NodeId,
     },
@@ -255,7 +265,7 @@ impl DsmMsg {
             DsmMsg::ObjectData { data, .. } => data.len() as u64 + 16,
             DsmMsg::Invalidate { .. } | DsmMsg::InvalidateAck { .. } => 8,
             DsmMsg::Update { items, .. } => items.iter().map(|i| 8 + i.payload.model_bytes()).sum(),
-            DsmMsg::UpdateAck { .. } => 8,
+            DsmMsg::UpdateAck { owned_copysets, .. } => 8 + 12 * owned_copysets.len() as u64,
             DsmMsg::CopysetQuery { objects, .. } => 4 * objects.len() as u64,
             DsmMsg::CopysetReply { have } => 4 * have.len() as u64,
             DsmMsg::OwnerCopysetQuery { objects, .. } => 4 * objects.len() as u64,
@@ -410,7 +420,10 @@ mod tests {
             DsmMsg::WorkerDone {
                 from: NodeId::new(0),
             },
-            DsmMsg::UpdateAck { count: 1 },
+            DsmMsg::UpdateAck {
+                count: 1,
+                owned_copysets: vec![],
+            },
             DsmMsg::CopysetReply { have: vec![] },
         ];
         for m in msgs {

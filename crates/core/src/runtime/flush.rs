@@ -32,6 +32,14 @@ use crate::stats::{add, bump};
 
 use super::NodeRuntime;
 
+/// Routing decision for one flushed object: the destinations its changes go
+/// to, and whether they fan out to a copyset (`true`) or flush to the owner
+/// (`false`, `result` objects). Produced by `NodeRuntime::flush_route`.
+struct FlushRoute {
+    fans_out: bool,
+    destinations: Vec<NodeId>,
+}
+
 impl NodeRuntime {
     /// Flushes the delayed update queue. Called before every release (lock
     /// release or barrier arrival) and by the `Flush` hint.
@@ -100,50 +108,152 @@ impl NodeRuntime {
             }
         }
 
-        // Step 2: encode changes and group them by destination. Each entry is
-        // encoded exactly once; the flat diff buffer is shared (via `Arc`)
-        // between the per-destination clones of the payload.
-        let mut per_dest: BTreeMap<NodeId, Vec<UpdateItem>> = BTreeMap::new();
-        for entry in entries {
-            let object = entry.object;
-            let (payload, destinations) = self.encode_entry(entry)?;
-            let Some(payload) = payload else { continue };
-            for dest in destinations {
-                per_dest.entry(dest).or_default().push(UpdateItem {
-                    object,
-                    payload: payload.clone(),
-                });
+        // Step 2+3 overlapped: encode changes and transmit as the
+        // per-destination messages become complete, instead of materializing
+        // the full destination map first. A read-only pre-pass mirrors
+        // `encode_entry`'s routing to count how many entries can still
+        // contribute to each destination; once a destination's count drains
+        // to zero its `Update` goes on the wire while later entries are still
+        // being encoded. Each entry is encoded exactly once; the flat diff
+        // buffer is shared (via `Arc`) between the per-destination clones of
+        // the payload.
+        let routes: Vec<FlushRoute> = {
+            let dir = self.dir.lock();
+            entries
+                .iter()
+                .map(|e| self.flush_route(dir.entry(e.object)))
+                .collect()
+        };
+        let mut remaining: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for route in &routes {
+            for dest in &route.destinations {
+                *remaining.entry(*dest).or_default() += 1;
             }
         }
-
-        // Step 3: transmit and wait for acknowledgements (conservative
-        // release consistency: updates are performed at the release).
-        let expected_acks = per_dest.len();
-        for (dest, items) in per_dest {
+        let mut pending: BTreeMap<NodeId, Vec<UpdateItem>> = BTreeMap::new();
+        // Fan-out payloads are retained (cheap: the buffers are `Arc`-shared)
+        // until the ack round completes, so updates can be re-sent to copyset
+        // members the owner reports as missed.
+        let mut fanout: HashMap<ObjectId, (UpdatePayload, Vec<NodeId>)> = HashMap::new();
+        let mut expected_acks = 0usize;
+        let send_update = |rt: &Arc<Self>,
+                           dest: NodeId,
+                           items: Vec<UpdateItem>,
+                           expected_acks: &mut usize|
+         -> Result<()> {
             crate::runtime::proto_trace!(
-                self,
+                rt,
                 "flush -> {dest:?}: {:?}",
                 items.iter().map(|i| i.object).collect::<Vec<_>>()
             );
-            add(&self.stats.updates_sent, 1);
+            add(&rt.stats.updates_sent, 1);
             add(
-                &self.stats.update_bytes_sent,
+                &rt.stats.update_bytes_sent,
                 items.iter().map(|i| i.payload.model_bytes()).sum::<u64>(),
             );
-            self.send(
+            rt.send(
                 dest,
                 DsmMsg::Update {
                     items,
-                    requester: self.node,
+                    requester: rt.node,
                     needs_ack: true,
                 },
             )?;
+            *expected_acks += 1;
+            Ok(())
+        };
+        for (entry, route) in entries.into_iter().zip(&routes) {
+            let object = entry.object;
+            let (payload, destinations) = self.encode_entry(entry)?;
+            if let Some(payload) = &payload {
+                for dest in &destinations {
+                    pending.entry(*dest).or_default().push(UpdateItem {
+                        object,
+                        payload: payload.clone(),
+                    });
+                }
+                if route.fans_out {
+                    fanout.insert(object, (payload.clone(), destinations.clone()));
+                }
+            }
+            for dest in &route.destinations {
+                let rem = remaining
+                    .get_mut(dest)
+                    .expect("route destinations are all counted");
+                *rem -= 1;
+                if *rem == 0 {
+                    if let Some(items) = pending.remove(dest) {
+                        send_update(self, *dest, items, &mut expected_acks)?;
+                    }
+                }
+            }
         }
-        let mut acks = 0;
+        // Catch-all: a destination `encode_entry` routed to but the pre-pass
+        // did not (the directory changed between the two reads — e.g. the
+        // service thread recorded a new replica while we flushed) still gets
+        // its update here.
+        for (dest, items) in std::mem::take(&mut pending) {
+            if !items.is_empty() {
+                send_update(self, dest, items, &mut expected_acks)?;
+            }
+        }
+
+        // Ack round (conservative release consistency: updates are performed
+        // at the release). Owners piggyback their authoritative recorded
+        // copysets on the ack; any member they know of that this flush did
+        // not reach — a replica whose fetch was served *after* our copyset
+        // query was answered — gets the update re-sent now, and the release
+        // completes only once those re-sends are acknowledged too. Re-sends
+        // travel on this node's own lanes, so they can never overtake (or be
+        // overtaken by) this node's later flushes.
+        let mut acks = 0usize;
         while acks < expected_acks {
             let (_env, reply) = self.wait_reply()?;
             match reply {
-                DsmMsg::UpdateAck { .. } => acks += 1,
+                DsmMsg::UpdateAck { owned_copysets, .. } => {
+                    acks += 1;
+                    // Batch the heals per missed member, preserving the
+                    // normal flush path's one-Update-per-destination shape:
+                    // an owner reporting k objects that all missed the same
+                    // late-fetching member costs one message, not k.
+                    let mut heal: BTreeMap<NodeId, Vec<UpdateItem>> = BTreeMap::new();
+                    for (object, owner_set) in owned_copysets {
+                        let Some((payload, sent)) = fanout.get_mut(&object) else {
+                            continue;
+                        };
+                        let missed: Vec<NodeId> = owner_set
+                            .members(self.nodes, Some(self.node))
+                            .into_iter()
+                            .filter(|m| !sent.contains(m))
+                            .collect();
+                        if missed.is_empty() {
+                            continue;
+                        }
+                        // Remember the healed members for future flushes of
+                        // this object (mirrors the owner-side serve-record
+                        // merge).
+                        {
+                            let mut dir = self.dir.lock();
+                            let e = dir.entry_mut(object);
+                            e.copyset = e.copyset.union(&owner_set);
+                        }
+                        for m in missed {
+                            crate::runtime::proto_trace!(
+                                self,
+                                "heal {object:?} -> {m:?} (owner-reported member missed at determination)"
+                            );
+                            add(&self.stats.updates_healed, 1);
+                            sent.push(m);
+                            heal.entry(m).or_default().push(UpdateItem {
+                                object,
+                                payload: payload.clone(),
+                            });
+                        }
+                    }
+                    for (member, items) in heal {
+                        send_update(self, member, items, &mut expected_acks)?;
+                    }
+                }
                 other => {
                     return Err(MuninError::ProtocolViolation(match other {
                         DsmMsg::ObjectData { .. } => "unexpected ObjectData during flush",
@@ -153,6 +263,29 @@ impl NodeRuntime {
             }
         }
         Ok(())
+    }
+
+    /// Computes where one flushed object's changes go. The single source of
+    /// routing truth, shared by `flush_duq`'s send-scheduling pre-pass and
+    /// `encode_entry`, so the two cannot drift.
+    fn flush_route(&self, e: &crate::directory::DirEntry) -> FlushRoute {
+        if e.params.flushes_to_owner() {
+            // `result` objects go only to their owner; nothing to send when
+            // this node *is* the owner.
+            FlushRoute {
+                fans_out: false,
+                destinations: if e.home == self.node {
+                    Vec::new()
+                } else {
+                    vec![e.home]
+                },
+            }
+        } else {
+            FlushRoute {
+                fans_out: true,
+                destinations: e.copyset.members(self.nodes, Some(self.node)),
+            }
+        }
     }
 
     /// Encodes one DUQ entry and decides where its changes go, applying the
@@ -170,15 +303,10 @@ impl NodeRuntime {
     ) -> Result<(Option<UpdatePayload>, Vec<NodeId>)> {
         let object = entry.object;
         let range = self.object_range(object);
-        let (flush_to_owner, home, copyset, stable) = {
+        let (route, home, stable) = {
             let dir = self.dir.lock();
             let e = dir.entry(object);
-            (
-                e.params.flushes_to_owner(),
-                e.home,
-                e.copyset,
-                e.params.is_stable(),
-            )
+            (self.flush_route(e), e.home, e.params.is_stable())
         };
 
         // Encode: diff against the twin when there is one (straight out of
@@ -208,7 +336,7 @@ impl NodeRuntime {
         let e = dir.entry_mut(object);
         e.state.dirty = false;
 
-        if flush_to_owner {
+        if !route.fans_out {
             // `result` objects: send only to the owner, then invalidate the
             // local copy ("Fl" and the description of Matrix Multiply).
             if home == self.node {
@@ -218,10 +346,10 @@ impl NodeRuntime {
             e.state.rights = AccessRights::Invalid;
             e.state.owned = false;
             e.probable_owner = home;
-            return Ok((payload, vec![home]));
+            return Ok((payload, route.destinations));
         }
 
-        let members = copyset.members(self.nodes, Some(self.node));
+        let members = route.destinations;
         if members.is_empty() && stable {
             // "Any pages that have an empty Copyset and are therefore private
             // are made locally writable, their twins are deleted, and they do
@@ -253,12 +381,16 @@ impl NodeRuntime {
         if peers.is_empty() {
             return Ok(result);
         }
+        add(&self.stats.copyset_queries, 1);
+        // One shared allocation for the whole broadcast: every peer's query
+        // message clones the `Arc`, not the object list.
+        let shared: Arc<[ObjectId]> = Arc::from(objects);
         for peer in &peers {
-            add(&self.stats.copyset_queries, 1);
+            add(&self.stats.copyset_query_msgs, 1);
             self.send(
                 *peer,
                 DsmMsg::CopysetQuery {
-                    objects: objects.to_vec(),
+                    objects: Arc::clone(&shared),
                     requester: self.node,
                 },
             )?;
@@ -307,9 +439,10 @@ impl NodeRuntime {
                 }
             }
         }
+        add(&self.stats.copyset_queries, 1);
         let expected = remote.len();
         for (owner, objs) in remote {
-            add(&self.stats.copyset_queries, 1);
+            add(&self.stats.copyset_query_msgs, 1);
             self.send(
                 owner,
                 DsmMsg::OwnerCopysetQuery {
@@ -614,6 +747,94 @@ mod tests {
         }
         // The twin buffer went back to the pool for the next first-write.
         assert_eq!(rt.duq.lock().pooled_twins(), 1);
+    }
+
+    /// End-to-end healing: the flusher's determination missed a member, the
+    /// owner's ack reports it, and the flusher re-sends the update to the
+    /// missed member before completing the release.
+    #[test]
+    fn flush_heals_members_reported_by_owner_ack() {
+        let mut table = SharedDataTable::new(64);
+        table.declare("ws", SharingAnnotation::WriteShared, 4, 8, false);
+        let table = Arc::new(table);
+        let cfg = Arc::new(MuninConfig::fast_test(3));
+        let clock = NodeClock::new();
+        let mut net: Network<DsmMsg> = Network::new(3, CostModel::fast_test());
+        let (tx0, rx0) = net.endpoint(0, clock.clone()).unwrap();
+        let (tx1, rx1) = net.endpoint(1, NodeClock::new()).unwrap();
+        let (tx2, rx2) = net.endpoint(2, NodeClock::new()).unwrap();
+        let rt = NodeRuntime::new(
+            NodeId::new(0),
+            3,
+            cfg,
+            table,
+            vec![],
+            vec![],
+            clock,
+            Arc::new(CostModel::fast_test()),
+            tx0,
+        );
+        let touched: HashSet<_> = rt.table().objects().iter().map(|o| o.id).collect();
+        rt.finish_root_init(&touched);
+        let ws = rt.table().var_by_name("ws").unwrap().objects[0];
+        // Node 0 knows only of the replica at N1; N2's copy is "invisible"
+        // to its determination (as if N2 fetched after the query round).
+        rt.write_fault(ws).unwrap();
+        rt.install_object_bytes(ws, &[7u8; 32]);
+        {
+            let mut dir = rt.dir.lock();
+            let e = dir.entry_mut(ws);
+            e.copyset.insert(NodeId::new(1));
+            e.state.copyset_fixed = true; // skip the query round
+        }
+        // Service loop for node 0 (routes acks back to the flushing thread).
+        let server_rt = Arc::clone(&rt);
+        let server = std::thread::spawn(move || server_rt.server_loop(rx0));
+        let flusher_rt = Arc::clone(&rt);
+        let flusher = std::thread::spawn(move || flusher_rt.flush_duq());
+        // Peer 1 ("owner" in the reported sense) acks and reports that N2
+        // also holds a copy.
+        let (_env, msg) = rx1.recv().unwrap();
+        let DsmMsg::Update { items, .. } = msg else {
+            panic!("expected update at N1, got {msg:?}");
+        };
+        assert_eq!(items.len(), 1);
+        tx1.send(
+            NodeId::new(0),
+            "update_ack",
+            40,
+            DsmMsg::UpdateAck {
+                count: 1,
+                owned_copysets: vec![(ws, CopySet::from_nodes([NodeId::new(1), NodeId::new(2)]))],
+            },
+        )
+        .unwrap();
+        // The flusher must now heal N2 with the same payload.
+        let (_env, msg) = rx2.recv().unwrap();
+        let DsmMsg::Update { items, .. } = msg else {
+            panic!("expected healing update at N2, got {msg:?}");
+        };
+        assert_eq!(items[0].object, ws);
+        tx2.send(
+            NodeId::new(0),
+            "update_ack",
+            40,
+            DsmMsg::UpdateAck {
+                count: 1,
+                owned_copysets: vec![],
+            },
+        )
+        .unwrap();
+        flusher.join().unwrap().unwrap();
+        assert_eq!(rt.stats().snapshot().updates_healed, 1);
+        assert_eq!(rt.stats().snapshot().updates_sent, 2);
+        // N2 is remembered for future flushes.
+        assert!(rt.dir.lock().entry(ws).copyset.contains(NodeId::new(2)));
+        // Shut the service loop down.
+        tx1.send(NodeId::new(0), "shutdown", 8, DsmMsg::Shutdown)
+            .unwrap();
+        server.join().unwrap();
+        drop(net);
     }
 
     /// Flushing reuses both the twin buffer (via the DUQ pool) and the diff

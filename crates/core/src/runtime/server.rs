@@ -66,7 +66,7 @@ impl NodeRuntime {
                 items,
                 requester,
                 needs_ack,
-            } => self.handle_update(items, requester, needs_ack, now),
+            } => self.handle_update(env, items, requester, needs_ack, now),
             DsmMsg::CopysetQuery { objects, requester } => {
                 self.handle_copyset_query(env, objects, requester)
             }
@@ -340,19 +340,58 @@ impl NodeRuntime {
     }
 
     /// Applies incoming delayed updates to the local copies.
+    ///
+    /// If any updated object is mid-fetch on this node (its busy bit is
+    /// set), the whole update is deferred until the fetch completes: the
+    /// in-flight object data was served *before* this update was applied at
+    /// the server, so discarding the update as "no copy here" would leave the
+    /// just-fetched copy permanently stale (the same window the copyset-query
+    /// deferral closes; diffs carry absolute word values, so applying the
+    /// deferred update on top of the installed copy is exact). The sender
+    /// waits for the deferred ack as part of its release, which also
+    /// guarantees it cannot issue a *newer* update for the object that this
+    /// deferred one could regress.
     fn handle_update(
         self: &Arc<Self>,
+        env: Envelope,
         items: Vec<UpdateItem>,
         requester: NodeId,
         needs_ack: bool,
         now: munin_sim::VirtTime,
     ) {
+        {
+            let dir = self.dir.lock();
+            if items.iter().any(|i| dir.entry(i.object).state.busy) {
+                drop(dir);
+                crate::runtime::proto_trace!(self, "defer update from {requester:?}");
+                self.deferred.lock().push((
+                    env,
+                    DsmMsg::Update {
+                        items,
+                        requester,
+                        needs_ack,
+                    },
+                ));
+                return;
+            }
+        }
         let mut applied = 0usize;
         let mut service = munin_sim::VirtTime::ZERO;
+        // For objects this node owns, report the authoritative recorded
+        // copyset back to the flusher (see `DsmMsg::UpdateAck`): it is the
+        // union of every determined set with the replicas recorded while
+        // serving fetches, so the flusher can heal members its own (possibly
+        // stale) determination missed.
+        let mut owned_copysets: Vec<(crate::object::ObjectId, crate::copyset::CopySet)> =
+            Vec::new();
         for item in items {
             let has_copy = {
                 let dir = self.dir.lock();
-                dir.entry(item.object).state.rights.allows_read()
+                let e = dir.entry(item.object);
+                if needs_ack && e.state.owned {
+                    owned_copysets.push((item.object, e.copyset));
+                }
+                e.state.rights.allows_read()
             };
             crate::runtime::proto_trace!(
                 self,
@@ -401,7 +440,10 @@ impl NodeRuntime {
         if needs_ack {
             let _ = self.send_service(
                 requester,
-                DsmMsg::UpdateAck { count: applied },
+                DsmMsg::UpdateAck {
+                    count: applied,
+                    owned_copysets,
+                },
                 now + service,
             );
         }
@@ -417,7 +459,7 @@ impl NodeRuntime {
     fn handle_copyset_query(
         self: &Arc<Self>,
         env: Envelope,
-        objects: Vec<ObjectId>,
+        objects: std::sync::Arc<[ObjectId]>,
         requester: NodeId,
     ) {
         let now = env.arrival;
@@ -428,7 +470,8 @@ impl NodeRuntime {
             let dir = self.dir.lock();
             if objects.iter().any(|o| dir.entry(*o).state.busy) {
                 // No virtual-time charge on a deferred attempt: retry counts
-                // are host-timing dependent.
+                // are host-timing dependent. Re-queueing shares the same
+                // `Arc`-backed object list — no copy.
                 drop(dir);
                 crate::runtime::proto_trace!(self, "defer copyset query from {requester:?}");
                 self.deferred
@@ -437,7 +480,8 @@ impl NodeRuntime {
                 return;
             }
             objects
-                .into_iter()
+                .iter()
+                .copied()
                 .filter(|o| dir.entry(*o).state.rights.allows_read())
                 .collect()
         };
@@ -808,6 +852,102 @@ mod tests {
         assert!(matches!(h.peer_recv(), DsmMsg::ObjectData { .. }));
     }
 
+    /// The owner's `UpdateAck` carries its authoritative recorded copyset
+    /// for every owned object in the update, so the flusher can heal members
+    /// its determination missed.
+    #[test]
+    fn update_ack_from_owner_reports_recorded_copyset() {
+        let h = harness();
+        let ws = h.obj("ws");
+        h.rt.install_object_bytes(ws, &[0u8; 32]);
+        // The owner recorded a replica at N1 (e.g. while serving a fetch).
+        h.rt.dir.lock().entry_mut(ws).copyset.insert(NodeId::new(1));
+        let d = diff::encode(&[1u8; 32], &[0u8; 32]);
+        h.peer_tx
+            .send(
+                NodeId::new(0),
+                "update",
+                64,
+                DsmMsg::Update {
+                    items: vec![UpdateItem {
+                        object: ws,
+                        payload: UpdatePayload::Diff(d),
+                    }],
+                    requester: NodeId::new(1),
+                    needs_ack: true,
+                },
+            )
+            .unwrap();
+        h.pump();
+        match h.peer_recv() {
+            DsmMsg::UpdateAck {
+                count,
+                owned_copysets,
+            } => {
+                assert_eq!(count, 1);
+                assert_eq!(owned_copysets.len(), 1);
+                let (object, cs) = owned_copysets[0];
+                assert_eq!(object, ws);
+                assert!(cs.contains(NodeId::new(1)));
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+
+    /// An update hitting an object whose fetch is in flight is deferred, not
+    /// dropped: the in-flight object data predates the update, so discarding
+    /// it would leave the just-installed copy permanently stale.
+    #[test]
+    fn update_for_mid_fetch_object_is_deferred_until_install() {
+        let h = harness();
+        let ws = h.obj("ws");
+        // Simulate "fetch in flight": no local copy, busy bit set.
+        {
+            let mut dir = h.rt.dir.lock();
+            let e = dir.entry_mut(ws);
+            e.state.rights = AccessRights::Invalid;
+            e.state.busy = true;
+        }
+        let d = diff::encode(&[9u8; 32], &[0u8; 32]);
+        h.peer_tx
+            .send(
+                NodeId::new(0),
+                "update",
+                64,
+                DsmMsg::Update {
+                    items: vec![UpdateItem {
+                        object: ws,
+                        payload: UpdatePayload::Diff(d),
+                    }],
+                    requester: NodeId::new(1),
+                    needs_ack: true,
+                },
+            )
+            .unwrap();
+        h.pump();
+        assert_eq!(h.rt.deferred.lock().len(), 1, "update must be deferred");
+        // The fetch completes: data installed, busy cleared. The deferred
+        // update is then applied on top of the installed (stale) copy.
+        h.rt.install_object_bytes(ws, &[0u8; 32]);
+        {
+            let mut dir = h.rt.dir.lock();
+            let e = dir.entry_mut(ws);
+            e.state.busy = false;
+            e.state.rights = AccessRights::Read;
+        }
+        h.rt.process_deferred();
+        match h.peer_recv() {
+            DsmMsg::UpdateAck { count, .. } => assert_eq!(count, 1),
+            other => panic!("unexpected reply: {other:?}"),
+        }
+        let range = h.rt.object_range(ws);
+        assert_eq!(
+            h.rt.memory.lock()[range],
+            [9u8; 32],
+            "deferred update applied after install"
+        );
+    }
+
     #[test]
     fn update_applies_diff_to_local_copy_and_acks() {
         let h = harness();
@@ -833,7 +973,7 @@ mod tests {
             )
             .unwrap();
         h.pump();
-        assert!(matches!(h.peer_recv(), DsmMsg::UpdateAck { count: 1 }));
+        assert!(matches!(h.peer_recv(), DsmMsg::UpdateAck { count: 1, .. }));
         assert_eq!(&h.rt.object_bytes(ws)[0..4], &7u32.to_le_bytes());
     }
 
@@ -873,7 +1013,7 @@ mod tests {
                 "copyset_query",
                 40,
                 DsmMsg::CopysetQuery {
-                    objects: vec![ro, ws],
+                    objects: vec![ro, ws].into(),
                     requester: NodeId::new(1),
                 },
             )

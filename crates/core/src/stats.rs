@@ -77,8 +77,18 @@ counters! {
         duq_flushes,
         /// Objects drained from the DUQ across all flushes.
         duq_objects_flushed,
-        /// Copyset determination query messages sent.
+        /// Copyset determination rounds performed (one per flush that had
+        /// objects needing determination), regardless of strategy — the
+        /// broadcast and owner-collected strategies count identically here,
+        /// so their message economy is compared via `copyset_query_msgs`.
         copyset_queries,
+        /// Copyset query messages actually sent (broadcast: one per peer per
+        /// round; owner-collected: one per distinct remote owner per round).
+        copyset_query_msgs,
+        /// Update re-sends to copyset members the flusher's determination
+        /// missed but the object's owner had recorded (see
+        /// `DsmMsg::UpdateAck::owned_copysets`).
+        updates_healed,
         /// Lock acquires performed by the local user thread.
         lock_acquires,
         /// Lock acquires satisfied locally without any message.

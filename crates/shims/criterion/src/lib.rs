@@ -55,12 +55,34 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
+        if quick_mode() {
+            // Smoke-test settings: enough to exercise every bench path and
+            // produce a number, fast enough for CI on every PR.
+            return Criterion {
+                measurement_time: Duration::from_millis(200),
+                warm_up_time: Duration::from_millis(50),
+                sample_size: 5,
+            };
+        }
         Criterion {
             measurement_time: Duration::from_secs(2),
             warm_up_time: Duration::from_millis(500),
             sample_size: 20,
         }
     }
+}
+
+/// Whether quick (smoke-test) mode is active: `--quick` on the bench binary's
+/// command line (`cargo bench ... -- --quick`, mirroring real criterion's
+/// flag) or `BENCH_QUICK=1` in the environment. In quick mode the per-group
+/// `measurement_time`/`warm_up_time`/`sample_size` setters are ignored so the
+/// smoke run stays short no matter what the bench requests.
+pub fn quick_mode() -> bool {
+    static QUICK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *QUICK.get_or_init(|| {
+        std::env::args().any(|a| a == "--quick")
+            || std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1")
+    })
 }
 
 impl Criterion {
@@ -102,21 +124,28 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the target measurement time per benchmark.
+    /// Sets the target measurement time per benchmark (ignored in quick
+    /// mode).
     pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
-        self.measurement_time = t;
+        if !quick_mode() {
+            self.measurement_time = t;
+        }
         self
     }
 
-    /// Sets the warm-up time per benchmark.
+    /// Sets the warm-up time per benchmark (ignored in quick mode).
     pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
-        self.warm_up_time = t;
+        if !quick_mode() {
+            self.warm_up_time = t;
+        }
         self
     }
 
-    /// Sets the number of samples per benchmark.
+    /// Sets the number of samples per benchmark (ignored in quick mode).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        if !quick_mode() {
+            self.sample_size = n.max(1);
+        }
         self
     }
 
@@ -270,6 +299,17 @@ pub fn write_results_json(path: &str) -> std::io::Result<()> {
 pub fn finalize() {
     if let Ok(path) = std::env::var("BENCH_JSON_OUT") {
         if !path.is_empty() {
+            // Quick-mode numbers (5 samples, 200 ms) are smoke-test output,
+            // not a baseline; refusing to write protects the committed
+            // BENCH_*.json files from being silently replaced with garbage
+            // by a run that happened to have --quick or BENCH_QUICK=1 set.
+            if quick_mode() {
+                eprintln!(
+                    "criterion shim: refusing to write {path} from a --quick run \
+                     (smoke-test settings would overwrite a real baseline)"
+                );
+                return;
+            }
             if let Err(e) = write_results_json(&path) {
                 eprintln!("criterion shim: failed to write {path}: {e}");
             } else {

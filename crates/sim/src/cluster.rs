@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use crate::cost::CostModel;
 use crate::error::SimError;
-use crate::event::{EngineConfig, TraceEntry};
+use crate::event::{EngineConfig, EngineStats, TraceEntry};
 use crate::net::{Network, NodeId, Receiver, Sender};
 use crate::stats::{NetSnapshot, NodeTimes};
 use crate::time::{NodeClock, TimeKind, VirtTime};
@@ -194,6 +194,7 @@ impl<M: Send + Clone + 'static> Cluster<M> {
             elapsed,
             node_times,
             net: stats.snapshot(),
+            engine_stats: engine.stats(),
             trace,
             trace_digest,
             results: results
@@ -213,6 +214,9 @@ pub struct ClusterReport<R> {
     pub node_times: Vec<NodeTimes>,
     /// Network statistics for the whole run.
     pub net: NetSnapshot,
+    /// Engine-level message volume (messages/bytes scheduled for delivery,
+    /// including engine-injected duplicates).
+    pub engine_stats: EngineStats,
     /// Delivery trace, sorted by `(dst, seq_at_dst)`. Empty unless the engine
     /// configuration enabled trace recording.
     pub trace: Vec<TraceEntry>,
@@ -277,6 +281,10 @@ mod tests {
             .unwrap();
         assert_eq!(report.results, vec![2, 1]);
         assert_eq!(report.net.total.msgs, 2);
+        // Engine-level volume matches: two scheduled deliveries of 8
+        // modelled bytes each.
+        assert_eq!(report.engine_stats.messages_sent, 2);
+        assert_eq!(report.engine_stats.bytes_sent, 16);
         // Both nodes must have advanced beyond zero: the round trip costs
         // two message overheads plus wire time.
         assert!(report.elapsed.as_nanos() >= 2 * CostModel::fast_test().msg_fixed_ns);

@@ -33,9 +33,36 @@
 //! deliveries) so a run can be fingerprinted and replayed: two runs of a
 //! recv-driven workload with the same [`EngineConfig`] produce byte-identical
 //! per-destination traces.
+//!
+//! # Sharding and the locking rule
+//!
+//! The engine is sharded by destination: each destination owns a
+//! `Mutex<DestState>` (its delivery heap, the lane clamps of every link
+//! terminating there, the delivery frontier, the open flag, its submission
+//! sequence, and its slice of the trace) paired with one `Condvar`. A
+//! `submit(dst)` therefore locks exactly one shard, and `recv(node)` locks
+//! only the receiver's own shard — concurrent traffic to *different*
+//! destinations never contends, and the submit hot path performs no atomic
+//! read-modify-write at all (sequence numbers are only compared within one
+//! destination's heap, so each shard keeps a plain counter under its own
+//! lock). The live-sender count is the engine's only atomic.
+//!
+//! **The one allowed lock order:** a thread holds at most *one* shard lock at
+//! any time, and never acquires any other engine lock while holding it.
+//! Operations that visit several shards (the all-senders-gone shutdown
+//! wakeup, the trace merge) walk the shards in ascending destination order,
+//! releasing each shard before locking the next. Nothing ever holds two
+//! shard locks at once, so no lock-order cycle can exist.
+//!
+//! Sharding is a pure lock-domain refactor: every delivery decision
+//! (`(deliver_at, tie, seq)` keys, lane FIFO clamps, frontier monotonicity,
+//! fault draws) is unchanged, and per-destination traces are byte-identical
+//! to the pre-shard engine for a given seed
+//! (`tests/stress_schedules.rs::sharded_engine_matches_pre_shard_golden_digests`).
 
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 use crate::error::SimError;
 use crate::net::{Envelope, NodeId};
@@ -267,15 +294,26 @@ impl<M> Ord for Scheduled<M> {
     }
 }
 
-/// Per-`(src, dst)` link state: FIFO clamp and fault stream.
+/// Per-`(src, dst)` link state: FIFO clamp and fault stream. Owned by the
+/// destination shard it clamps into, so a submit touches exactly one shard.
 struct LaneState {
     last_arrival_ns: u64,
     rng: u64,
 }
 
-/// Per-destination delivery queue.
-struct NodeQueue<M> {
+/// One destination's lock domain: everything a delivery to this node reads
+/// or writes.
+struct DestState<M> {
     heap: BinaryHeap<Scheduled<M>>,
+    /// Lane clamps and fault streams of every link terminating here, keyed
+    /// by source index.
+    lanes: HashMap<u32, LaneState>,
+    /// Submission sequence for this destination. Sequence numbers are only
+    /// ever *compared* within one destination's heap, so a per-shard plain
+    /// counter under the shard lock gives exactly the ordering the old
+    /// global counter did (monotone in submit order per destination, and
+    /// therefore per lane) with no atomic on the submit hot path.
+    next_seq: u64,
     /// Largest effective delivery time handed out so far.
     frontier_ns: u64,
     /// Number of messages delivered to this node.
@@ -283,28 +321,53 @@ struct NodeQueue<M> {
     /// False once the node's `Receiver` has been dropped (sends then fail,
     /// matching the disconnected-channel semantics of the old transport).
     open: bool,
-}
-
-struct EngineState<M> {
-    queues: Vec<NodeQueue<M>>,
-    lanes: HashMap<u64, LaneState>,
-    /// Number of live `Sender` handles; receives fail once it reaches zero
-    /// and the queue is empty.
-    senders: usize,
-    next_seq: u64,
+    /// Messages scheduled into this shard (including injected duplicates)
+    /// and their modelled wire bytes. Kept in the shard — the submit path
+    /// already holds this lock, so counting here costs no extra atomics on
+    /// the hot path; [`EventEngine::stats`] sums over shards.
+    messages_sent: u64,
+    bytes_sent: u64,
+    /// This destination's slice of the delivery trace, in `seq_at_dst`
+    /// order by construction.
     trace: Vec<TraceEntry>,
 }
 
-/// The discrete-event scheduler shared by every endpoint of one [`Network`].
+/// A destination shard: its lock domain plus the condvar a blocked `recv`
+/// parks on. Submits to this destination notify only this condvar.
+///
+/// Aligned to 128 bytes (two cache lines, covering adjacent-line prefetch)
+/// so neighbouring shards in the engine's shard vector never false-share:
+/// the whole point of per-destination lock domains is that traffic to
+/// different destinations does not contend, in the cache as well as in the
+/// lock.
+#[repr(align(128))]
+struct Shard<M> {
+    state: Mutex<DestState<M>>,
+    cond: Condvar,
+}
+
+/// Aggregate engine counters. Message volume as the *engine* sees it: one
+/// count per scheduled delivery, so an injected duplicate counts like the
+/// extra wire message it models.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Messages scheduled for delivery (including injected duplicates).
+    pub messages_sent: u64,
+    /// Total modelled wire bytes of those messages.
+    pub bytes_sent: u64,
+}
+
+/// The discrete-event scheduler shared by every endpoint of one [`Network`],
+/// sharded by destination (see the module docs for the locking rule).
 ///
 /// [`Network`]: crate::net::Network
 pub struct EventEngine<M> {
     cfg: EngineConfig,
     n: usize,
-    state: Mutex<EngineState<M>>,
-    /// One condvar per destination (all paired with `state`): a submit wakes
-    /// only the targeted receiver, not the whole cluster.
-    conds: Vec<Condvar>,
+    shards: Vec<Shard<M>>,
+    /// Number of live `Sender` handles; receives fail once it reaches zero
+    /// and the receiver's queue is empty.
+    senders: AtomicUsize,
 }
 
 impl<M> EventEngine<M> {
@@ -313,21 +376,23 @@ impl<M> EventEngine<M> {
         EventEngine {
             cfg,
             n,
-            state: Mutex::new(EngineState {
-                queues: (0..n)
-                    .map(|_| NodeQueue {
+            shards: (0..n)
+                .map(|_| Shard {
+                    state: Mutex::new(DestState {
                         heap: BinaryHeap::new(),
+                        lanes: HashMap::new(),
                         frontier_ns: 0,
                         delivered: 0,
                         open: true,
-                    })
-                    .collect(),
-                lanes: HashMap::new(),
-                senders: 0,
-                next_seq: 0,
-                trace: Vec::new(),
-            }),
-            conds: (0..n).map(|_| Condvar::new()).collect(),
+                        next_seq: 0,
+                        messages_sent: 0,
+                        bytes_sent: 0,
+                        trace: Vec::new(),
+                    }),
+                    cond: Condvar::new(),
+                })
+                .collect(),
+            senders: AtomicUsize::new(0),
         }
     }
 
@@ -341,53 +406,79 @@ impl<M> EventEngine<M> {
         self.n
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, EngineState<M>> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    /// Aggregate message-volume counters (for scaling benches and reports).
+    /// Sums the per-shard counters, locking one shard at a time in ascending
+    /// order (the allowed multi-shard walk — see the module docs).
+    pub fn stats(&self) -> EngineStats {
+        let mut stats = EngineStats::default();
+        for shard in &self.shards {
+            let st = self.lock_shard(shard);
+            stats.messages_sent += st.messages_sent;
+            stats.bytes_sent += st.bytes_sent;
+        }
+        stats
+    }
+
+    fn lock_shard<'a>(&self, shard: &'a Shard<M>) -> MutexGuard<'a, DestState<M>> {
+        shard.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     pub(crate) fn sender_registered(&self) {
-        self.lock().senders += 1;
+        self.senders.fetch_add(1, Ordering::SeqCst);
     }
 
     pub(crate) fn sender_dropped(&self) {
-        let mut st = self.lock();
-        st.senders -= 1;
-        if st.senders == 0 {
-            // Wake all blocked receivers so they can observe the
-            // disconnection.
-            for cond in &self.conds {
-                cond.notify_all();
+        if self.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender gone: wake every blocked receiver so it observes
+            // the disconnection. Each shard's lock is taken and released
+            // *briefly, one shard at a time, in ascending order* before its
+            // condvar is notified — the lock hold is what closes the missed-
+            // wakeup window (a receiver that read a stale sender count while
+            // holding its shard lock is either already parked, and gets the
+            // notify, or has not locked yet, and will read zero). No thread
+            // ever holds two shard locks, so this fan-out cannot deadlock.
+            for shard in &self.shards {
+                drop(self.lock_shard(shard));
+                shard.cond.notify_all();
             }
         }
     }
 
     pub(crate) fn receiver_dropped(&self, node: usize) {
-        let mut st = self.lock();
-        if let Some(q) = st.queues.get_mut(node) {
-            q.open = false;
-        }
-        if let Some(cond) = self.conds.get(node) {
-            cond.notify_all();
+        if let Some(shard) = self.shards.get(node) {
+            let mut st = self.lock_shard(shard);
+            st.open = false;
+            drop(st);
+            // Only this shard's condvar: senders blocked on *other* nodes
+            // are unaffected by this receiver going away.
+            shard.cond.notify_all();
         }
     }
 
     /// Schedules `payload` for delivery, applying faults and the lane clamp.
     /// Returns the envelope with its effective (scheduled) delivery time.
+    /// Locks exactly one shard: the destination's.
     pub(crate) fn submit(&self, env: Envelope, payload: M) -> Result<Envelope, SimError>
     where
         M: Clone,
     {
         let dst = env.dst.as_usize();
-        let mut st = self.lock();
-        if !st.queues.get(dst).map(|q| q.open).unwrap_or(false) {
+        let Some(shard) = self.shards.get(dst) else {
+            return Err(SimError::Disconnected);
+        };
+        let mut guard = self.lock_shard(shard);
+        if !guard.open {
             return Err(SimError::Disconnected);
         }
+        guard.messages_sent += 1;
+        guard.bytes_sent += env.model_bytes;
+        let st = &mut *guard;
         let seq = st.next_seq;
         st.next_seq += 1;
         let env = match self.cfg.mode {
             DeliveryMode::Passthrough => {
-                // Legacy FIFO: the global enqueue sequence is the whole key.
-                st.queues[dst].heap.push(Scheduled {
+                // Legacy FIFO: the enqueue sequence is the whole key.
+                st.heap.push(Scheduled {
                     key: DeliveryKey {
                         deliver_at_ns: 0,
                         tie: 0,
@@ -401,8 +492,7 @@ impl<M> EventEngine<M> {
             DeliveryMode::VirtualTime => {
                 let seed = self.cfg.seed;
                 let src = env.src.as_usize() as u32;
-                let lane_key = ((src as u64) << 32) | dst as u64;
-                let lane = st.lanes.entry(lane_key).or_insert_with(|| LaneState {
+                let lane = st.lanes.entry(src).or_insert_with(|| LaneState {
                     last_arrival_ns: 0,
                     rng: lane_seed(seed, src, dst as u32),
                 });
@@ -443,11 +533,13 @@ impl<M> EventEngine<M> {
                 // common path moves it straight into the heap (object-data
                 // payloads can be large).
                 if duplicate {
+                    st.messages_sent += 1;
+                    st.bytes_sent += env.model_bytes;
                     let dup_seq = st.next_seq;
                     st.next_seq += 1;
                     let mut dup_env = env;
                     dup_env.arrival = VirtTime::from_nanos(arrival_ns + 1);
-                    st.queues[dst].heap.push(Scheduled {
+                    st.heap.push(Scheduled {
                         key: DeliveryKey {
                             deliver_at_ns: arrival_ns + 1,
                             tie,
@@ -457,7 +549,7 @@ impl<M> EventEngine<M> {
                         payload: payload.clone(),
                     });
                 }
-                st.queues[dst].heap.push(Scheduled {
+                st.heap.push(Scheduled {
                     key: DeliveryKey {
                         deliver_at_ns: arrival_ns,
                         tie,
@@ -469,29 +561,26 @@ impl<M> EventEngine<M> {
                 env
             }
         };
-        drop(st);
-        self.conds[dst].notify_all();
+        drop(guard);
+        shard.cond.notify_all();
         Ok(env)
     }
 
-    /// Pops the earliest deliverable message for `node`, applying the
-    /// delivery-frontier clamp and recording the trace.
-    fn pop(&self, st: &mut EngineState<M>, node: usize) -> Option<(Envelope, M)> {
-        let record = self.cfg.record_trace;
-        let virtual_time = self.cfg.mode == DeliveryMode::VirtualTime;
-        let q = &mut st.queues[node];
-        let sched = q.heap.pop()?;
+    /// Pops the earliest deliverable message from a destination shard,
+    /// applying the delivery-frontier clamp and recording the trace.
+    fn pop(&self, st: &mut DestState<M>) -> Option<(Envelope, M)> {
+        let sched = st.heap.pop()?;
         let mut env = sched.env;
-        if virtual_time {
+        if self.cfg.mode == DeliveryMode::VirtualTime {
             // Per-destination monotonicity: a message computed to arrive in
             // the destination's past is delivered at the frontier.
-            let eff = env.arrival.as_nanos().max(q.frontier_ns);
-            q.frontier_ns = eff;
+            let eff = env.arrival.as_nanos().max(st.frontier_ns);
+            st.frontier_ns = eff;
             env.arrival = VirtTime::from_nanos(eff);
         }
-        let seq_at_dst = q.delivered;
-        q.delivered += 1;
-        if record {
+        let seq_at_dst = st.delivered;
+        st.delivered += 1;
+        if self.cfg.record_trace {
             st.trace.push(TraceEntry {
                 dst: env.dst,
                 seq_at_dst,
@@ -503,27 +592,29 @@ impl<M> EventEngine<M> {
         Some((env, sched.payload))
     }
 
-    /// Blocking receive for `node`.
+    /// Blocking receive for `node`. Locks only the receiver's own shard.
     pub(crate) fn recv(&self, node: usize) -> Result<(Envelope, M), SimError> {
-        let mut st = self.lock();
+        let shard = &self.shards[node];
+        let mut st = self.lock_shard(shard);
         loop {
-            if let Some(delivery) = self.pop(&mut st, node) {
+            if let Some(delivery) = self.pop(&mut st) {
                 return Ok(delivery);
             }
-            if st.senders == 0 {
+            if self.senders.load(Ordering::SeqCst) == 0 {
                 return Err(SimError::Disconnected);
             }
-            st = self.conds[node].wait(st).unwrap_or_else(|e| e.into_inner());
+            st = shard.cond.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     }
 
-    /// Non-blocking receive for `node`.
+    /// Non-blocking receive for `node`. Locks only the receiver's own shard.
     pub(crate) fn try_recv(&self, node: usize) -> Result<Option<(Envelope, M)>, SimError> {
-        let mut st = self.lock();
-        if let Some(delivery) = self.pop(&mut st, node) {
+        let shard = &self.shards[node];
+        let mut st = self.lock_shard(shard);
+        if let Some(delivery) = self.pop(&mut st) {
             return Ok(Some(delivery));
         }
-        if st.senders == 0 {
+        if self.senders.load(Ordering::SeqCst) == 0 {
             return Err(SimError::Disconnected);
         }
         Ok(None)
@@ -532,10 +623,23 @@ impl<M> EventEngine<M> {
     /// Snapshot of the delivery trace, sorted by `(dst, seq_at_dst)` so it is
     /// independent of cross-destination thread interleaving. Empty unless
     /// [`EngineConfig::record_trace`] is set.
+    ///
+    /// The global trace is reassembled by merging the per-shard traces on the
+    /// stable sort key: each shard's slice is already in `seq_at_dst` order
+    /// by construction, so walking the shards in ascending destination order
+    /// and concatenating *is* the sorted merge (one shard lock at a time —
+    /// see the module docs). The result is byte-identical to the pre-shard
+    /// engine's sorted snapshot.
     pub fn trace_snapshot(&self) -> Vec<TraceEntry> {
-        let st = self.lock();
-        let mut trace = st.trace.clone();
-        trace.sort_by_key(|e| (e.dst.as_usize(), e.seq_at_dst));
+        let mut trace = Vec::new();
+        for shard in &self.shards {
+            let st = self.lock_shard(shard);
+            debug_assert!(st
+                .trace
+                .windows(2)
+                .all(|w| w[0].seq_at_dst < w[1].seq_at_dst));
+            trace.extend_from_slice(&st.trace);
+        }
         trace
     }
 
@@ -699,6 +803,37 @@ mod tests {
         assert_eq!(trace[0].seq_at_dst, 0);
         assert_eq!(trace[1].dst, NodeId::new(1));
         assert_ne!(e.trace_digest(), 0);
+    }
+
+    #[test]
+    fn engine_stats_count_messages_and_bytes() {
+        let e = engine(2, EngineConfig::seeded(1));
+        assert_eq!(e.stats(), EngineStats::default());
+        let mut env100 = env(0, 1, 10);
+        env100.model_bytes = 100;
+        let mut env28 = env(1, 0, 20);
+        env28.model_bytes = 28;
+        e.submit(env100, 1).unwrap();
+        e.submit(env28, 2).unwrap();
+        let stats = e.stats();
+        assert_eq!(stats.messages_sent, 2);
+        assert_eq!(stats.bytes_sent, 128);
+    }
+
+    #[test]
+    fn engine_stats_count_injected_duplicates() {
+        let faults = FaultPlan {
+            duplicate_ppm: 1_000_000,
+            ..FaultPlan::none()
+        };
+        let e = engine(2, EngineConfig::seeded(3).with_faults(faults));
+        let mut envelope = env(0, 1, 100);
+        envelope.model_bytes = 10;
+        e.submit(envelope, 9).unwrap();
+        // The duplicate is an extra wire message the engine scheduled.
+        let stats = e.stats();
+        assert_eq!(stats.messages_sent, 2);
+        assert_eq!(stats.bytes_sent, 20);
     }
 
     #[test]

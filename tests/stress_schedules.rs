@@ -89,20 +89,24 @@ fn lock_counter_is_exact_under_seeded_jitter() {
 }
 
 /// Runs a recv-driven round-gated all-to-all workload on a real threaded
-/// cluster and returns the delivery trace and its digest. A `std` barrier
-/// gates each round so every message of a round is scheduled before any node
-/// drains — delivery order is then a pure function of the engine seed.
-fn traced_round_trip(seed: u64, faults: FaultPlan) -> (Vec<TraceEntry>, u64) {
-    const NODES: usize = 4;
-    const ROUNDS: usize = 5;
-    let gate = Arc::new(Barrier::new(NODES));
-    let cluster: Cluster<u64> = Cluster::new(NODES, CostModel::fast_test())
+/// cluster of `nodes` nodes and returns the delivery trace and its digest. A
+/// `std` barrier gates each round so every message of a round is scheduled
+/// before any node drains — delivery order is then a pure function of the
+/// engine seed.
+fn traced_alltoall(
+    nodes: usize,
+    rounds: usize,
+    seed: u64,
+    faults: FaultPlan,
+) -> (Vec<TraceEntry>, u64) {
+    let gate = Arc::new(Barrier::new(nodes));
+    let cluster: Cluster<u64> = Cluster::new(nodes, CostModel::fast_test())
         .with_engine(EngineConfig::seeded(seed).with_faults(faults).with_trace());
     let report = cluster
         .run(|ctx| {
             let me = ctx.node_id().as_usize();
-            for round in 0..ROUNDS {
-                for peer in 0..NODES {
+            for round in 0..rounds {
+                for peer in 0..nodes {
                     if peer != me {
                         // Vary the modelled size so wire times (and thus the
                         // virtual-time ordering) differ per source.
@@ -112,13 +116,13 @@ fn traced_round_trip(seed: u64, faults: FaultPlan) -> (Vec<TraceEntry>, u64) {
                                 NodeId::new(peer),
                                 "round",
                                 bytes,
-                                (round * NODES + me) as u64,
+                                (round * nodes + me) as u64,
                             )
                             .unwrap();
                     }
                 }
                 gate.wait();
-                for _ in 0..NODES - 1 {
+                for _ in 0..nodes - 1 {
                     ctx.receiver().recv().unwrap();
                 }
                 gate.wait();
@@ -126,6 +130,11 @@ fn traced_round_trip(seed: u64, faults: FaultPlan) -> (Vec<TraceEntry>, u64) {
         })
         .unwrap();
     (report.trace, report.trace_digest)
+}
+
+/// The 4-node, 5-round shape the original (pre-shard) replay tests used.
+fn traced_round_trip(seed: u64, faults: FaultPlan) -> (Vec<TraceEntry>, u64) {
+    traced_alltoall(4, 5, seed, faults)
 }
 
 #[test]
@@ -145,6 +154,133 @@ fn fixed_seed_replays_byte_identical_delivery_trace() {
     }
 }
 
+/// Trace digests captured from the pre-shard engine (single global
+/// `Mutex<EngineState>`, commit 6642519) for fixed schedules: the sharded
+/// engine must reproduce them byte-identically, proving the lock-domain
+/// refactor changed no delivery decision. Each entry is
+/// `(nodes, rounds, seed, jitter_ppm, window_ns, digest)` for the
+/// `traced_alltoall` workload above.
+const PRE_SHARD_GOLDEN_DIGESTS: &[(usize, usize, u64, u32, u64, u64)] = &[
+    (4, 5, 42, 300_000, 5_000, 0xeca276dab35382ca),
+    (4, 5, 7, 300_000, 5_000, 0x353ef95aa8871243),
+    (4, 5, 1, 0, 0, 0x9a0cb692375090cb),
+    (16, 3, 42, 300_000, 5_000, 0x3a1a40c707d940db),
+    (16, 3, 9, 0, 0, 0x42702d6b4a74806d),
+];
+
+#[test]
+fn sharded_engine_matches_pre_shard_golden_digests() {
+    for &(nodes, rounds, seed, ppm, window, want) in PRE_SHARD_GOLDEN_DIGESTS {
+        let faults = if ppm == 0 {
+            FaultPlan::none()
+        } else {
+            FaultPlan::jittery(ppm, window)
+        };
+        let (_, digest) = traced_alltoall(nodes, rounds, seed, faults);
+        assert_eq!(
+            digest, want,
+            "digest drift vs pre-shard engine: nodes={nodes} rounds={rounds} seed={seed} \
+             faults=({ppm}ppm,{window}ns) — got {digest:#018x}, want {want:#018x}"
+        );
+    }
+}
+
+/// 16-node stress: the all-to-all schedule replays byte-identically under
+/// jitter, per-destination sequences stay monotone, and SOR at 16 workers
+/// agrees with the serial reference (the scale ROADMAP said the global lock
+/// would start to bite at).
+#[test]
+fn sixteen_node_alltoall_replays_byte_identical() {
+    let faults = FaultPlan::jittery(300_000, 5_000);
+    let (trace_a, digest_a) = traced_alltoall(16, 3, 42, faults);
+    let (trace_b, digest_b) = traced_alltoall(16, 3, 42, faults);
+    assert_eq!(trace_a, trace_b, "same seed must replay the same schedule");
+    assert_eq!(digest_a, digest_b);
+    assert_eq!(trace_a.len(), 16 * 15 * 3);
+    for pair in trace_a.windows(2) {
+        if pair[0].dst == pair[1].dst {
+            assert!(pair[0].seq_at_dst < pair[1].seq_at_dst);
+            assert!(pair[0].deliver_at <= pair[1].deliver_at);
+        }
+    }
+}
+
+#[test]
+fn sixteen_node_sor_agrees_with_serial() {
+    let (rows, cols, iters, procs) = (32, 8, 2, 16);
+    let reference = sor::serial(rows, cols, iters);
+    for seed in [5u64, 23] {
+        let mut params = sor::SorParams::small(rows, cols, iters, procs);
+        params.engine = EngineConfig::seeded(seed).with_faults(STRESS_FAULTS);
+        let (_m, grid) = sor::run_munin(params, CostModel::fast_test()).unwrap();
+        let max_err = grid
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_err < 1e-12,
+            "16-node SOR diverged from serial under engine seed {seed}: max error {max_err}"
+        );
+    }
+}
+
+/// Regression test for the two late-fetch protocol windows this PR closed
+/// (a replica fetched *after* a flusher's copyset query was answered used to
+/// silently miss that flush's update — healed via the owner's ack — and an
+/// update arriving *while* the fetch is in flight used to be discarded —
+/// now deferred). Both only fire under host CPU oversubscription, so this
+/// test supplies its own background load. The geometry (one 512-byte page
+/// spans four workers' sections) is the many-writers-per-page shape that
+/// triggers them.
+#[test]
+fn sixteen_node_sor_exact_under_host_oversubscription() {
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let spinners: Vec<_> = (0..16)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut x = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    std::hint::black_box(x);
+                }
+            })
+        })
+        .collect();
+    let (rows, cols, iters, procs) = (32, 8, 2, 16);
+    let reference = sor::serial(rows, cols, iters);
+    // Collect the first divergence instead of asserting inside the loop: a
+    // panic here would unwind past the stop/join below and leave 16 spinning
+    // threads oversubscribing every remaining test in this binary.
+    let mut failure: Option<String> = None;
+    for attempt in 0..10u64 {
+        let seed = 5 + (attempt % 2) * 18;
+        let mut params = sor::SorParams::small(rows, cols, iters, procs);
+        params.engine = EngineConfig::seeded(seed).with_faults(STRESS_FAULTS);
+        let (_m, grid) = sor::run_munin(params, CostModel::fast_test()).unwrap();
+        let max_err = grid
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        if max_err >= 1e-12 {
+            failure = Some(format!(
+                "16-node SOR diverged under oversubscription (attempt {attempt}, seed {seed}): \
+                 max error {max_err}"
+            ));
+            break;
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for s in spinners {
+        let _ = s.join();
+    }
+    if let Some(msg) = failure {
+        panic!("{msg}");
+    }
+}
+
 #[test]
 fn different_seeds_schedule_differently() {
     let faults = FaultPlan::jittery(300_000, 5_000);
@@ -154,4 +290,29 @@ fn different_seeds_schedule_differently() {
         d1, d2,
         "seeds must steer the schedule (jitter and tie-breaks)"
     );
+}
+
+/// Regenerates the `PRE_SHARD_GOLDEN_DIGESTS` table (run with
+/// `cargo test --test stress_schedules capture_golden_digests -- --ignored
+/// --nocapture`). Only meaningful to re-capture if the engine's delivery
+/// *semantics* change deliberately; a lock-structure refactor must NOT move
+/// these values.
+#[test]
+#[ignore]
+fn capture_golden_digests() {
+    for (nodes, rounds, seed, ppm, window) in [
+        (4usize, 5usize, 42u64, 300_000u32, 5_000u64),
+        (4, 5, 7, 300_000, 5_000),
+        (4, 5, 1, 0, 0),
+        (16, 3, 42, 300_000, 5_000),
+        (16, 3, 9, 0, 0),
+    ] {
+        let faults = if ppm == 0 {
+            FaultPlan::none()
+        } else {
+            FaultPlan::jittery(ppm, window)
+        };
+        let (_, d) = traced_alltoall(nodes, rounds, seed, faults);
+        println!("    ({nodes}, {rounds}, {seed}, {ppm}, {window}, {d:#018x}),");
+    }
 }
