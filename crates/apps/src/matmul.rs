@@ -45,6 +45,8 @@ pub struct MatmulParams {
     pub page_size: usize,
     /// Event-engine configuration (schedule seed, fault injection).
     pub engine: munin_sim::EngineConfig,
+    /// Access-detection mode (explicit checks or real VM write traps).
+    pub access_mode: munin_core::AccessMode,
 }
 
 impl MatmulParams {
@@ -57,6 +59,7 @@ impl MatmulParams {
             annotation_override: None,
             page_size: 8192,
             engine: munin_sim::EngineConfig::from_env(),
+            access_mode: munin_core::AccessMode::from_env(),
         }
     }
 
@@ -69,6 +72,7 @@ impl MatmulParams {
             annotation_override: None,
             page_size: 512,
             engine: munin_sim::EngineConfig::from_env(),
+            access_mode: munin_core::AccessMode::from_env(),
         }
     }
 }
@@ -115,7 +119,8 @@ pub fn run_munin(
     let mut cfg = MuninConfig::paper(params.procs)
         .with_cost(cost)
         .with_page_size(params.page_size)
-        .with_engine(params.engine);
+        .with_engine(params.engine)
+        .with_access_mode(params.access_mode);
     if let Some(ann) = params.annotation_override {
         cfg = cfg.with_annotation_override(ann);
     }
@@ -177,7 +182,8 @@ pub fn run_munin(
         report.elapsed,
         report.root_times(),
         report.net.clone(),
-    );
+    )
+    .with_stats(report.stats_total());
     let c = report.read_root_slice(&output);
     Ok((measurement, c))
 }

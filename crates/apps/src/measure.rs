@@ -1,6 +1,7 @@
 //! Measurement records shared by the application drivers and the benchmark
 //! harnesses.
 
+use munin_core::MuninStatsSnapshot;
 use munin_sim::stats::NetSnapshot;
 use munin_sim::{NodeTimes, VirtTime};
 
@@ -19,6 +20,9 @@ pub struct RunMeasurement {
     pub root_system: VirtTime,
     /// Network statistics for the run.
     pub net: NetSnapshot,
+    /// Munin runtime statistics summed over all nodes (all-zero for
+    /// message-passing runs, which have no Munin runtime).
+    pub stats: MuninStatsSnapshot,
 }
 
 impl RunMeasurement {
@@ -37,7 +41,14 @@ impl RunMeasurement {
             root_user: root.user,
             root_system: root.system,
             net,
+            stats: MuninStatsSnapshot::default(),
         }
+    }
+
+    /// Attaches the summed per-node Munin runtime statistics.
+    pub fn with_stats(mut self, stats: MuninStatsSnapshot) -> Self {
+        self.stats = stats;
+        self
     }
 
     /// Total execution time in seconds.
@@ -77,6 +88,7 @@ mod tests {
             root_user: VirtTime::ZERO,
             root_system: VirtTime::ZERO,
             net: NetSnapshot::default(),
+            stats: MuninStatsSnapshot::default(),
         }
     }
 

@@ -50,6 +50,8 @@ pub struct SorParams {
     pub page_size: usize,
     /// Event-engine configuration (schedule seed, fault injection).
     pub engine: munin_sim::EngineConfig,
+    /// Access-detection mode (explicit checks or real VM write traps).
+    pub access_mode: munin_core::AccessMode,
 }
 
 impl SorParams {
@@ -64,6 +66,7 @@ impl SorParams {
             copyset_strategy: CopysetStrategy::Broadcast,
             page_size: 8192,
             engine: munin_sim::EngineConfig::from_env(),
+            access_mode: munin_core::AccessMode::from_env(),
         }
     }
 
@@ -78,6 +81,7 @@ impl SorParams {
             copyset_strategy: CopysetStrategy::Broadcast,
             page_size: 512,
             engine: munin_sim::EngineConfig::from_env(),
+            access_mode: munin_core::AccessMode::from_env(),
         }
     }
 }
@@ -159,7 +163,8 @@ pub fn run_munin(
         .with_cost(cost)
         .with_page_size(params.page_size)
         .with_copyset_strategy(params.copyset_strategy)
-        .with_engine(params.engine);
+        .with_engine(params.engine)
+        .with_access_mode(params.access_mode);
     if let Some(ann) = params.annotation_override {
         cfg = cfg.with_annotation_override(ann);
     }
@@ -248,7 +253,8 @@ pub fn run_munin(
         report.elapsed,
         report.root_times(),
         report.net.clone(),
-    );
+    )
+    .with_stats(report.stats_total());
     Ok((measurement, grid))
 }
 

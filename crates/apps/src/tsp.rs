@@ -26,12 +26,21 @@ pub struct TspParams {
     pub cities: usize,
     /// Number of processors.
     pub procs: usize,
+    /// Event-engine configuration (schedule seed, fault injection).
+    pub engine: munin_sim::EngineConfig,
+    /// Access-detection mode (explicit checks or real VM write traps).
+    pub access_mode: munin_core::AccessMode,
 }
 
 impl TspParams {
     /// A moderate instance: 10 cities.
     pub fn default_instance(procs: usize) -> Self {
-        TspParams { cities: 10, procs }
+        TspParams {
+            cities: 10,
+            procs,
+            engine: munin_sim::EngineConfig::from_env(),
+            access_mode: munin_core::AccessMode::from_env(),
+        }
     }
 }
 
@@ -147,7 +156,10 @@ pub fn run_munin(
     cost: CostModel,
 ) -> munin_core::Result<(RunMeasurement, TspResult)> {
     let cities = params.cities;
-    let cfg = MuninConfig::paper(params.procs).with_cost(cost);
+    let cfg = MuninConfig::paper(params.procs)
+        .with_cost(cost)
+        .with_engine(params.engine)
+        .with_access_mode(params.access_mode);
     let mut prog = MuninProgram::new(cfg);
     let dist = prog.declare::<i64>("distances", cities * cities, SharingAnnotation::ReadOnly);
     let best_len = prog.declare::<i64>("best_len", 1, SharingAnnotation::Reduction);
@@ -225,7 +237,8 @@ pub fn run_munin(
         report.elapsed,
         report.root_times(),
         report.net.clone(),
-    );
+    )
+    .with_stats(report.stats_total());
     Ok((
         measurement,
         TspResult {
@@ -251,7 +264,7 @@ mod tests {
     fn munin_tsp_matches_serial_bound() {
         let params = TspParams {
             cities: 8,
-            procs: 3,
+            ..TspParams::default_instance(3)
         };
         let (_m, result) = run_munin(params, CostModel::fast_test()).unwrap();
         let reference = serial(8);
@@ -263,7 +276,7 @@ mod tests {
     fn munin_tsp_single_node() {
         let params = TspParams {
             cities: 7,
-            procs: 1,
+            ..TspParams::default_instance(1)
         };
         let (_m, result) = run_munin(params, CostModel::fast_test()).unwrap();
         assert_eq!(result.best_len, serial(7).best_len);
@@ -273,7 +286,7 @@ mod tests {
     fn parallel_run_uses_reduction_and_lock_protocols() {
         let params = TspParams {
             cities: 8,
-            procs: 4,
+            ..TspParams::default_instance(4)
         };
         let (m, _result) = run_munin(params, CostModel::fast_test()).unwrap();
         assert!(m.net.class("reduce_request").msgs > 0);

@@ -1,40 +1,120 @@
-//! Microbenchmark of the *real* virtual-memory write-fault mechanism
-//! (`munin-vm`): the modern-hardware analogue of Table 2's "handle fault"
-//! and "copy object" rows — time to take a SIGSEGV write trap, make a twin of
-//! the 8 KB page, and re-enable writes.
+//! Criterion microbenchmarks of the *real* virtual-memory write-fault
+//! mechanism (`munin-vm`) and of the core runtime's VM-trap access mode:
+//!
+//! * `vm_fault/trap_twin_per_page` — the modern-hardware analogue of Table
+//!   2's "handle fault" + "copy object" rows: take a SIGSEGV write trap,
+//!   twin the page inside the handler, re-enable writes (legacy
+//!   twin-and-unprotect region mode).
+//! * `vm_fault/trap_callback_dispatch` — the callback-mode trap cost the
+//!   core runtime pays per detected fault: SIGSEGV, route by address range,
+//!   rights transition, restart.
+//! * `vm_fault/sor_end_to_end/{explicit,vm}` — an A/B of the two access
+//!   modes on the same seeded SOR instance: the whole-protocol cost of
+//!   hardware detection vs. explicit software checks.
+//!
+//! Refresh the committed baseline with (the path is resolved from the bench
+//! binary's working directory, so give the repo-root one):
+//! `BENCH_JSON_OUT=$PWD/BENCH_vm.json cargo bench -p munin-bench --bench micro_vm_fault`
+//!
+//! CI runs this bench with `-- --quick` as a smoke test (Linux only; the
+//! trap benches no-op cleanly elsewhere).
 
-use std::time::Instant;
+use criterion::{criterion_group, criterion_main, Criterion};
 
-fn main() {
-    #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
-    {
-        use munin_vm::ProtectedRegion;
-        let pages = 64;
-        let mut region = ProtectedRegion::new(pages).expect("mmap protected region");
-        region.protect_all().expect("write-protect");
-        let page_size = region.page_size();
-        let start = Instant::now();
-        for p in 0..pages {
-            // SAFETY: `p * page_size` lies inside the region we just mapped.
-            unsafe {
-                let ptr = region.base_ptr().add(p * page_size);
-                std::ptr::write_volatile(ptr, 1u8);
-            }
-        }
-        let elapsed = start.elapsed();
-        let dirty = region.dirty_pages();
-        println!(
-            "write-trap + twin for {} pages of {} bytes: {:.2} us/page ({} trapped)",
-            pages,
-            page_size,
-            elapsed.as_secs_f64() * 1e6 / pages as f64,
-            dirty.len()
-        );
-        assert_eq!(dirty.len(), pages);
-        for p in 0..pages {
-            assert!(region.twin(p).is_some(), "page {p} must have a twin");
-        }
-    }
-    #[cfg(not(unix))]
-    println!("munin-vm write traps are only available on Unix hosts");
+#[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+fn bench_trap_twin(c: &mut Criterion) {
+    use munin_vm::ProtectedRegion;
+    let mut group = c.benchmark_group("vm_fault");
+    // One protect + one trapping write per iteration: the reported median is
+    // the per-page cost of the full twin cycle (mprotect, SIGSEGV, in-handler
+    // page copy, unprotect, restart).
+    let mut region = ProtectedRegion::new(1).expect("mmap protected region");
+    group.bench_function("trap_twin_per_page", |b| {
+        b.iter(|| {
+            region.protect_all().expect("write-protect");
+            // SAFETY: offset 0 lies inside the mapped region.
+            unsafe { std::ptr::write_volatile(region.base_ptr(), 1u8) };
+            region.dirty_pages().len()
+        })
+    });
+    group.finish();
 }
+
+#[cfg(all(
+    target_os = "linux",
+    target_arch = "x86_64",
+    target_pointer_width = "64"
+))]
+fn bench_trap_callback(c: &mut Criterion) {
+    use munin_vm::{PageRights, ProtectedRegion};
+    use std::sync::Arc;
+
+    let mut group = c.benchmark_group("vm_fault");
+    // One protect + one trapping write per iteration, resolved through the
+    // callback path the core runtime uses (route by address range, rights
+    // transition, restart) — no twin copy, so the delta against
+    // `trap_twin_per_page` is the in-handler page copy.
+    let region = Arc::new_cyclic(|weak: &std::sync::Weak<ProtectedRegion>| {
+        let weak = weak.clone();
+        ProtectedRegion::with_callback(
+            1,
+            Box::new(move |offset, _is_write| {
+                let Some(region) = weak.upgrade() else {
+                    return false;
+                };
+                let page = offset / region.page_size();
+                region.set_rights(page, 1, PageRights::ReadWrite).is_ok()
+            }),
+        )
+        .expect("mmap callback region")
+    });
+    group.bench_function("trap_callback_dispatch", |b| {
+        b.iter(|| {
+            region
+                .set_rights(0, 1, PageRights::Read)
+                .expect("write-protect");
+            // SAFETY: in-bounds; the callback resolves the trap.
+            unsafe { std::ptr::write_volatile(region.base_ptr(), 1u8) };
+        })
+    });
+    group.finish();
+}
+
+fn bench_sor_modes(c: &mut Criterion) {
+    use munin_apps::sor;
+    use munin_core::AccessMode;
+    use munin_sim::{CostModel, EngineConfig};
+
+    let mut group = c.benchmark_group("vm_fault");
+    let mut modes = vec![(AccessMode::Explicit, "sor_end_to_end/explicit")];
+    if AccessMode::vm_supported() {
+        modes.push((AccessMode::VmTraps, "sor_end_to_end/vm"));
+    }
+    for (mode, label) in modes {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut params = sor::SorParams::small(24, 16, 2, 4);
+                params.engine = EngineConfig::seeded(7);
+                params.access_mode = mode;
+                let (_m, grid) = sor::run_munin(params, CostModel::fast_test()).unwrap();
+                grid.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+    bench_trap_twin(c);
+    #[cfg(all(
+        target_os = "linux",
+        target_arch = "x86_64",
+        target_pointer_width = "64"
+    ))]
+    bench_trap_callback(c);
+    bench_sor_modes(c);
+}
+
+criterion_group!(vm_fault, benches);
+criterion_main!(vm_fault);

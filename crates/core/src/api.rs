@@ -279,6 +279,11 @@ impl MuninProgram {
         R: Send,
         F: Fn(&WorkerCtx<'_>) -> Result<R> + Sync,
     {
+        if self.cfg.access_mode == crate::config::AccessMode::VmTraps {
+            // Typed failure before any node thread spawns: unsupported
+            // platform or a broken trap substrate in this process.
+            crate::runtime::vm_traps_preflight()?;
+        }
         let nodes = self.cfg.nodes;
         let table = Arc::new(self.build_table());
         let cfg = Arc::new(self.cfg.clone());

@@ -20,6 +20,41 @@ pub enum CopysetStrategy {
     OwnerCollected,
 }
 
+/// How shared accesses with insufficient rights are detected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AccessMode {
+    /// Explicit software checks against the directory entry's access rights
+    /// on every access — the portable default, available on every platform.
+    #[default]
+    Explicit,
+    /// Real virtual-memory protection hardware: each node's shared segment
+    /// lives in an `mprotect`-managed region, directory rights are mirrored
+    /// into page protections, and insufficient-rights accesses take a
+    /// `SIGSEGV` that is routed to the owning node's fault protocol — the
+    /// paper's actual mechanism. Requires 64-bit Linux on x86_64 (see
+    /// `munin_vm::traps_supported`); behaviourally identical to `Explicit`
+    /// (the differential tests in `tests/access_modes.rs` pin this down).
+    VmTraps,
+}
+
+impl AccessMode {
+    /// Whether `VmTraps` is available on this target.
+    pub const fn vm_supported() -> bool {
+        munin_vm::traps_supported()
+    }
+
+    /// Reads `MUNIN_ACCESS_MODE` from the environment: `vm` (or `traps`)
+    /// selects [`AccessMode::VmTraps`] where supported; anything else — or an
+    /// unsupported platform — yields [`AccessMode::Explicit`], so a suite run
+    /// with `MUNIN_ACCESS_MODE=vm` skips cleanly off Linux/x86_64.
+    pub fn from_env() -> Self {
+        match std::env::var("MUNIN_ACCESS_MODE") {
+            Ok(v) if (v == "vm" || v == "traps") && Self::vm_supported() => AccessMode::VmTraps,
+            _ => AccessMode::Explicit,
+        }
+    }
+}
+
 /// Configuration of a Munin run.
 #[derive(Clone, Debug)]
 pub struct MuninConfig {
@@ -40,6 +75,10 @@ pub struct MuninConfig {
     /// injection). A failing run can be replayed by re-running with the same
     /// seed.
     pub engine: EngineConfig,
+    /// How insufficient-rights accesses are detected (explicit software
+    /// checks or real VM write traps). Defaults to `MUNIN_ACCESS_MODE` from
+    /// the environment.
+    pub access_mode: AccessMode,
 }
 
 impl MuninConfig {
@@ -53,6 +92,7 @@ impl MuninConfig {
             annotation_override: None,
             copyset_strategy: CopysetStrategy::Broadcast,
             engine: EngineConfig::from_env(),
+            access_mode: AccessMode::from_env(),
         }
     }
 
@@ -66,6 +106,7 @@ impl MuninConfig {
             annotation_override: None,
             copyset_strategy: CopysetStrategy::Broadcast,
             engine: EngineConfig::from_env(),
+            access_mode: AccessMode::from_env(),
         }
     }
 
@@ -96,6 +137,12 @@ impl MuninConfig {
     /// Sets the event-engine configuration (schedule seed, fault plan).
     pub fn with_engine(mut self, engine: EngineConfig) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Selects the access-detection mode.
+    pub fn with_access_mode(mut self, access_mode: AccessMode) -> Self {
+        self.access_mode = access_mode;
         self
     }
 }

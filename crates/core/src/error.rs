@@ -41,6 +41,10 @@ pub enum MuninError {
     UnknownObject(ObjectId),
     /// A lock was released by a node that does not hold it.
     LockNotHeld(u32),
+    /// The VM-trap access mode was requested but is unavailable (unsupported
+    /// platform) or its memory region could not be set up; the payload names
+    /// the failing step.
+    VmUnavailable(&'static str),
     /// The underlying simulated network failed.
     Sim(SimError),
     /// The runtime received a reply it cannot correlate with a request.
@@ -77,6 +81,9 @@ impl fmt::Display for MuninError {
             MuninError::UnknownSyncObject(id) => write!(f, "unknown synchronization object {id}"),
             MuninError::UnknownObject(o) => write!(f, "unknown shared object {o:?}"),
             MuninError::LockNotHeld(id) => write!(f, "lock {id} released but not held"),
+            MuninError::VmUnavailable(what) => {
+                write!(f, "VM-trap access mode unavailable: {what}")
+            }
             MuninError::Sim(e) => write!(f, "simulation error: {e}"),
             MuninError::ProtocolViolation(what) => write!(f, "protocol violation: {what}"),
         }

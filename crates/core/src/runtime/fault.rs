@@ -53,6 +53,101 @@ impl NodeRuntime {
         self.write_fault(object)
     }
 
+    /// Ensures an upcoming access of `object` has been *detected* by the
+    /// runtime — the access-mode dispatch point.
+    ///
+    /// * `Explicit`: a software check of the directory entry's rights,
+    ///   invoking the fault protocol when they are insufficient.
+    /// * `VmTraps`: a hardware *touch* — one volatile load of the object's
+    ///   first data byte (read) or one volatile store to its guard byte
+    ///   (write). Insufficient rights make the touch trap; the SIGSEGV
+    ///   handler routes the fault to the same protocol logic on this thread.
+    ///   No directory access happens on the no-fault path.
+    ///
+    /// Either way the subsequent verify-and-pin step under the directory
+    /// lock remains the source of truth for the access itself.
+    fn ensure_access(self: &Arc<Self>, object: ObjectId, write: bool) -> Result<()> {
+        if self.vm.is_some() {
+            return self.vm_touch(object, write);
+        }
+        if write {
+            self.ensure_write(object)
+        } else {
+            self.ensure_read(object)
+        }
+    }
+
+    /// Performs a hardware touch of `object` (VM-trap mode) and surfaces any
+    /// error the in-handler fault protocol parked.
+    fn vm_touch(self: &Arc<Self>, object: ObjectId, write: bool) -> Result<()> {
+        let vm = self.vm.as_ref().expect("vm_touch requires VM-trap mode");
+        if write {
+            vm.touch_write(object);
+        } else {
+            vm.touch_read(object);
+        }
+        if let Some(e) = self.take_vm_fault_error() {
+            // The handler loosened the page so the failed touch could
+            // complete; restore the protection the directory mandates.
+            let rights = self.dir.lock().entry(object).state.rights;
+            vm.sync_rights(object, rights);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Copies `out.len()` bytes at `byte_offset` of `var` out of segment
+    /// memory. Caller holds the pins covering the range.
+    fn copy_var_bytes_out(&self, var: crate::object::VarId, byte_offset: usize, out: &mut [u8]) {
+        match &self.vm {
+            None => {
+                let base = self.table.var(var).segment_offset;
+                let mem = self.memory.lock();
+                out.copy_from_slice(&mem[base + byte_offset..base + byte_offset + out.len()]);
+            }
+            Some(vm) => {
+                // Objects are contiguous within themselves but not across
+                // object boundaries in the protected region: copy per object.
+                let end = byte_offset + out.len();
+                for oid in self.table.objects_in_range(var, byte_offset, end) {
+                    let o = self.table.object(oid);
+                    let lo = o.var_offset.max(byte_offset);
+                    let hi = (o.var_offset + o.size).min(end);
+                    vm.user_copy_out(
+                        oid,
+                        lo - o.var_offset,
+                        &mut out[lo - byte_offset..hi - byte_offset],
+                    );
+                }
+            }
+        }
+    }
+
+    /// Copies `data` into segment memory at `byte_offset` of `var`. Caller
+    /// holds the pins covering the range with write rights.
+    fn copy_var_bytes_in(&self, var: crate::object::VarId, byte_offset: usize, data: &[u8]) {
+        match &self.vm {
+            None => {
+                let base = self.table.var(var).segment_offset;
+                let mut mem = self.memory.lock();
+                mem[base + byte_offset..base + byte_offset + data.len()].copy_from_slice(data);
+            }
+            Some(vm) => {
+                let end = byte_offset + data.len();
+                for oid in self.table.objects_in_range(var, byte_offset, end) {
+                    let o = self.table.object(oid);
+                    let lo = o.var_offset.max(byte_offset);
+                    let hi = (o.var_offset + o.size).min(end);
+                    vm.user_copy_in(
+                        oid,
+                        lo - o.var_offset,
+                        &data[lo - byte_offset..hi - byte_offset],
+                    );
+                }
+            }
+        }
+    }
+
     /// Reads `out.len()` bytes starting at `byte_offset` of variable `var`'s
     /// storage, faulting in each covered object as needed.
     ///
@@ -70,11 +165,7 @@ impl NodeRuntime {
             .table
             .objects_in_range(var, byte_offset, byte_offset + out.len());
         self.pin_for_access(&objects, false)?;
-        let base = self.table.var(var).segment_offset;
-        {
-            let mem = self.memory.lock();
-            out.copy_from_slice(&mem[base + byte_offset..base + byte_offset + out.len()]);
-        }
+        self.copy_var_bytes_out(var, byte_offset, out);
         self.unpin(&objects);
         Ok(())
     }
@@ -97,11 +188,7 @@ impl NodeRuntime {
             .table
             .objects_in_range(var, byte_offset, byte_offset + data.len());
         self.pin_for_access(&objects, true)?;
-        let base = self.table.var(var).segment_offset;
-        {
-            let mut mem = self.memory.lock();
-            mem[base + byte_offset..base + byte_offset + data.len()].copy_from_slice(data);
-        }
+        self.copy_var_bytes_in(var, byte_offset, data);
         self.unpin(&objects);
         Ok(())
     }
@@ -113,14 +200,15 @@ impl NodeRuntime {
     /// held, so two nodes faulting each other's objects cannot deadlock; the
     /// verify-and-pin step then re-checks all rights atomically and retries
     /// the faults if a racing ownership transfer revoked them in between.
+    /// In VM-trap mode the verify step also turns a *missed* trap — a touch
+    /// that landed while a privileged access had transiently loosened the
+    /// pages — into a retry: the rights check fails, and once the privileged
+    /// window closes the retried touch traps. A missed trap therefore costs
+    /// retries, never a missed fault.
     fn pin_for_access(self: &Arc<Self>, objects: &[ObjectId], write: bool) -> Result<()> {
         loop {
             for obj in objects {
-                if write {
-                    self.ensure_write(*obj)?;
-                } else {
-                    self.ensure_read(*obj)?;
-                }
+                self.ensure_access(*obj, write)?;
             }
             let mut dir = self.dir.lock();
             let all_valid = objects.iter().all(|o| {
@@ -171,7 +259,7 @@ impl NodeRuntime {
             if entry.state.owned {
                 // The owner itself touches an object it never materialized:
                 // zero-fill locally, no messages needed.
-                entry.state.rights = AccessRights::Read;
+                self.set_entry_rights(entry, AccessRights::Read);
                 return Ok(());
             }
             entry.state.busy = true;
@@ -200,7 +288,7 @@ impl NodeRuntime {
             if entry.state.owned && !entry.state.rights.allows_read() {
                 // The owner writes an object it never materialized: zero-fill
                 // locally and continue with the normal write-fault handling.
-                entry.state.rights = AccessRights::Read;
+                self.set_entry_rights(entry, AccessRights::Read);
             }
             if entry.state.rights.allows_write() {
                 entry.state.dirty = true;
@@ -243,7 +331,7 @@ impl NodeRuntime {
                 if r.is_ok() {
                     let mut dir = self.dir.lock();
                     let entry = dir.entry_mut(object);
-                    entry.state.rights = AccessRights::ReadWrite;
+                    self.set_entry_rights(entry, AccessRights::ReadWrite);
                     entry.state.dirty = true;
                     entry.copyset = CopySet::EMPTY;
                 }
@@ -298,7 +386,7 @@ impl NodeRuntime {
         }
         let mut dir = self.dir.lock();
         let entry = dir.entry_mut(object);
-        entry.state.rights = AccessRights::ReadWrite;
+        self.set_entry_rights(entry, AccessRights::ReadWrite);
         entry.state.dirty = true;
         Ok(())
     }
@@ -348,11 +436,12 @@ impl NodeRuntime {
         let pending_invalidate = {
             let mut dir = self.dir.lock();
             let entry = dir.entry_mut(object);
-            entry.state.rights = if writable {
+            let rights = if writable {
                 AccessRights::ReadWrite
             } else {
                 AccessRights::Read
             };
+            self.set_entry_rights(entry, rights);
             entry.state.owned = ownership;
             if ownership {
                 entry.copyset = copyset;

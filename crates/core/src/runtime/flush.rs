@@ -313,11 +313,10 @@ impl NodeRuntime {
         // segment memory, no object copy), otherwise the full object image.
         let payload = match entry.twin {
             Some(twin) => {
-                let d = {
-                    let mem = self.memory.lock();
+                let d = self.with_object_mem(object, |cur| {
                     let mut scratch = self.diff_scratch.lock();
-                    scratch.encode(&mem[range.clone()], &twin)
-                };
+                    scratch.encode(cur, &twin)
+                });
                 self.charge_sys(
                     self.cost
                         .encode((range.len() / 4) as u64, d.run_count() as u64),
@@ -343,7 +342,7 @@ impl NodeRuntime {
                 // The owner's own changes are already in place.
                 return Ok((None, Vec::new()));
             }
-            e.state.rights = AccessRights::Invalid;
+            self.set_entry_rights(e, AccessRights::Invalid);
             e.state.owned = false;
             e.probable_owner = home;
             return Ok((payload, route.destinations));
@@ -354,12 +353,12 @@ impl NodeRuntime {
             // "Any pages that have an empty Copyset and are therefore private
             // are made locally writable, their twins are deleted, and they do
             // not generate further access faults."
-            e.state.rights = AccessRights::ReadWrite;
+            self.set_entry_rights(e, AccessRights::ReadWrite);
             return Ok((None, Vec::new()));
         }
         // Write-shared / producer-consumer: keep the copy, re-write-protect so
         // the next write makes a fresh twin.
-        e.state.rights = AccessRights::Read;
+        self.set_entry_rights(e, AccessRights::Read);
         if members.is_empty() {
             return Ok((None, Vec::new()));
         }
@@ -499,7 +498,7 @@ impl NodeRuntime {
                 e.state.owned = false;
                 e.probable_owner = e.home;
             }
-            e.state.rights = AccessRights::Invalid;
+            self.set_entry_rights(e, AccessRights::Invalid);
             e.state.dirty = false;
         }
         Ok(())
@@ -525,7 +524,7 @@ impl NodeRuntime {
                 // write-protected again so that writes under the new sharing
                 // relationships are detected and propagated.
                 if e.state.rights == AccessRights::ReadWrite && !duq.contains(e.object) {
-                    e.state.rights = AccessRights::Read;
+                    self.set_entry_rights(e, AccessRights::Read);
                 }
             }
         }

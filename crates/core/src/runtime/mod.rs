@@ -21,6 +21,7 @@ mod fault;
 mod flush;
 mod server;
 mod sync_ops;
+mod vmseg;
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -31,9 +32,9 @@ use parking_lot::Mutex;
 
 use munin_sim::{CostModel, Envelope, NodeClock, NodeId, Sender, TimeKind, VirtTime};
 
-use crate::config::MuninConfig;
+use crate::config::{AccessMode, MuninConfig};
 use crate::diff::DiffScratch;
-use crate::directory::{AccessRights, Directory};
+use crate::directory::{AccessRights, DirEntry, Directory};
 use crate::duq::DelayedUpdateQueue;
 use crate::error::{MuninError, Result};
 use crate::msg::DsmMsg;
@@ -72,6 +73,16 @@ macro_rules! proto_trace {
 }
 pub(crate) use proto_trace;
 
+/// Pre-flight check for `AccessMode::VmTraps`: fails with a typed
+/// [`MuninError::VmUnavailable`] when the platform lacks the substrate or
+/// the trap machinery cannot be set up in this process (handler
+/// installation, mapping), so callers can reject a run *before* spawning
+/// node threads. Per-node region setup failures after a passing pre-flight
+/// (e.g. registry exhaustion) still panic the node loudly.
+pub(crate) fn vm_traps_preflight() -> Result<()> {
+    vmseg::VmSegment::preflight()
+}
+
 /// The per-node runtime state shared by the user thread and the service
 /// thread.
 pub struct NodeRuntime {
@@ -82,9 +93,30 @@ pub struct NodeRuntime {
     clock: NodeClock,
     cost: Arc<CostModel>,
     sender: Sender<DsmMsg>,
-    /// The node's copy of the shared data segment. Only ranges whose
-    /// directory entry grants access rights hold meaningful data.
+    /// The node's copy of the shared data segment (explicit access mode).
+    /// Only ranges whose directory entry grants access rights hold
+    /// meaningful data. Unused (empty) in VM-trap mode, where the segment
+    /// lives in `vm` instead.
     memory: Mutex<Vec<u8>>,
+    /// The VM-trap segment backend (`AccessMode::VmTraps` only): the shared
+    /// segment lives in an `mprotect`-managed region whose page protections
+    /// mirror the directory rights.
+    vm: Option<vmseg::VmSegment>,
+    /// Error produced by the fault protocol while resolving a hardware trap
+    /// (VM-trap mode): the signal handler cannot return an error to the
+    /// faulting access, so it parks it here and loosens the page so the
+    /// access completes; the touch wrapper picks it up and unwinds. The
+    /// flag is the touch wrapper's fast path: it is written by the handler
+    /// on the *same* thread that checks it, so a relaxed load suffices and
+    /// the no-fault hot path pays one atomic load instead of a mutex
+    /// round-trip.
+    vm_fault_errored: std::sync::atomic::AtomicBool,
+    vm_fault_error: Mutex<Option<MuninError>>,
+    /// The thread the user (worker) closure runs on — the only thread whose
+    /// faults the VM-trap callback resolves. A fault on any other thread is
+    /// a runtime bug (a privileged path missed an escalation) and is left to
+    /// crash loudly.
+    user_thread: std::thread::ThreadId,
     /// The data object directory.
     dir: Mutex<Directory>,
     /// The delayed update queue (owns the twins of pending objects).
@@ -131,26 +163,45 @@ impl NodeRuntime {
         let home = NodeId::new(0);
         let dir = Directory::from_table(&table, home, cfg.annotation_override);
         let sync = SyncDirectory::new(node, &lock_homes, &barriers);
-        Arc::new(NodeRuntime {
-            node,
-            nodes,
-            memory: Mutex::new(vec![0u8; table.segment_len()]),
-            dir: Mutex::new(dir),
-            duq: Mutex::new(DelayedUpdateQueue::new()),
-            diff_scratch: Mutex::new(DiffScratch::new()),
-            sync: Mutex::new(sync),
-            deferred: Mutex::new(Vec::new()),
-            deferred_gen: std::sync::atomic::AtomicU64::new(0),
-            stats: MuninStats::new(),
-            reply_tx,
-            reply_rx,
-            done_tx,
-            done_rx,
-            cfg,
-            table,
-            clock,
-            cost,
-            sender,
+        // Built cyclically: the VM-trap fault callback needs a handle back to
+        // this runtime to route traps into the fault protocol. No faults can
+        // occur before the `Arc` is complete (nothing has touched the
+        // protected region yet), so the weak handle always upgrades when it
+        // matters.
+        Arc::new_cyclic(|weak| {
+            let (vm, memory) = match cfg.access_mode {
+                AccessMode::VmTraps => {
+                    let seg = vmseg::VmSegment::for_runtime(&table, weak.clone())
+                        .expect("VM-trap segment setup failed");
+                    (Some(seg), Vec::new())
+                }
+                AccessMode::Explicit => (None, vec![0u8; table.segment_len()]),
+            };
+            NodeRuntime {
+                node,
+                nodes,
+                memory: Mutex::new(memory),
+                vm,
+                vm_fault_errored: std::sync::atomic::AtomicBool::new(false),
+                vm_fault_error: Mutex::new(None),
+                user_thread: std::thread::current().id(),
+                dir: Mutex::new(dir),
+                duq: Mutex::new(DelayedUpdateQueue::new()),
+                diff_scratch: Mutex::new(DiffScratch::new()),
+                sync: Mutex::new(sync),
+                deferred: Mutex::new(Vec::new()),
+                deferred_gen: std::sync::atomic::AtomicU64::new(0),
+                stats: MuninStats::new(),
+                reply_tx,
+                reply_rx,
+                done_tx,
+                done_rx,
+                cfg,
+                table,
+                clock,
+                cost,
+                sender,
+            }
         })
     }
 
@@ -256,26 +307,123 @@ impl NodeRuntime {
         desc.segment_offset..desc.segment_offset + desc.size
     }
 
+    /// Runs `f` over the current bytes of an object (runtime-internal read:
+    /// diff encoding, fetch serves, snapshots). In VM-trap mode this is a
+    /// privileged access that may temporarily escalate page protections.
+    pub(crate) fn with_object_mem<R>(&self, object: ObjectId, f: impl FnOnce(&[u8]) -> R) -> R {
+        match &self.vm {
+            Some(vm) => vm.with_object(object, f),
+            None => {
+                let range = self.object_range(object);
+                let mem = self.memory.lock();
+                f(&mem[range])
+            }
+        }
+    }
+
+    /// Runs `f` over the mutable bytes of an object (runtime-internal write:
+    /// installing fetched data, applying diffs, reductions). In VM-trap mode
+    /// this is a privileged access that escalates page protections for the
+    /// duration and restores them afterwards.
+    pub(crate) fn with_object_mem_mut<R>(
+        &self,
+        object: ObjectId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> R {
+        match &self.vm {
+            Some(vm) => vm.with_object_mut(object, f),
+            None => {
+                let range = self.object_range(object);
+                let mut mem = self.memory.lock();
+                f(&mut mem[range])
+            }
+        }
+    }
+
     /// Copies the current contents of an object out of local memory.
     pub(crate) fn object_bytes(&self, object: ObjectId) -> Vec<u8> {
-        let range = self.object_range(object);
-        self.memory.lock()[range].to_vec()
+        self.with_object_mem(object, |bytes| bytes.to_vec())
     }
 
     /// Copies the current contents of an object into `buf` (cleared first),
     /// reusing `buf`'s existing allocation. Used by the twin pool so
     /// first-write faults do not allocate once the pool is warm.
     pub(crate) fn read_object_into(&self, object: ObjectId, buf: &mut Vec<u8>) {
-        let range = self.object_range(object);
         buf.clear();
-        buf.extend_from_slice(&self.memory.lock()[range]);
+        self.with_object_mem(object, |bytes| buf.extend_from_slice(bytes));
     }
 
     /// Overwrites the local contents of an object.
     pub(crate) fn install_object_bytes(&self, object: ObjectId, data: &[u8]) {
-        let range = self.object_range(object);
-        debug_assert_eq!(range.len(), data.len());
-        self.memory.lock()[range].copy_from_slice(data);
+        self.with_object_mem_mut(object, |bytes| {
+            debug_assert_eq!(bytes.len(), data.len());
+            if bytes.len() == data.len() {
+                bytes.copy_from_slice(data);
+            }
+        });
+    }
+
+    /// Updates a directory entry's access rights, mirroring the change into
+    /// the page protections when the VM-trap backend is active. Every
+    /// protocol-side rights transition goes through here; the call sites all
+    /// hold the directory lock, so protections never lag rights as far as
+    /// any directory-lock holder can observe.
+    pub(crate) fn set_entry_rights(&self, entry: &mut DirEntry, rights: AccessRights) {
+        entry.state.rights = rights;
+        if let Some(vm) = &self.vm {
+            vm.sync_rights(entry.object, rights);
+        }
+    }
+
+    /// Routes a hardware protection fault (VM-trap mode) to the fault
+    /// protocol. Runs on the faulting thread, called by the region's SIGSEGV
+    /// callback. Returns whether the fault was resolved (the faulting
+    /// instruction is then restarted).
+    pub(crate) fn vm_fault(self: &Arc<Self>, region_offset: usize, is_write: bool) -> bool {
+        // Only the user thread's touches are legitimate fault sources; a
+        // trap on any other thread is a privileged path that missed an
+        // escalation — let it crash loudly rather than deadlock the service
+        // loop on its own reply channel.
+        if std::thread::current().id() != self.user_thread {
+            return false;
+        }
+        let Some(vm) = &self.vm else { return false };
+        let Some(object) = vm.object_at(region_offset) else {
+            return false;
+        };
+        let result = if is_write {
+            crate::stats::bump(&self.stats.vm_write_traps);
+            self.write_fault(object)
+        } else {
+            crate::stats::bump(&self.stats.vm_read_traps);
+            self.read_fault(object)
+        };
+        if let Err(e) = result {
+            // The handler cannot make the faulting access fail; it loosens
+            // the page so the touch completes (touches never carry
+            // application data) and parks the error for the touch wrapper,
+            // which restores protection and unwinds.
+            vm.force_writable(object);
+            *self.vm_fault_error.lock() = Some(e);
+            self.vm_fault_errored
+                .store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Takes a parked trap-resolution error, if any (touch-wrapper side).
+    /// The flag and the cell are written by the fault handler on this same
+    /// thread, so relaxed ordering is sufficient.
+    pub(crate) fn take_vm_fault_error(&self) -> Option<MuninError> {
+        if !self
+            .vm_fault_errored
+            .load(std::sync::atomic::Ordering::Relaxed)
+        {
+            return None;
+        }
+        self.vm_fault_errored
+            .store(false, std::sync::atomic::Ordering::Relaxed);
+        self.vm_fault_error.lock().take()
     }
 
     /// Initializes directory state on the root node after `user_init` has
@@ -296,11 +444,9 @@ impl NodeRuntime {
             entry.state.owned = true;
             entry.probable_owner = self.node;
             let materialize = touched.contains(&entry.object) || entry.params.has_fixed_owner();
-            if !materialize {
-                entry.state.rights = AccessRights::Invalid;
-                continue;
-            }
-            entry.state.rights = if !entry.params.is_writable() || entry.params.allows_delay() {
+            let rights = if !materialize {
+                AccessRights::Invalid
+            } else if !entry.params.is_writable() || entry.params.allows_delay() {
                 // Read-only data and delayed-update (write-shared family)
                 // objects start write-protected so the first write makes a
                 // twin and enters the DUQ.
@@ -308,6 +454,7 @@ impl NodeRuntime {
             } else {
                 AccessRights::ReadWrite
             };
+            self.set_entry_rights(entry, rights);
         }
     }
 
@@ -351,17 +498,39 @@ impl NodeRuntime {
         self.process_deferred();
     }
 
-    /// Snapshot of this node's entire shared-segment memory (used by the root
-    /// at the end of a run so results can be inspected).
+    /// Snapshot of this node's entire shared-segment memory in the packed
+    /// layout (used by the root at the end of a run so results can be
+    /// inspected).
     pub(crate) fn memory_snapshot(&self) -> Vec<u8> {
-        self.memory.lock().clone()
+        match &self.vm {
+            Some(vm) => vm.snapshot_packed(&self.table),
+            None => self.memory.lock().clone(),
+        }
     }
 
     /// Raw initialization write used by `user_init` on the root: bypasses the
     /// consistency machinery because no other copies exist yet.
+    /// `segment_offset` is a packed-layout offset; in VM-trap mode the range
+    /// is decomposed into the objects it covers.
     pub(crate) fn init_write(&self, segment_offset: usize, bytes: &[u8]) {
-        let mut mem = self.memory.lock();
-        mem[segment_offset..segment_offset + bytes.len()].copy_from_slice(bytes);
+        if self.vm.is_none() {
+            let mut mem = self.memory.lock();
+            mem[segment_offset..segment_offset + bytes.len()].copy_from_slice(bytes);
+            return;
+        }
+        let end = segment_offset + bytes.len();
+        for obj in self.table.objects() {
+            let obj_end = obj.segment_offset + obj.size;
+            if obj.segment_offset >= end || obj_end <= segment_offset {
+                continue;
+            }
+            let lo = obj.segment_offset.max(segment_offset);
+            let hi = obj_end.min(end);
+            self.with_object_mem_mut(obj.id, |mem| {
+                mem[lo - obj.segment_offset..hi - obj.segment_offset]
+                    .copy_from_slice(&bytes[lo - segment_offset..hi - segment_offset]);
+            });
+        }
     }
 }
 

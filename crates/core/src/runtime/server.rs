@@ -111,6 +111,7 @@ impl NodeRuntime {
                 ownership: bool,
                 copyset: CopySet,
                 writable: bool,
+                data: Vec<u8>,
             },
         }
         let action = {
@@ -147,13 +148,20 @@ impl NodeRuntime {
                 let single_writer_transfer = params.uses_invalidate()
                     && (matches!(access, FetchKind::Write)
                         || annotation == SharingAnnotation::Migratory);
+                // The object bytes are copied inside this directory-lock
+                // scope: the not-pinned guard above and the copy are then
+                // atomic with respect to the user thread's pinned accesses,
+                // so a served copy can never be torn mid-access (the VM-trap
+                // mode's lock-free user copies rely on this; the explicit
+                // mode previously relied on the segment mutex for the same
+                // guarantee at whole-access granularity).
                 if single_writer_transfer {
                     // Conventional write miss or any migratory access:
                     // ownership (and for migratory, the only copy) moves to
                     // the requester; the local copy is invalidated.
                     let mut handed_copyset = entry.copyset;
                     handed_copyset.remove(requester);
-                    entry.state.rights = AccessRights::Invalid;
+                    self.set_entry_rights(entry, AccessRights::Invalid);
                     entry.state.owned = false;
                     entry.copyset = CopySet::EMPTY;
                     entry.probable_owner = requester;
@@ -161,6 +169,7 @@ impl NodeRuntime {
                         ownership: true,
                         copyset: handed_copyset,
                         writable: true,
+                        data: self.object_bytes(object),
                     }
                 } else if has_copy {
                     // Read replica (or a read fetch of an update-protocol
@@ -169,12 +178,13 @@ impl NodeRuntime {
                     if params.uses_invalidate() {
                         // Single-writer protocols write-protect the owner's
                         // copy so its next write re-invalidates the replicas.
-                        entry.state.rights = AccessRights::Read;
+                        self.set_entry_rights(entry, AccessRights::Read);
                     }
                     Action::Reply {
                         ownership: false,
                         copyset: CopySet::EMPTY,
                         writable: false,
+                        data: self.object_bytes(object),
                     }
                 } else {
                     // First touch of an object the owner never materialized:
@@ -192,6 +202,7 @@ impl NodeRuntime {
                         ownership: !keep_ownership,
                         copyset: CopySet::EMPTY,
                         writable: false,
+                        data: self.object_bytes(object),
                     }
                 }
             }
@@ -229,18 +240,18 @@ impl NodeRuntime {
                 ownership,
                 copyset,
                 writable,
+                data,
             } => {
                 crate::runtime::proto_trace!(
                     self,
                     "serve fetch {object:?} to {requester:?} (ownership={ownership} writable={writable}, arrival={}ns)",
                     env.arrival.as_nanos()
                 );
-                // Copy the object out of memory after the directory borrow is
-                // released, charging the copy cost the prototype pays when it
-                // assembles the reply.
+                // Charge the copy cost the prototype pays when it assembles
+                // the reply (the copy itself happened under the directory
+                // lock above).
                 let size = self.table.object(object).size;
                 self.charge_sys(self.cost.copy(size as u64));
-                let data = self.object_bytes(object);
                 let _ = self.send_service(
                     requester,
                     DsmMsg::ObjectData {
@@ -293,12 +304,10 @@ impl NodeRuntime {
                 };
                 match twin {
                     Some(twin) => {
-                        let range = self.object_range(object);
-                        let d = {
-                            let mem = self.memory.lock();
+                        let d = self.with_object_mem(object, |cur| {
                             let mut scratch = self.diff_scratch.lock();
-                            scratch.encode(&mem[range], &twin)
-                        };
+                            scratch.encode(cur, &twin)
+                        });
                         self.duq.lock().recycle_twin(twin);
                         Some(UpdatePayload::Diff(d))
                     }
@@ -313,7 +322,7 @@ impl NodeRuntime {
                 }
                 None
             };
-            entry.state.rights = AccessRights::Invalid;
+            self.set_entry_rights(entry, AccessRights::Invalid);
             entry.state.dirty = false;
             entry.state.owned = false;
             entry.probable_owner = requester;
@@ -361,7 +370,16 @@ impl NodeRuntime {
     ) {
         {
             let dir = self.dir.lock();
-            if items.iter().any(|i| dir.entry(i.object).state.busy) {
+            // Deferred while any target is mid-fetch (busy) *or* covered by
+            // an in-flight pinned access: applying concurrently with a
+            // pinned access would interleave with the user thread's copy at
+            // byte granularity (the VM-trap mode's user copies are
+            // lock-free). Pins are released without blocking, so this
+            // cannot deadlock — same argument as the invalidate deferral.
+            if items.iter().any(|i| {
+                let st = dir.entry(i.object).state;
+                st.busy || st.pinned
+            }) {
                 drop(dir);
                 crate::runtime::proto_trace!(self, "defer update from {requester:?}");
                 self.deferred.lock().push((
@@ -402,7 +420,6 @@ impl NodeRuntime {
             if !has_copy {
                 continue;
             }
-            let range = self.object_range(item.object);
             match item.payload {
                 UpdatePayload::Diff(d) => {
                     let cost = self
@@ -410,11 +427,11 @@ impl NodeRuntime {
                         .decode(d.changed_words() as u64, d.run_count() as u64);
                     self.charge_sys(cost);
                     service += cost;
+                    if self
+                        .with_object_mem_mut(item.object, |cur| diff::apply(&d, cur))
+                        .is_err()
                     {
-                        let mut mem = self.memory.lock();
-                        if diff::apply(&d, &mut mem[range.clone()]).is_err() {
-                            continue;
-                        }
+                        continue;
                     }
                     // If the object is locally dirty, fold the remote changes
                     // into the twin as well so they are not re-sent as local
@@ -428,10 +445,11 @@ impl NodeRuntime {
                     let cost = self.cost.copy(data.len() as u64);
                     self.charge_sys(cost);
                     service += cost;
-                    let mut mem = self.memory.lock();
-                    if range.len() == data.len() {
-                        mem[range].copy_from_slice(&data);
-                    }
+                    self.with_object_mem_mut(item.object, |cur| {
+                        if cur.len() == data.len() {
+                            cur.copy_from_slice(&data);
+                        }
+                    });
                 }
             }
             applied += 1;
@@ -551,25 +569,25 @@ impl NodeRuntime {
         offset: usize,
         op: ReduceOp,
     ) -> Vec<u8> {
-        let range = self.object_range(object);
-        let mut mem = self.memory.lock();
-        let slot = &mut mem[range][offset..offset + 8];
-        let old = slot.to_vec();
-        let old_i = i64::from_le_bytes(old.clone().try_into().unwrap_or([0; 8]));
-        let old_f = f64::from_le_bytes(old.clone().try_into().unwrap_or([0; 8]));
-        let new_bytes: Option<[u8; 8]> = match op {
-            ReduceOp::Read => None,
-            ReduceOp::AddI64(v) => Some((old_i.wrapping_add(v)).to_le_bytes()),
-            ReduceOp::MinI64(v) => Some(old_i.min(v).to_le_bytes()),
-            ReduceOp::MaxI64(v) => Some(old_i.max(v).to_le_bytes()),
-            ReduceOp::AddF64(v) => Some((old_f + v).to_le_bytes()),
-            ReduceOp::MinF64(v) => Some(old_f.min(v).to_le_bytes()),
-            ReduceOp::MaxF64(v) => Some(old_f.max(v).to_le_bytes()),
-        };
-        if let Some(bytes) = new_bytes {
-            slot.copy_from_slice(&bytes);
-        }
-        old
+        self.with_object_mem_mut(object, |cur| {
+            let slot = &mut cur[offset..offset + 8];
+            let old = slot.to_vec();
+            let old_i = i64::from_le_bytes(old.clone().try_into().unwrap_or([0; 8]));
+            let old_f = f64::from_le_bytes(old.clone().try_into().unwrap_or([0; 8]));
+            let new_bytes: Option<[u8; 8]> = match op {
+                ReduceOp::Read => None,
+                ReduceOp::AddI64(v) => Some((old_i.wrapping_add(v)).to_le_bytes()),
+                ReduceOp::MinI64(v) => Some(old_i.min(v).to_le_bytes()),
+                ReduceOp::MaxI64(v) => Some(old_i.max(v).to_le_bytes()),
+                ReduceOp::AddF64(v) => Some((old_f + v).to_le_bytes()),
+                ReduceOp::MinF64(v) => Some(old_f.min(v).to_le_bytes()),
+                ReduceOp::MaxF64(v) => Some(old_f.max(v).to_le_bytes()),
+            };
+            if let Some(bytes) = new_bytes {
+                slot.copy_from_slice(&bytes);
+            }
+            old
+        })
     }
 
     /// Handles a remote lock acquire: grant, queue, or forward.
@@ -657,7 +675,7 @@ impl NodeRuntime {
                 // old holder gives up its copy and ownership.
                 let mut dir = self.dir.lock();
                 let e = dir.entry_mut(object);
-                e.state.rights = AccessRights::Invalid;
+                self.set_entry_rights(e, AccessRights::Invalid);
                 e.state.owned = false;
                 e.state.dirty = false;
                 e.probable_owner = to;
@@ -940,10 +958,9 @@ mod tests {
             DsmMsg::UpdateAck { count, .. } => assert_eq!(count, 1),
             other => panic!("unexpected reply: {other:?}"),
         }
-        let range = h.rt.object_range(ws);
         assert_eq!(
-            h.rt.memory.lock()[range],
-            [9u8; 32],
+            h.rt.object_bytes(ws),
+            vec![9u8; 32],
             "deferred update applied after install"
         );
     }

@@ -77,21 +77,35 @@ impl NodeRuntime {
     /// Installs consistency data piggybacked on a lock grant, avoiding the
     /// access misses the requester would otherwise take on the protected
     /// data.
+    ///
+    /// Each entry is marked busy across its install so a concurrently
+    /// arriving update or fetch for the same object is deferred instead of
+    /// interleaving with the install (the piggybacked image would clobber a
+    /// just-applied newer diff; in VM-trap mode the two privileged writes
+    /// would also race their protection restores).
     fn install_piggyback(self: &Arc<Self>, piggyback: Vec<(ObjectId, Vec<u8>)>) {
         for (object, data) in piggyback {
             self.charge_sys(self.cost.copy(data.len() as u64));
-            self.install_object_bytes(object, &data);
-            let mut dir = self.dir.lock();
-            let e = dir.entry_mut(object);
-            if e.annotation == SharingAnnotation::Migratory {
-                // Migratory data travels with the lock: the new holder gets
-                // ownership and write access immediately.
-                e.state.rights = AccessRights::ReadWrite;
-                e.state.owned = true;
-                e.probable_owner = self.node;
-            } else if !e.state.rights.allows_write() {
-                e.state.rights = AccessRights::Read;
+            {
+                let mut dir = self.dir.lock();
+                dir.entry_mut(object).state.busy = true;
             }
+            self.install_object_bytes(object, &data);
+            {
+                let mut dir = self.dir.lock();
+                let e = dir.entry_mut(object);
+                if e.annotation == SharingAnnotation::Migratory {
+                    // Migratory data travels with the lock: the new holder
+                    // gets ownership and write access immediately.
+                    self.set_entry_rights(e, AccessRights::ReadWrite);
+                    e.state.owned = true;
+                    e.probable_owner = self.node;
+                } else if !e.state.rights.allows_write() {
+                    self.set_entry_rights(e, AccessRights::Read);
+                }
+                e.state.busy = false;
+            }
+            self.note_unblocked_and_process_deferred();
         }
     }
 

@@ -59,6 +59,14 @@ counters! {
         /// Twins created (first write to a multiple-writer object since the
         /// last flush).
         twins_created,
+        /// Hardware write traps taken (`AccessMode::VmTraps` only): SIGSEGV
+        /// faults on a write touch, routed to `write_fault`. Equals
+        /// `write_faults` except for the transient-window re-trap cases
+        /// documented in DESIGN.md ("VM-trap access mode").
+        vm_write_traps,
+        /// Hardware read traps taken (`AccessMode::VmTraps` only): SIGSEGV
+        /// faults on a read touch, routed to `read_fault`.
+        vm_read_traps,
         /// Objects fetched from remote nodes (read or write misses).
         objects_fetched,
         /// Bytes of object data received from remote nodes.

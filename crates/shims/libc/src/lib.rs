@@ -33,6 +33,8 @@ pub const SIG_DFL: sighandler_t = 0;
 /// Ignore-the-signal disposition.
 pub const SIG_IGN: sighandler_t = 1;
 
+/// Pages may not be accessed at all.
+pub const PROT_NONE: c_int = 0;
 /// Pages may be read.
 pub const PROT_READ: c_int = 1;
 /// Pages may be written.

@@ -6,8 +6,13 @@
 //! enqueue changes to objects": shared objects are write-protected, the
 //! first write takes a protection fault, the fault handler makes a *twin*
 //! copy of the object, removes the protection, and resumes the thread. The
-//! simulated runtime in `munin-core` models this with an explicit access
-//! check; this crate demonstrates (and measures) the real thing on Linux.
+//! runtime in `munin-core` models this with an explicit access check by
+//! default and, on Linux/x86_64, can instead run on this crate's real traps
+//! (`AccessMode::VmTraps`): callback-mode regions route each fault — with
+//! its address and read/write kind — into the runtime's fault protocol, and
+//! [`ProtectedRegion::set_rights`] mirrors the directory's access rights
+//! into page protections. The legacy twin-and-unprotect mode below remains
+//! for standalone use and measurement.
 //!
 //! # Example
 //!
@@ -43,7 +48,32 @@
 mod unix;
 
 #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
-pub use unix::ProtectedRegion;
+pub use unix::{FaultCallback, ProtectedRegion};
+
+/// Per-page access rights, the hardware analogue of a DSM directory's access
+/// rights: `None` traps on any access, `Read` traps on writes, `ReadWrite`
+/// never traps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PageRights {
+    /// No access: reads and writes both fault (`PROT_NONE`).
+    #[default]
+    None,
+    /// Read-only: writes fault (`PROT_READ`).
+    Read,
+    /// Full access: no faults (`PROT_READ | PROT_WRITE`).
+    ReadWrite,
+}
+
+/// Whether the full trap substrate — including read-vs-write fault decoding
+/// and callback-mode regions as used by `munin-core`'s `AccessMode::VmTraps`
+/// — is available on this target (64-bit Linux on x86_64).
+pub const fn traps_supported() -> bool {
+    cfg!(all(
+        target_os = "linux",
+        target_arch = "x86_64",
+        target_pointer_width = "64"
+    ))
+}
 
 /// Error type for the VM substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -3,11 +3,22 @@
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Once;
 
-use crate::VmError;
+use crate::{PageRights, VmError};
 
-/// Maximum number of simultaneously registered regions. Sixteen comfortably
-/// covers the test suite and benchmarks; registration fails loudly beyond it.
-const MAX_REGIONS: usize = 16;
+/// Maximum number of simultaneously registered regions. The core runtime
+/// creates one region per simulated node, so a parallel test run can hold
+/// many clusters' worth at once; 512 covers that with a wide margin while the
+/// registry stays a 4 KB static array. Registration fails loudly beyond it.
+const MAX_REGIONS: usize = 512;
+
+/// A fault-resolution callback installed with
+/// [`ProtectedRegion::with_callback`]. Receives the byte offset of the
+/// faulting address within the region and whether the faulting access was a
+/// write; returns `true` if the fault was resolved (the faulting instruction
+/// is restarted), `false` to fall through to the previously installed
+/// handler. Runs on the faulting thread, from signal context — see the
+/// crate-level signal-safety notes.
+pub type FaultCallback = Box<dyn Fn(usize, bool) -> bool + Send + Sync>;
 
 /// State shared between a [`ProtectedRegion`] and the signal handler.
 ///
@@ -20,9 +31,13 @@ struct RegionShared {
     len: usize,
     page_size: usize,
     /// One pre-allocated twin buffer per page, written only by the faulting
-    /// thread from inside the handler.
+    /// thread from inside the handler. Empty in callback mode.
     twins: Vec<*mut u8>,
     dirty: Vec<AtomicBool>,
+    /// When set, faults inside the region are routed to this callback instead
+    /// of the built-in twin-and-unprotect behaviour. The callback performs
+    /// its own protection transitions (via [`ProtectedRegion::set_rights`]).
+    callback: Option<FaultCallback>,
 }
 
 // SAFETY: the raw twin pointers refer to heap buffers owned by the region and
@@ -41,9 +56,39 @@ static REGISTRY: [AtomicPtr<RegionShared>; MAX_REGIONS] =
 static INSTALL_HANDLER: Once = Once::new();
 static PREVIOUS_HANDLER: AtomicUsize = AtomicUsize::new(0);
 
+/// Decodes whether a SIGSEGV was caused by a write access, from the saved
+/// user context.
+///
+/// On x86_64/Linux the page-fault error code is saved in the `REG_ERR` slot
+/// of `uc_mcontext.gregs`; bit 1 is set for write accesses. The glibc
+/// `ucontext_t` layout places `gregs` at byte offset 40 (`uc_flags` 8 +
+/// `uc_link` 8 + `stack_t` 24) and `REG_ERR` is greg index 19. On other
+/// architectures the distinction is not decoded and every fault is reported
+/// as a write (the legacy twin behaviour only ever sees write faults, and the
+/// callback integration in `munin-core` is gated to x86_64).
+fn fault_is_write(ctx: *mut libc::c_void) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if ctx.is_null() {
+            return true;
+        }
+        // SAFETY: the kernel hands a valid `ucontext_t` to SA_SIGINFO
+        // handlers; the offset arithmetic matches glibc's x86_64 layout
+        // (asserted against published constants, stable for the glibc ABI).
+        let err = unsafe { *((ctx as *const u8).add(40 + 19 * 8) as *const u64) };
+        err & 0x2 != 0
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = ctx;
+        true
+    }
+}
+
 /// The process-wide SIGSEGV handler: if the faulting address falls inside a
-/// registered region, make a twin of the page, mark it dirty, unprotect it,
-/// and resume; otherwise forward to the previously installed handler.
+/// registered region, either route the fault to the region's callback or
+/// (legacy mode) make a twin of the page, mark it dirty, unprotect it, and
+/// resume; otherwise forward to the previously installed handler.
 extern "C" fn segv_handler(sig: libc::c_int, info: *mut libc::siginfo_t, ctx: *mut libc::c_void) {
     // SAFETY: `info` is provided by the kernel for a SA_SIGINFO handler.
     let addr = unsafe { (*info).si_addr() } as usize;
@@ -57,6 +102,15 @@ extern "C" fn segv_handler(sig: libc::c_int, info: *mut libc::siginfo_t, ctx: *m
         let region = unsafe { &*ptr };
         if addr < region.base || addr >= region.base + region.len {
             continue;
+        }
+        if let Some(cb) = &region.callback {
+            if cb(addr - region.base, fault_is_write(ctx)) {
+                return;
+            }
+            // Unresolved by the callback: fall through to the previous
+            // handler (normally the default crash), which is the loud
+            // failure we want for a protocol bug.
+            break;
         }
         let page = (addr - region.base) / region.page_size;
         let page_base = region.base + page * region.page_size;
@@ -134,10 +188,36 @@ pub struct ProtectedRegion {
     twin_storage: Vec<Vec<u8>>,
 }
 
+// SAFETY: the raw `shared` pointer refers to a heap block that stays valid
+// until Drop and whose cross-thread state (dirty flags) is atomic;
+// `set_rights` is a bare syscall and safe to issue concurrently. Access to
+// the mapped data pages themselves is the caller's concurrency protocol to
+// enforce (same contract as the signal handler's twin writes).
+unsafe impl Send for ProtectedRegion {}
+// SAFETY: see above — all `&self` methods touch atomics, immutable layout
+// metadata, or issue syscalls.
+unsafe impl Sync for ProtectedRegion {}
+
 impl ProtectedRegion {
     /// Maps `pages` system pages of zeroed memory and registers them with the
     /// fault handler. The region starts read-write (unprotected).
     pub fn new(pages: usize) -> Result<Self, VmError> {
+        Self::build(pages, None)
+    }
+
+    /// Maps `pages` system pages of zeroed memory whose faults are resolved
+    /// by `callback` instead of the built-in twin-and-unprotect behaviour.
+    ///
+    /// The callback receives `(region_byte_offset, is_write)` and runs on the
+    /// faulting thread from signal context; it must resolve the fault (grant
+    /// access via [`ProtectedRegion::set_rights`]) before returning `true`,
+    /// or the faulting instruction will trap again. No per-page twins are
+    /// allocated in this mode — twinning is the callback's business.
+    pub fn with_callback(pages: usize, callback: FaultCallback) -> Result<Self, VmError> {
+        Self::build(pages, Some(callback))
+    }
+
+    fn build(pages: usize, callback: Option<FaultCallback>) -> Result<Self, VmError> {
         install_handler()?;
         // SAFETY: querying the system page size has no preconditions.
         let page_size = unsafe { libc::sysconf(libc::_SC_PAGESIZE) } as usize;
@@ -157,7 +237,9 @@ impl ProtectedRegion {
             // SAFETY: reading errno after a failed libc call.
             return Err(VmError::Map(unsafe { *libc::__errno_location() }));
         }
-        let mut twin_storage: Vec<Vec<u8>> = (0..pages).map(|_| vec![0u8; page_size]).collect();
+        let twin_pages = if callback.is_some() { 0 } else { pages };
+        let mut twin_storage: Vec<Vec<u8>> =
+            (0..twin_pages).map(|_| vec![0u8; page_size]).collect();
         let twins: Vec<*mut u8> = twin_storage.iter_mut().map(|t| t.as_mut_ptr()).collect();
         let shared = Box::into_raw(Box::new(RegionShared {
             base: base as usize,
@@ -165,6 +247,7 @@ impl ProtectedRegion {
             page_size,
             twins,
             dirty: (0..pages).map(|_| AtomicBool::new(false)).collect(),
+            callback,
         }));
         // Register in a free slot.
         let mut slot = usize::MAX;
@@ -207,6 +290,13 @@ impl ProtectedRegion {
         self.shared().page_size
     }
 
+    /// The system page size, queryable before any region exists (layout
+    /// planning needs it to size the mapping).
+    pub fn system_page_size() -> usize {
+        // SAFETY: querying the system page size has no preconditions.
+        unsafe { libc::sysconf(libc::_SC_PAGESIZE) as usize }
+    }
+
     /// Number of pages in the region.
     pub fn pages(&self) -> usize {
         self.pages
@@ -215,6 +305,39 @@ impl ProtectedRegion {
     /// Base pointer of the mapped region.
     pub fn base_ptr(&self) -> *mut u8 {
         self.shared().base as *mut u8
+    }
+
+    /// Sets the protection of `count` pages starting at `first_page` to
+    /// `rights` — the full rights ladder the Munin directory needs
+    /// (invalid/read/read-write), beyond the write-protect-only cycle of
+    /// [`ProtectedRegion::protect_all`]. Async-signal-safe (one `mprotect`
+    /// call), so fault callbacks may use it to grant access.
+    pub fn set_rights(
+        &self,
+        first_page: usize,
+        count: usize,
+        rights: PageRights,
+    ) -> Result<(), VmError> {
+        let shared = self.shared();
+        assert!(first_page + count <= self.pages, "page range out of bounds");
+        let prot = match rights {
+            PageRights::None => libc::PROT_NONE,
+            PageRights::Read => libc::PROT_READ,
+            PageRights::ReadWrite => libc::PROT_READ | libc::PROT_WRITE,
+        };
+        // SAFETY: the range lies inside this region's own mapping.
+        let rc = unsafe {
+            libc::mprotect(
+                (shared.base + first_page * shared.page_size) as *mut libc::c_void,
+                count * shared.page_size,
+                prot,
+            )
+        };
+        if rc != 0 {
+            // SAFETY: reading errno after a failed libc call.
+            return Err(VmError::Protect(unsafe { *libc::__errno_location() }));
+        }
+        Ok(())
     }
 
     /// Write-protects every page and clears the dirty state, so the next
@@ -345,6 +468,72 @@ mod tests {
         // SAFETY: same page as above.
         unsafe { std::ptr::write_volatile(region.base_ptr().add(region.page_size()), 9u8) };
         assert_eq!(region.twin(1).unwrap()[0], 7);
+    }
+
+    /// Callback-mode region: faults are routed to the callback with the
+    /// faulting offset and access kind, and the callback's own rights
+    /// transitions resolve them. Read-vs-write decoding is x86_64-only.
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn callback_receives_offset_and_access_kind() {
+        use std::sync::Mutex;
+
+        static FAULTS: Mutex<Vec<(usize, bool)>> = Mutex::new(Vec::new());
+
+        let region = std::sync::Arc::new_cyclic(|weak: &std::sync::Weak<ProtectedRegion>| {
+            let weak = weak.clone();
+            ProtectedRegion::with_callback(
+                2,
+                Box::new(move |offset, is_write| {
+                    FAULTS.lock().unwrap().push((offset, is_write));
+                    let Some(region) = weak.upgrade() else {
+                        return false;
+                    };
+                    let page = offset / region.page_size();
+                    region.set_rights(page, 1, PageRights::ReadWrite).unwrap();
+                    true
+                }),
+            )
+            .unwrap()
+        });
+        let ps = region.page_size();
+        // Page 0 unreadable, page 1 read-only.
+        region.set_rights(0, 1, PageRights::None).unwrap();
+        region.set_rights(1, 1, PageRights::Read).unwrap();
+        // A read of page 0 traps as a read fault; a write of page 1 traps as
+        // a write fault; after the callback grants rights, both complete.
+        // SAFETY: offsets lie inside the mapped region.
+        unsafe {
+            let v = std::ptr::read_volatile(region.base_ptr().add(3));
+            assert_eq!(v, 0);
+            std::ptr::write_volatile(region.base_ptr().add(ps + 5), 42);
+            assert_eq!(std::ptr::read_volatile(region.base_ptr().add(ps + 5)), 42);
+        }
+        let faults = FAULTS.lock().unwrap().clone();
+        assert_eq!(faults, vec![(3, false), (ps + 5, true)]);
+    }
+
+    /// `set_rights` transitions compose: a page can go invalid → read-only →
+    /// writable and back, and reads of a read-only page never trap.
+    #[test]
+    fn set_rights_full_ladder() {
+        let mut region = ProtectedRegion::new(1).unwrap();
+        // SAFETY: in-bounds write while the region is fully writable.
+        unsafe { std::ptr::write_volatile(region.base_ptr(), 9) };
+        region.set_rights(0, 1, PageRights::Read).unwrap();
+        // SAFETY: in-bounds read of a PROT_READ page — must not fault.
+        assert_eq!(unsafe { std::ptr::read_volatile(region.base_ptr()) }, 9);
+        region.set_rights(0, 1, PageRights::ReadWrite).unwrap();
+        // SAFETY: in-bounds write of a writable page — must not fault (and
+        // must not reach the legacy twin machinery: protect_all not called).
+        unsafe { std::ptr::write_volatile(region.base_ptr(), 11) };
+        assert!(region.dirty_pages().is_empty());
+        // Legacy twin cycle still works after manual transitions.
+        region.protect_all().unwrap();
+        // SAFETY: in-bounds write to a protected page (legacy twin path).
+        unsafe { std::ptr::write_volatile(region.base_ptr(), 12) };
+        assert_eq!(region.dirty_pages(), vec![0]);
+        assert_eq!(region.twin(0).unwrap()[0], 11);
     }
 
     #[test]

@@ -12,7 +12,10 @@ fn main() {
     let procs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
     let cities: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
 
-    let params = TspParams { cities, procs };
+    let params = TspParams {
+        cities,
+        ..TspParams::default_instance(procs)
+    };
     println!("TSP branch-and-bound, {cities} cities, {procs} processors");
     let (run, result) = tsp::run_munin(params, CostModel::sun_ethernet_1991()).expect("tsp run");
     let reference = tsp::serial(cities);

@@ -21,7 +21,7 @@ pub use munin_sim as sim;
 pub use munin_vm as vm;
 
 pub use munin_core::{
-    BarrierId, LockId, MuninConfig, MuninProgram, MuninReport, SharedVar, SharingAnnotation,
-    WorkerCtx,
+    AccessMode, BarrierId, LockId, MuninConfig, MuninError, MuninProgram, MuninReport,
+    MuninStatsSnapshot, SharedVar, SharingAnnotation, WorkerCtx,
 };
 pub use munin_sim::CostModel;

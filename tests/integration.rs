@@ -71,6 +71,7 @@ fn tsp_exercises_reduction_migratory_and_lock_association() {
     let params = tsp::TspParams {
         cities: 7,
         procs: 2,
+        ..tsp::TspParams::default_instance(1)
     };
     let (run, result) = tsp::run_munin(params, FAST()).unwrap();
     assert_eq!(result.best_len, tsp::serial(7).best_len);

@@ -13,7 +13,7 @@ use std::sync::{Arc, Barrier};
 
 use munin::apps::{matmul, sor};
 use munin::sim::{Cluster, CostModel, EngineConfig, FaultPlan, NodeId, TraceEntry};
-use munin::{MuninConfig, MuninProgram, SharingAnnotation};
+use munin::{AccessMode, MuninConfig, MuninProgram, SharingAnnotation};
 
 /// Delay/reorder plan for the stress runs: 20% of messages get up to 20 µs of
 /// extra virtual latency or jitter (large relative to the fast-test cost
@@ -54,6 +54,70 @@ fn matmul_agrees_with_serial_across_32_seeded_schedules() {
         }
         let (_m, c) = matmul::run_munin(params, CostModel::fast_test()).unwrap();
         assert_eq!(c, reference, "matmul diverged under engine seed {seed}");
+    }
+}
+
+/// Skip guard for the VM-trap subset: clean no-op off Linux/x86_64.
+fn vm_available() -> bool {
+    if AccessMode::vm_supported() {
+        true
+    } else {
+        eprintln!("skipping: AccessMode::VmTraps requires 64-bit Linux on x86_64");
+        false
+    }
+}
+
+/// The VM-trap subset of the seeded stress matrix: the same adversarial
+/// delay/reorder injection as the explicit-mode suite, with access detection
+/// done by real SIGSEGV write traps. Any divergence from the serial
+/// reference means the trap path broke a protocol guarantee the explicit
+/// checks uphold.
+#[test]
+fn sor_vm_mode_agrees_with_serial_across_seeded_schedules() {
+    if !vm_available() {
+        return;
+    }
+    let (rows, cols, iters, procs) = (20, 12, 3, 4);
+    let reference = sor::serial(rows, cols, iters);
+    for seed in 0..8u64 {
+        let mut params = sor::SorParams::small(rows, cols, iters, procs);
+        params.engine = EngineConfig::seeded(seed).with_faults(STRESS_FAULTS);
+        params.access_mode = AccessMode::VmTraps;
+        let (_m, grid) = sor::run_munin(params, CostModel::fast_test()).unwrap();
+        let max_err = grid
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_err < 1e-12,
+            "VM-mode SOR diverged from serial under engine seed {seed}: max error {max_err}"
+        );
+    }
+}
+
+/// Matmul half of the VM-trap stress subset; odd seeds force the
+/// single-writer invalidate protocol, so ownership-transferring traps get
+/// adversarial schedules too.
+#[test]
+fn matmul_vm_mode_agrees_with_serial_across_seeded_schedules() {
+    if !vm_available() {
+        return;
+    }
+    let n = 16;
+    let reference = matmul::serial(n);
+    for seed in 0..8u64 {
+        let mut params = matmul::MatmulParams::small(n, 3);
+        params.engine = EngineConfig::seeded(seed).with_faults(STRESS_FAULTS);
+        params.access_mode = AccessMode::VmTraps;
+        if seed % 2 == 1 {
+            params.annotation_override = Some(SharingAnnotation::Conventional);
+        }
+        let (_m, c) = matmul::run_munin(params, CostModel::fast_test()).unwrap();
+        assert_eq!(
+            c, reference,
+            "VM-mode matmul diverged under engine seed {seed}"
+        );
     }
 }
 
@@ -235,6 +299,22 @@ fn sixteen_node_sor_agrees_with_serial() {
 /// triggers them.
 #[test]
 fn sixteen_node_sor_exact_under_host_oversubscription() {
+    sixteen_node_sor_oversubscribed(AccessMode::Explicit);
+}
+
+/// The VM-trap variant of the oversubscription regression: 16 nodes means 16
+/// protected regions with concurrent trap traffic while the host is
+/// deliberately starved — the harshest schedule for the touch/verify/pin
+/// protocol. Gated to Linux/x86_64 with a clean skip elsewhere.
+#[test]
+fn sixteen_node_sor_vm_mode_exact_under_host_oversubscription() {
+    if !vm_available() {
+        return;
+    }
+    sixteen_node_sor_oversubscribed(AccessMode::VmTraps);
+}
+
+fn sixteen_node_sor_oversubscribed(access_mode: AccessMode) {
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let spinners: Vec<_> = (0..16)
         .map(|_| {
@@ -258,6 +338,7 @@ fn sixteen_node_sor_exact_under_host_oversubscription() {
         let seed = 5 + (attempt % 2) * 18;
         let mut params = sor::SorParams::small(rows, cols, iters, procs);
         params.engine = EngineConfig::seeded(seed).with_faults(STRESS_FAULTS);
+        params.access_mode = access_mode;
         let (_m, grid) = sor::run_munin(params, CostModel::fast_test()).unwrap();
         let max_err = grid
             .iter()
