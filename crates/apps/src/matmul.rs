@@ -47,6 +47,9 @@ pub struct MatmulParams {
     pub engine: munin_sim::EngineConfig,
     /// Access-detection mode (explicit checks or real VM write traps).
     pub access_mode: munin_core::AccessMode,
+    /// Whether the carrier/outbox layer may piggyback and coalesce protocol
+    /// traffic (`MUNIN_PIGGYBACK`).
+    pub piggyback: bool,
 }
 
 impl MatmulParams {
@@ -60,6 +63,7 @@ impl MatmulParams {
             page_size: 8192,
             engine: munin_sim::EngineConfig::from_env(),
             access_mode: munin_core::AccessMode::from_env(),
+            piggyback: munin_core::piggyback_from_env(),
         }
     }
 
@@ -73,6 +77,7 @@ impl MatmulParams {
             page_size: 512,
             engine: munin_sim::EngineConfig::from_env(),
             access_mode: munin_core::AccessMode::from_env(),
+            piggyback: munin_core::piggyback_from_env(),
         }
     }
 }
@@ -120,7 +125,8 @@ pub fn run_munin(
         .with_cost(cost)
         .with_page_size(params.page_size)
         .with_engine(params.engine)
-        .with_access_mode(params.access_mode);
+        .with_access_mode(params.access_mode)
+        .with_piggyback(params.piggyback);
     if let Some(ann) = params.annotation_override {
         cfg = cfg.with_annotation_override(ann);
     }
@@ -183,7 +189,8 @@ pub fn run_munin(
         report.root_times(),
         report.net.clone(),
     )
-    .with_stats(report.stats_total());
+    .with_stats(report.stats_total())
+    .with_engine_stats(report.engine_stats.clone());
     let c = report.read_root_slice(&output);
     Ok((measurement, c))
 }
@@ -348,9 +355,11 @@ mod tests {
         // result message back to the root node."
         let params = MatmulParams::small(N, 4);
         let (m, _c) = run_munin(params, CostModel::fast_test()).unwrap();
-        // Workers 1..4 each send exactly one update message at the final
-        // barrier (the root's own band needs none); the DUQ combines all of a
-        // worker's modified output pages into that single message.
-        assert_eq!(m.net.class("update").msgs, 3);
+        // Workers 1..4 each send exactly one update transmission at the
+        // final barrier (the root's own band needs none); the DUQ combines
+        // all of a worker's modified output pages into that single
+        // transmission. With piggybacking on (the default) it rides the
+        // barrier-arrive carrier instead of a standalone update message.
+        assert_eq!(m.stats.updates_sent, 3);
     }
 }

@@ -3,7 +3,7 @@
 
 use munin_core::MuninStatsSnapshot;
 use munin_sim::stats::NetSnapshot;
-use munin_sim::{NodeTimes, VirtTime};
+use munin_sim::{EngineStats, NodeTimes, VirtTime};
 
 /// One measured execution of an application (Munin or message passing).
 #[derive(Clone, Debug)]
@@ -23,6 +23,10 @@ pub struct RunMeasurement {
     /// Munin runtime statistics summed over all nodes (all-zero for
     /// message-passing runs, which have no Munin runtime).
     pub stats: MuninStatsSnapshot,
+    /// Engine-level message volume: total and per-message-kind counts of
+    /// every delivery the event engine scheduled (empty for runs that do not
+    /// surface it).
+    pub engine: EngineStats,
 }
 
 impl RunMeasurement {
@@ -42,12 +46,19 @@ impl RunMeasurement {
             root_system: root.system,
             net,
             stats: MuninStatsSnapshot::default(),
+            engine: EngineStats::default(),
         }
     }
 
     /// Attaches the summed per-node Munin runtime statistics.
     pub fn with_stats(mut self, stats: MuninStatsSnapshot) -> Self {
         self.stats = stats;
+        self
+    }
+
+    /// Attaches the engine-level message volume counters.
+    pub fn with_engine_stats(mut self, engine: EngineStats) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -89,6 +100,7 @@ mod tests {
             root_system: VirtTime::ZERO,
             net: NetSnapshot::default(),
             stats: MuninStatsSnapshot::default(),
+            engine: EngineStats::default(),
         }
     }
 

@@ -30,6 +30,9 @@ pub struct TspParams {
     pub engine: munin_sim::EngineConfig,
     /// Access-detection mode (explicit checks or real VM write traps).
     pub access_mode: munin_core::AccessMode,
+    /// Whether the carrier/outbox layer may piggyback and coalesce protocol
+    /// traffic (`MUNIN_PIGGYBACK`).
+    pub piggyback: bool,
 }
 
 impl TspParams {
@@ -40,6 +43,7 @@ impl TspParams {
             procs,
             engine: munin_sim::EngineConfig::from_env(),
             access_mode: munin_core::AccessMode::from_env(),
+            piggyback: munin_core::piggyback_from_env(),
         }
     }
 }
@@ -159,7 +163,8 @@ pub fn run_munin(
     let cfg = MuninConfig::paper(params.procs)
         .with_cost(cost)
         .with_engine(params.engine)
-        .with_access_mode(params.access_mode);
+        .with_access_mode(params.access_mode)
+        .with_piggyback(params.piggyback);
     let mut prog = MuninProgram::new(cfg);
     let dist = prog.declare::<i64>("distances", cities * cities, SharingAnnotation::ReadOnly);
     let best_len = prog.declare::<i64>("best_len", 1, SharingAnnotation::Reduction);
@@ -238,7 +243,8 @@ pub fn run_munin(
         report.root_times(),
         report.net.clone(),
     )
-    .with_stats(report.stats_total());
+    .with_stats(report.stats_total())
+    .with_engine_stats(report.engine_stats.clone());
     Ok((
         measurement,
         TspResult {

@@ -1,0 +1,92 @@
+//! Microbenchmark of the release-flush path and the carrier/outbox layer's
+//! message economy.
+//!
+//! Two things are measured:
+//!
+//! * **Wall clock** of a complete SOR run (criterion groups), with the
+//!   carrier layer on and off — the piggyback path must not cost host time.
+//! * **Message economy**: total protocol messages and modelled wire bytes
+//!   per release (DUQ flush) at 2/8/16 nodes, piggyback on vs off. These
+//!   counts are printed on every run and are the source of the committed
+//!   `BENCH_msg.json` baseline.
+//!
+//! Refresh the committed baseline with:
+//! `cargo bench -p munin-bench --bench micro_flush` (copy the printed table).
+//!
+//! CI runs this bench with `-- --quick` as a smoke test.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use munin_apps::sor::{self, SorParams};
+use munin_sim::{CostModel, EngineConfig};
+use std::time::Duration;
+
+/// A page-aligned SOR instance (each worker's band is exactly one 512-byte
+/// page), so every flushed page is owner-flushed and the relay path is
+/// exercised — the same shape as the paper's 1024x512-over-8KB-pages runs.
+fn params(nodes: usize, iterations: usize, piggyback: bool) -> SorParams {
+    let mut p = SorParams::small(nodes * 4, 16, iterations, nodes);
+    p.engine = EngineConfig::seeded(7);
+    p.piggyback = piggyback;
+    p
+}
+
+/// One counted run: (total messages, total bytes, releases performed).
+fn count_run(nodes: usize, piggyback: bool) -> (u64, u64, u64) {
+    let (m, _grid) =
+        sor::run_munin(params(nodes, 12, piggyback), CostModel::fast_test()).expect("SOR run");
+    (
+        m.engine.messages_sent,
+        m.engine.bytes_sent,
+        m.stats.duq_flushes,
+    )
+}
+
+fn report_message_economy() {
+    eprintln!("micro_flush message economy (SOR, page-aligned bands, 12 iterations):");
+    eprintln!(
+        "{:>6} {:>10} {:>12} {:>10} {:>12} {:>10} {:>12}",
+        "nodes", "mode", "messages", "msgs/rel", "bytes", "bytes/rel", "drop"
+    );
+    for nodes in [2usize, 8, 16] {
+        let (on_msgs, on_bytes, on_rel) = count_run(nodes, true);
+        let (off_msgs, off_bytes, off_rel) = count_run(nodes, false);
+        for (label, msgs, bytes, rel, drop) in [
+            ("off", off_msgs, off_bytes, off_rel, 0.0),
+            (
+                "on",
+                on_msgs,
+                on_bytes,
+                on_rel,
+                100.0 * (1.0 - on_msgs as f64 / off_msgs as f64),
+            ),
+        ] {
+            eprintln!(
+                "{nodes:>6} {label:>10} {msgs:>12} {:>10.1} {bytes:>12} {:>12.1} {drop:>9.1}%",
+                msgs as f64 / rel as f64,
+                bytes as f64 / rel as f64,
+            );
+        }
+    }
+}
+
+fn bench_flush(c: &mut Criterion) {
+    report_message_economy();
+    let mut group = c.benchmark_group("flush");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
+    for (label, piggyback) in [("piggyback_on", true), ("piggyback_off", false)] {
+        group.bench_function(format!("sor_8node/{label}"), |b| {
+            b.iter(|| {
+                let (m, grid) =
+                    sor::run_munin(params(8, 4, piggyback), CostModel::fast_test()).unwrap();
+                criterion::black_box((m.elapsed, grid))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flush);
+criterion_main!(benches);

@@ -362,6 +362,14 @@ impl MuninProgram {
                     Ok(()) => worker(&wctx),
                     Err(e) => Err(e),
                 };
+                // A worker that ends with coalesced outbox items (e.g. a
+                // trailing `Flush()` hint with no later release) transmits
+                // them now, so no buffered change can outlive the run.
+                if outcome.result.is_ok() {
+                    if let Err(e) = rt.close_coalescing_window() {
+                        outcome.result = Err(e);
+                    }
+                }
 
                 if rt.is_root() {
                     if rt.wait_workers_done().is_ok() {
@@ -395,6 +403,7 @@ impl MuninProgram {
             elapsed: report.elapsed,
             node_times: report.node_times,
             net: report.net,
+            engine_stats: report.engine_stats,
             stats,
             results,
             root_memory,
@@ -720,6 +729,10 @@ pub struct MuninReport<R> {
     pub node_times: Vec<NodeTimes>,
     /// Network statistics (message and byte counts per class).
     pub net: munin_sim::stats::NetSnapshot,
+    /// Engine-level message volume: totals and per-message-kind counts of
+    /// every delivery the event engine scheduled (carriers count once, under
+    /// the class of the message they frame).
+    pub engine_stats: munin_sim::EngineStats,
     /// Per-node Munin runtime statistics.
     pub stats: Vec<MuninStatsSnapshot>,
     /// Per-node worker results.

@@ -79,6 +79,21 @@ pub struct MuninConfig {
     /// checks or real VM write traps). Defaults to `MUNIN_ACCESS_MODE` from
     /// the environment.
     pub access_mode: AccessMode,
+    /// Whether the carrier/outbox layer may coalesce consecutive flushes and
+    /// piggyback queued updates on other protocol traffic (lock grants,
+    /// barrier releases, copyset replies, update acks). Defaults to
+    /// `MUNIN_PIGGYBACK` from the environment (`on` unless set to `off`/`0`);
+    /// `off` preserves the legacy one-message-per-update behaviour exactly.
+    pub piggyback: bool,
+}
+
+/// Reads `MUNIN_PIGGYBACK` from the environment: anything but `off`/`0`
+/// (including the variable being unset) enables the carrier layer.
+pub fn piggyback_from_env() -> bool {
+    match std::env::var("MUNIN_PIGGYBACK") {
+        Ok(v) => !(v == "off" || v == "0"),
+        Err(_) => true,
+    }
 }
 
 impl MuninConfig {
@@ -93,6 +108,7 @@ impl MuninConfig {
             copyset_strategy: CopysetStrategy::Broadcast,
             engine: EngineConfig::from_env(),
             access_mode: AccessMode::from_env(),
+            piggyback: piggyback_from_env(),
         }
     }
 
@@ -107,6 +123,7 @@ impl MuninConfig {
             copyset_strategy: CopysetStrategy::Broadcast,
             engine: EngineConfig::from_env(),
             access_mode: AccessMode::from_env(),
+            piggyback: piggyback_from_env(),
         }
     }
 
@@ -143,6 +160,12 @@ impl MuninConfig {
     /// Selects the access-detection mode.
     pub fn with_access_mode(mut self, access_mode: AccessMode) -> Self {
         self.access_mode = access_mode;
+        self
+    }
+
+    /// Enables or disables the carrier/outbox piggyback layer.
+    pub fn with_piggyback(mut self, piggyback: bool) -> Self {
+        self.piggyback = piggyback;
         self
     }
 }

@@ -47,7 +47,7 @@ pub mod sync;
 
 pub use annotation::{render_table1, Param, ProtocolParams, SharingAnnotation};
 pub use api::{InitCtx, MuninProgram, MuninReport, Shareable, SharedVar, WorkerCtx};
-pub use config::{AccessMode, CopysetStrategy, MuninConfig};
+pub use config::{piggyback_from_env, AccessMode, CopysetStrategy, MuninConfig};
 pub use error::{MuninError, Result};
 pub use object::{ObjectId, VarId, DEFAULT_PAGE_SIZE};
 pub use stats::MuninStatsSnapshot;

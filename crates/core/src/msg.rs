@@ -60,6 +60,52 @@ pub struct UpdateItem {
     pub payload: UpdatePayload,
 }
 
+/// A bundle of update items piggybacked on a carrier message, destined for
+/// the carrier's receiver. Installed by the unified carrier-install path
+/// (`NodeRuntime::install_carrier_updates`) *before* the carrier's inner
+/// message is dispatched, so a piggybacked release or grant can never be
+/// observed ahead of the data it carries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CarrierUpdate {
+    /// The node whose changes these are (piggybacked bundles are never
+    /// individually acknowledged; `from` also names the sequence stream).
+    pub from: NodeId,
+    /// Position in the `from` → receiver update sequence stream (see
+    /// [`DsmMsg::Update::seq`]). Ignored for `sync_install` bundles, which
+    /// are ordered by the lock token they travel with.
+    pub seq: u64,
+    /// The changes, one entry per object, in application order.
+    pub items: Vec<UpdateItem>,
+    /// `true` for data associated with a synchronization object
+    /// (`AssociateDataAndSynch` payloads on a lock grant): the items are
+    /// *installed* — full images written even where no local copy exists,
+    /// with the migratory ownership handover applied — rather than applied
+    /// only to existing copies like flush updates.
+    pub sync_install: bool,
+}
+
+/// A flush update riding a `BarrierArrive` towards the barrier owner, to be
+/// re-attached to the `BarrierRelease` headed to `dest`. Two kinds of flush
+/// travel this way (see `DESIGN.md`, "Carrier layer"), each with its own
+/// safety argument: *owner-flushed* fan-out updates (the flusher serves all
+/// fetches for those objects from live memory, so a copy that missed the
+/// relayed update is impossible) and *`result`-object flushes homed at the
+/// barrier owner* (the owner installs the bundle before counting the
+/// arrival, which is at least as early as the legacy apply-then-ack).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelayUpdate {
+    /// The copyset member the bundle must reach with the release.
+    pub dest: NodeId,
+    /// The flushing node.
+    pub from: NodeId,
+    /// Position in the `from` → `dest` update sequence stream (see
+    /// [`DsmMsg::Update::seq`]): assigned by the flusher, carried through
+    /// the barrier owner unchanged.
+    pub seq: u64,
+    /// The changes, one entry per object, in application order.
+    pub items: Vec<UpdateItem>,
+}
+
 /// A `Fetch_and_Φ` operation on a reduction object, executed atomically at
 /// the object's fixed owner.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -126,6 +172,16 @@ pub enum DsmMsg {
         items: Vec<UpdateItem>,
         /// Node awaiting the acknowledgement (if `needs_ack`).
         requester: NodeId,
+        /// Position in the sender → receiver *update sequence stream*. Every
+        /// update-bearing transmission between a pair of nodes (standalone
+        /// updates, carrier bundles, barrier-relayed bundles) carries one
+        /// consecutive number; the receiver applies strictly in sequence,
+        /// deferring early arrivals and dropping stale ones. This is what
+        /// keeps a relayed bundle (which travels flusher → barrier owner →
+        /// destination, a *different link* than a direct update) from being
+        /// applied after a newer direct update it cannot be FIFO-ordered
+        /// against.
+        seq: u64,
         /// Whether the receiver must acknowledge (release consistency makes
         /// the releaser wait until its updates have been performed).
         needs_ack: bool,
@@ -198,16 +254,15 @@ pub enum DsmMsg {
         /// Requesting node.
         requester: NodeId,
     },
-    /// Grant of lock ownership to a requester.
+    /// Grant of lock ownership to a requester. Consistency data associated
+    /// with the lock (`AssociateDataAndSynch`) travels as a `sync_install`
+    /// bundle on a [`DsmMsg::Carrier`] framing this grant.
     LockGrant {
         /// The lock.
         lock: LockId,
         /// Waiting requesters handed over with ownership (the distributed
         /// queue travels with the lock).
         queue: Vec<NodeId>,
-        /// Consistency data piggybacked on the lock transfer
-        /// (`AssociateDataAndSynch`): full images of the associated objects.
-        piggyback: Vec<(ObjectId, Vec<u8>)>,
     },
     /// A thread arrived at a barrier.
     BarrierArrive {
@@ -228,6 +283,24 @@ pub enum DsmMsg {
     },
     /// The root tells every node to shut down its runtime service loop.
     Shutdown,
+    /// The carrier envelope: frames any other message together with
+    /// piggybacked consistency traffic, so a lock grant, barrier release,
+    /// copyset reply, or update acknowledgement that is headed to a
+    /// destination anyway can also deliver the updates queued for it —
+    /// one wire message instead of several.
+    ///
+    /// `inner: None` is a pure piggyback frame, used when a deferred bundle
+    /// is re-queued after its directory entries were busy. Carriers are
+    /// never nested.
+    Carrier {
+        /// The framed message, dispatched after the payload is installed.
+        inner: Option<Box<DsmMsg>>,
+        /// Piggybacked update bundles destined for the receiver.
+        updates: Vec<CarrierUpdate>,
+        /// Flush updates riding a `BarrierArrive` for redistribution on the
+        /// matching `BarrierRelease`s (empty on every other carrier).
+        relay: Vec<RelayUpdate>,
+    },
 }
 
 /// Fixed modelled header size of every message, in bytes.
@@ -255,6 +328,13 @@ impl DsmMsg {
             DsmMsg::BarrierRelease { .. } => "barrier_release",
             DsmMsg::WorkerDone { .. } => "worker_done",
             DsmMsg::Shutdown => "shutdown",
+            // A carrier is classed as the message it frames, so per-class
+            // accounting (e.g. "how many lock grants") is unaffected by the
+            // framing; only total message counts drop.
+            DsmMsg::Carrier { inner, .. } => match inner {
+                Some(m) => m.class(),
+                None => "carrier",
+            },
         }
     }
 
@@ -273,23 +353,52 @@ impl DsmMsg {
             DsmMsg::ReduceRequest { .. } => 24,
             DsmMsg::ReduceReply { old } => old.len() as u64,
             DsmMsg::LockAcquire { .. } => 8,
-            DsmMsg::LockGrant {
-                queue, piggyback, ..
-            } => {
-                8 + 4 * queue.len() as u64
-                    + piggyback
-                        .iter()
-                        .map(|(_, d)| 8 + d.len() as u64)
-                        .sum::<u64>()
-            }
+            DsmMsg::LockGrant { queue, .. } => 8 + 4 * queue.len() as u64,
             DsmMsg::BarrierArrive { .. } | DsmMsg::BarrierRelease { .. } => 8,
             DsmMsg::WorkerDone { .. } | DsmMsg::Shutdown => 4,
+            // One header for the whole frame: the inner message and every
+            // piggybacked bundle share it — that is the wire saving the
+            // carrier layer models.
+            DsmMsg::Carrier {
+                inner,
+                updates,
+                relay,
+            } => {
+                let inner_payload = inner
+                    .as_ref()
+                    .map(|m| m.model_bytes() - HEADER_BYTES)
+                    .unwrap_or(0);
+                let update_bytes: u64 = updates
+                    .iter()
+                    .map(|u| {
+                        8 + u
+                            .items
+                            .iter()
+                            .map(|i| 8 + i.payload.model_bytes())
+                            .sum::<u64>()
+                    })
+                    .sum();
+                let relay_bytes: u64 = relay
+                    .iter()
+                    .map(|r| {
+                        12 + r
+                            .items
+                            .iter()
+                            .map(|i| 8 + i.payload.model_bytes())
+                            .sum::<u64>()
+                    })
+                    .sum();
+                inner_payload + update_bytes + relay_bytes
+            }
         };
         HEADER_BYTES + payload
     }
 
     /// Whether the message is a reply destined for the node's blocked user
     /// thread (as opposed to a request handled by the runtime service loop).
+    /// Carriers are always unwrapped by the service loop first (the payload
+    /// must be installed before the inner message is routed), so they are
+    /// not user replies even when their inner message is.
     pub fn is_user_reply(&self) -> bool {
         matches!(
             self,
@@ -362,6 +471,7 @@ mod tests {
                 payload: UpdatePayload::Diff(diff),
             }],
             requester: NodeId::new(0),
+            seq: 0,
             needs_ack: true,
         };
         let full_update = DsmMsg::Update {
@@ -370,6 +480,7 @@ mod tests {
                 payload: UpdatePayload::Full(cur),
             }],
             requester: NodeId::new(0),
+            seq: 0,
             needs_ack: true,
         };
         assert!(small_update.model_bytes() < full_update.model_bytes());
@@ -407,10 +518,53 @@ mod tests {
         let grant = DsmMsg::LockGrant {
             lock: LockId(0),
             queue: vec![NodeId::new(1)],
-            piggyback: vec![(ObjectId::new(0), vec![0; 100])],
         };
-        assert!(grant.model_bytes() > 100);
+        assert!(grant.model_bytes() <= 64);
         assert!(grant.is_user_reply());
+    }
+
+    /// A carrier frame costs one header for the inner message plus every
+    /// piggybacked bundle — strictly less than the messages sent separately.
+    #[test]
+    fn carrier_is_cheaper_than_separate_messages() {
+        let grant = DsmMsg::LockGrant {
+            lock: LockId(0),
+            queue: vec![],
+        };
+        let items = vec![UpdateItem {
+            object: ObjectId::new(0),
+            payload: UpdatePayload::Full(vec![0; 64]),
+        }];
+        let standalone = DsmMsg::Update {
+            items: items.clone(),
+            requester: NodeId::new(1),
+            seq: 0,
+            needs_ack: false,
+        };
+        let separate = grant.model_bytes() + standalone.model_bytes();
+        let carrier = DsmMsg::Carrier {
+            inner: Some(Box::new(grant)),
+            updates: vec![CarrierUpdate {
+                from: NodeId::new(1),
+                seq: 0,
+                items,
+                sync_install: false,
+            }],
+            relay: vec![],
+        };
+        assert!(carrier.model_bytes() < separate);
+        assert_eq!(carrier.class(), "lock_grant");
+        assert!(
+            !carrier.is_user_reply(),
+            "carriers are unwrapped by the service loop"
+        );
+        let bare = DsmMsg::Carrier {
+            inner: None,
+            updates: vec![],
+            relay: vec![],
+        };
+        assert_eq!(bare.class(), "carrier");
+        assert_eq!(bare.model_bytes(), HEADER_BYTES);
     }
 
     #[test]

@@ -33,24 +33,120 @@ use crate::stats::{add, bump};
 use super::NodeRuntime;
 
 /// Routing decision for one flushed object: the destinations its changes go
-/// to, and whether they fan out to a copyset (`true`) or flush to the owner
-/// (`false`, `result` objects). Produced by `NodeRuntime::flush_route`.
-struct FlushRoute {
-    fans_out: bool,
-    destinations: Vec<NodeId>,
+/// to, whether they fan out to a copyset (`true`) or flush to the owner
+/// (`false`, `result` objects), and whether this node owns the object (which
+/// is what makes deferred delivery through the carrier layer safe — the
+/// owner serves every fetch from live memory itself). Produced by
+/// `NodeRuntime::flush_route`.
+pub(crate) struct FlushRoute {
+    pub(crate) fans_out: bool,
+    pub(crate) owned: bool,
+    pub(crate) destinations: Vec<NodeId>,
+}
+
+/// How a flush dispatches its updates through the carrier/outbox layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FlushMode {
+    /// Every update goes as its own acknowledged message — the legacy path,
+    /// used at lock releases without a waiting grantee, for the
+    /// `Invalidate`/`ChangeAnnotation` hints, and whenever `MUNIN_PIGGYBACK`
+    /// is off.
+    Immediate,
+    /// `Flush()`-hint flush with piggybacking enabled: owner-flushed fan-out
+    /// items are buffered in the outbox and merged into a later
+    /// transmission; everything else is sent immediately.
+    Coalesce,
+    /// Release at an all-node barrier owned by `owner`: owner-flushed
+    /// fan-out items (and `result` flushes homed at the owner) are returned
+    /// to the caller to ride the `BarrierArrive` carrier, from which the
+    /// owner re-attaches them to the matching releases.
+    BarrierRelay {
+        /// The barrier owner the arrive is headed to.
+        owner: NodeId,
+    },
+    /// Lock release with a known next holder: owner-flushed fan-out items
+    /// destined for the grantee ride the `LockGrant` carrier instead of a
+    /// standalone update+ack round.
+    LockRelay {
+        /// The waiter the lock will be handed to.
+        grantee: NodeId,
+    },
+}
+
+/// Where one (entry destination) pair goes under a given flush mode.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Dispatch {
+    Immediate,
+    Relay,
+    Buffer,
+}
+
+/// Replaces a route's destinations (used by the encode paths that resolve to
+/// "nothing to send" after applying their state transitions).
+fn route_with(route: FlushRoute, destinations: Vec<NodeId>) -> FlushRoute {
+    FlushRoute {
+        destinations,
+        ..route
+    }
+}
+
+fn classify(mode: FlushMode, route: &FlushRoute, dest: NodeId) -> Dispatch {
+    if route.fans_out {
+        if !route.owned {
+            // Non-owned fan-out updates keep the acknowledged path: the
+            // owner's ack carries its recorded copyset, which the heal
+            // logic needs (see the ack round below).
+            return Dispatch::Immediate;
+        }
+        match mode {
+            FlushMode::Immediate => Dispatch::Immediate,
+            FlushMode::Coalesce => Dispatch::Buffer,
+            FlushMode::BarrierRelay { .. } => Dispatch::Relay,
+            FlushMode::LockRelay { grantee } if dest == grantee => Dispatch::Relay,
+            FlushMode::LockRelay { .. } => Dispatch::Immediate,
+        }
+    } else {
+        // `result` flushes go to the fixed owner; they can ride a barrier
+        // arrive that is already headed there (the owner installs the bundle
+        // before counting the arrival, which is at least as early as the
+        // legacy apply-then-ack).
+        match mode {
+            FlushMode::BarrierRelay { owner } if dest == owner => Dispatch::Relay,
+            _ => Dispatch::Immediate,
+        }
+    }
 }
 
 impl NodeRuntime {
-    /// Flushes the delayed update queue. Called before every release (lock
-    /// release or barrier arrival) and by the `Flush` hint.
+    /// Flushes the delayed update queue with every update as its own
+    /// acknowledged message. Called by the hints that must leave no pending
+    /// traffic behind, and by releases without a carrier opportunity.
     pub(crate) fn flush_duq(self: &Arc<Self>) -> Result<()> {
+        self.flush_duq_mode(FlushMode::Immediate).map(|_| ())
+    }
+
+    /// Flushes the delayed update queue, dispatching updates per `mode`.
+    /// Returns the per-destination bundles the caller must attach to its
+    /// carrier (barrier arrive or lock grant); empty except in the relay
+    /// modes.
+    pub(crate) fn flush_duq_mode(
+        self: &Arc<Self>,
+        mode: FlushMode,
+    ) -> Result<BTreeMap<NodeId, Vec<UpdateItem>>> {
         let entries = {
             let mut duq = self.duq.lock();
             duq.flush()
         };
+        // Coalesced items from earlier hint flushes join this transmission
+        // (they stay buffered when this flush coalesces too).
+        let coalesced: BTreeMap<NodeId, Vec<UpdateItem>> = if mode == FlushMode::Coalesce {
+            BTreeMap::new()
+        } else {
+            self.outbox.lock().drain_pending()
+        };
         bump(&self.stats.duq_flushes);
-        if entries.is_empty() {
-            return Ok(());
+        if entries.is_empty() && coalesced.is_empty() {
+            return Ok(BTreeMap::new());
         }
         add(&self.stats.duq_objects_flushed, entries.len() as u64);
 
@@ -127,10 +223,30 @@ impl NodeRuntime {
         let mut remaining: BTreeMap<NodeId, usize> = BTreeMap::new();
         for route in &routes {
             for dest in &route.destinations {
-                *remaining.entry(*dest).or_default() += 1;
+                if classify(mode, route, *dest) == Dispatch::Immediate {
+                    *remaining.entry(*dest).or_default() += 1;
+                }
             }
         }
+        // Immediate per-destination messages start with the coalesced items
+        // of earlier hint flushes (older changes first); in the relay modes
+        // the coalesced items ride the carrier like everything else
+        // owner-flushed.
         let mut pending: BTreeMap<NodeId, Vec<UpdateItem>> = BTreeMap::new();
+        let mut relay: BTreeMap<NodeId, Vec<UpdateItem>> = BTreeMap::new();
+        let mut buffered: BTreeMap<NodeId, Vec<UpdateItem>> = BTreeMap::new();
+        for (dest, items) in coalesced {
+            let relayed = match mode {
+                FlushMode::BarrierRelay { .. } => true,
+                FlushMode::LockRelay { grantee } => dest == grantee,
+                _ => false,
+            };
+            if relayed {
+                relay.entry(dest).or_default().extend(items);
+            } else {
+                pending.entry(dest).or_default().extend(items);
+            }
+        }
         // Fan-out payloads are retained (cheap: the buffers are `Arc`-shared)
         // until the ack round completes, so updates can be re-sent to copyset
         // members the owner reports as missed.
@@ -146,37 +262,49 @@ impl NodeRuntime {
                 "flush -> {dest:?}: {:?}",
                 items.iter().map(|i| i.object).collect::<Vec<_>>()
             );
-            add(&rt.stats.updates_sent, 1);
-            add(
-                &rt.stats.update_bytes_sent,
-                items.iter().map(|i| i.payload.model_bytes()).sum::<u64>(),
-            );
+            rt.note_update_sent(&items);
+            let seq = rt.next_update_seq(dest);
             rt.send(
                 dest,
                 DsmMsg::Update {
                     items,
                     requester: rt.node,
+                    seq,
                     needs_ack: true,
                 },
             )?;
             *expected_acks += 1;
             Ok(())
         };
-        for (entry, route) in entries.into_iter().zip(&routes) {
+        for (entry, pre_route) in entries.into_iter().zip(&routes) {
             let object = entry.object;
-            let (payload, destinations) = self.encode_entry(entry)?;
+            let (payload, route) = self.encode_entry(entry)?;
             if let Some(payload) = &payload {
-                for dest in &destinations {
-                    pending.entry(*dest).or_default().push(UpdateItem {
+                let mut any_immediate = false;
+                for dest in &route.destinations {
+                    let item = UpdateItem {
                         object,
                         payload: payload.clone(),
-                    });
+                    };
+                    match classify(mode, &route, *dest) {
+                        Dispatch::Immediate => {
+                            any_immediate = true;
+                            pending.entry(*dest).or_default().push(item);
+                        }
+                        Dispatch::Relay => relay.entry(*dest).or_default().push(item),
+                        Dispatch::Buffer => buffered.entry(*dest).or_default().push(item),
+                    }
                 }
-                if route.fans_out {
-                    fanout.insert(object, (payload.clone(), destinations.clone()));
+                if route.fans_out && any_immediate {
+                    fanout.insert(object, (payload.clone(), route.destinations.clone()));
                 }
             }
-            for dest in &route.destinations {
+            // Drain the pre-pass counts with the *pre-pass* route, so a
+            // directory change between the two reads cannot strand a count.
+            for dest in &pre_route.destinations {
+                if classify(mode, pre_route, *dest) != Dispatch::Immediate {
+                    continue;
+                }
                 let rem = remaining
                     .get_mut(dest)
                     .expect("route destinations are all counted");
@@ -195,6 +323,32 @@ impl NodeRuntime {
         for (dest, items) in std::mem::take(&mut pending) {
             if !items.is_empty() {
                 send_update(self, dest, items, &mut expected_acks)?;
+            }
+        }
+        // Coalesced items go back to the outbox; they are delivered by the
+        // next transmission to their destination or at the window close.
+        if !buffered.is_empty() {
+            bump(&self.stats.flushes_coalesced);
+            let mut outbox = self.outbox.lock();
+            for (dest, items) in buffered {
+                crate::runtime::proto_trace!(
+                    self,
+                    "coalesce -> {dest:?}: {:?}",
+                    items.iter().map(|i| i.object).collect::<Vec<_>>()
+                );
+                outbox.buffer(dest, items);
+            }
+        }
+        // Relayed bundles are returned to the caller, which counts,
+        // sequences, and attaches them (the barrier arrive / lock grant
+        // send sites).
+        if crate::runtime::proto_trace_enabled() {
+            for (dest, items) in &relay {
+                crate::runtime::proto_trace!(
+                    self,
+                    "relay -> {dest:?}: {:?}",
+                    items.iter().map(|i| i.object).collect::<Vec<_>>()
+                );
             }
         }
 
@@ -262,6 +416,53 @@ impl NodeRuntime {
                 }
             }
         }
+        Ok(relay)
+    }
+
+    /// Transmits any coalesced outbox items as acknowledged updates. Called
+    /// when the coalescing window closes: at an acquire (the issue's
+    /// "no acquire intervened" rule) and when a worker finishes, so no
+    /// buffered change can outlive the run. Runs on the user thread (it
+    /// blocks for the acks).
+    pub(crate) fn close_coalescing_window(self: &Arc<Self>) -> Result<()> {
+        let pending = self.outbox.lock().drain_pending();
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let mut expected_acks = 0usize;
+        for (dest, items) in pending {
+            crate::runtime::proto_trace!(
+                self,
+                "window close -> {dest:?}: {:?}",
+                items.iter().map(|i| i.object).collect::<Vec<_>>()
+            );
+            self.note_update_sent(&items);
+            let seq = self.next_update_seq(dest);
+            self.send(
+                dest,
+                DsmMsg::Update {
+                    items,
+                    requester: self.node,
+                    seq,
+                    needs_ack: true,
+                },
+            )?;
+            expected_acks += 1;
+        }
+        let mut acks = 0usize;
+        while acks < expected_acks {
+            let (_env, reply) = self.wait_reply()?;
+            match reply {
+                // Only owner-flushed items are ever coalesced, so the acks
+                // carry no copysets this node would need to heal against.
+                DsmMsg::UpdateAck { .. } => acks += 1,
+                _ => {
+                    return Err(MuninError::ProtocolViolation(
+                        "unexpected reply while closing the coalescing window",
+                    ))
+                }
+            }
+        }
         Ok(())
     }
 
@@ -274,6 +475,7 @@ impl NodeRuntime {
             // this node *is* the owner.
             FlushRoute {
                 fans_out: false,
+                owned: e.state.owned,
                 destinations: if e.home == self.node {
                     Vec::new()
                 } else {
@@ -283,6 +485,7 @@ impl NodeRuntime {
         } else {
             FlushRoute {
                 fans_out: true,
+                owned: e.state.owned,
                 destinations: e.copyset.members(self.nodes, Some(self.node)),
             }
         }
@@ -300,7 +503,7 @@ impl NodeRuntime {
     pub(crate) fn encode_entry(
         self: &Arc<Self>,
         entry: DuqEntry,
-    ) -> Result<(Option<UpdatePayload>, Vec<NodeId>)> {
+    ) -> Result<(Option<UpdatePayload>, FlushRoute)> {
         let object = entry.object;
         let range = self.object_range(object);
         let (route, home, stable) = {
@@ -340,29 +543,28 @@ impl NodeRuntime {
             // local copy ("Fl" and the description of Matrix Multiply).
             if home == self.node {
                 // The owner's own changes are already in place.
-                return Ok((None, Vec::new()));
+                return Ok((None, route_with(route, Vec::new())));
             }
             self.set_entry_rights(e, AccessRights::Invalid);
             e.state.owned = false;
             e.probable_owner = home;
-            return Ok((payload, route.destinations));
+            return Ok((payload, route));
         }
 
-        let members = route.destinations;
-        if members.is_empty() && stable {
+        if route.destinations.is_empty() && stable {
             // "Any pages that have an empty Copyset and are therefore private
             // are made locally writable, their twins are deleted, and they do
             // not generate further access faults."
             self.set_entry_rights(e, AccessRights::ReadWrite);
-            return Ok((None, Vec::new()));
+            return Ok((None, route_with(route, Vec::new())));
         }
         // Write-shared / producer-consumer: keep the copy, re-write-protect so
         // the next write makes a fresh twin.
         self.set_entry_rights(e, AccessRights::Read);
-        if members.is_empty() {
-            return Ok((None, Vec::new()));
+        if route.destinations.is_empty() {
+            return Ok((None, route));
         }
-        Ok((payload, members))
+        Ok((payload, route))
     }
 
     /// The prototype's copyset determination: broadcast the list of modified
@@ -472,20 +674,30 @@ impl NodeRuntime {
     }
 
     /// `Flush()` hint: "advises Munin to flush any buffered writes
-    /// immediately rather than waiting for a release."
+    /// immediately rather than waiting for a release." With piggybacking
+    /// enabled the owner-flushed updates are coalesced into the outbox
+    /// instead: consecutive hint flushes to the same destination merge into
+    /// one message, and release consistency still guarantees delivery no
+    /// later than the next release.
     pub(crate) fn flush_hint(self: &Arc<Self>) -> Result<()> {
-        self.flush_duq()
+        let mode = if self.cfg.piggyback {
+            FlushMode::Coalesce
+        } else {
+            FlushMode::Immediate
+        };
+        self.flush_duq_mode(mode).map(|_| ())
     }
 
     /// `Invalidate()` hint: deletes the local copy of every object of a
     /// variable, propagating pending changes first.
     pub(crate) fn invalidate_hint(self: &Arc<Self>, objects: &[ObjectId]) -> Result<()> {
-        // Flush any of the listed objects that are sitting in the DUQ so
-        // their changes are not lost, then drop the local copies.
+        // Flush any of the listed objects that are sitting in the DUQ (or
+        // coalesced in the outbox) so their changes are not lost, then drop
+        // the local copies.
         let any_pending = {
             let duq = self.duq.lock();
             objects.iter().any(|o| duq.contains(*o))
-        };
+        } || self.outbox.lock().has_pending_object(objects);
         if any_pending {
             self.flush_duq()?;
         }
@@ -541,7 +753,7 @@ impl NodeRuntime {
         let any_pending = {
             let duq = self.duq.lock();
             objects.iter().any(|o| duq.contains(*o))
-        };
+        } || self.outbox.lock().has_pending_object(objects);
         if any_pending {
             self.flush_duq()?;
         }
@@ -725,7 +937,9 @@ mod tests {
         }
         let entry = rt.duq.lock().flush().into_iter().next().unwrap();
         assert!(entry.twin.is_some());
-        let (payload, destinations) = rt.encode_entry(entry).unwrap();
+        let (payload, route) = rt.encode_entry(entry).unwrap();
+        let destinations = route.destinations;
+        assert!(route.fans_out && route.owned);
         assert_eq!(destinations, vec![NodeId::new(1), NodeId::new(2)]);
         let payload = payload.expect("modified object yields a payload");
         let UpdatePayload::Diff(ref d) = payload else {
@@ -830,6 +1044,158 @@ mod tests {
         // N2 is remembered for future flushes.
         assert!(rt.dir.lock().entry(ws).copyset.contains(NodeId::new(2)));
         // Shut the service loop down.
+        tx1.send(NodeId::new(0), "shutdown", 8, DsmMsg::Shutdown)
+            .unwrap();
+        server.join().unwrap();
+        drop(net);
+    }
+
+    /// Cross-release coalescing: consecutive `Flush()` hints buffer their
+    /// owner-flushed updates in the outbox and merge per destination; an
+    /// intervening acquire closes the window and transmits the buffered
+    /// items (with the normal ack round) before the acquire proceeds.
+    #[test]
+    fn hint_flushes_coalesce_until_an_acquire_closes_the_window() {
+        let mut table = SharedDataTable::new(64);
+        table.declare("ws", SharingAnnotation::WriteShared, 4, 8, false);
+        let table = Arc::new(table);
+        let cfg = Arc::new(MuninConfig::fast_test(2).with_piggyback(true));
+        let clock = NodeClock::new();
+        let mut net: Network<DsmMsg> = Network::new(2, CostModel::fast_test());
+        let (tx0, rx0) = net.endpoint(0, clock.clone()).unwrap();
+        let (tx1, rx1) = net.endpoint(1, NodeClock::new()).unwrap();
+        let rt = NodeRuntime::new(
+            NodeId::new(0),
+            2,
+            cfg,
+            table,
+            vec![NodeId::new(0)], // lock 0 homed here: acquires are local
+            vec![],
+            clock,
+            Arc::new(CostModel::fast_test()),
+            tx0,
+        );
+        let touched: HashSet<_> = rt.table().objects().iter().map(|o| o.id).collect();
+        rt.finish_root_init(&touched);
+        let ws = rt.table().var_by_name("ws").unwrap().objects[0];
+        {
+            // Pin the copyset so the flush skips the broadcast determination
+            // round (no peer runtime is serving queries in this harness).
+            let mut dir = rt.dir.lock();
+            let e = dir.entry_mut(ws);
+            e.copyset.insert(NodeId::new(1));
+            e.state.copyset_fixed = true;
+        }
+
+        // Two hint flushes: both buffer, nothing goes on the wire.
+        rt.write_fault(ws).unwrap();
+        rt.install_object_bytes(ws, &[1u8; 32]);
+        rt.flush_hint().unwrap();
+        rt.write_fault(ws).unwrap();
+        rt.install_object_bytes(ws, &[2u8; 32]);
+        rt.flush_hint().unwrap();
+        {
+            let snap = rt.stats().snapshot();
+            assert_eq!(snap.flushes_coalesced, 2);
+            assert_eq!(snap.updates_sent, 0, "coalesced hints send nothing");
+        }
+        assert!(rt.outbox.lock().has_pending());
+
+        // An acquire invalidates the window: the buffered items are
+        // transmitted (one merged message) and acknowledged before the
+        // acquire completes.
+        let server_rt = Arc::clone(&rt);
+        let server = std::thread::spawn(move || server_rt.server_loop(rx0));
+        let acq_rt = Arc::clone(&rt);
+        let acq = std::thread::spawn(move || acq_rt.acquire_lock(crate::sync::LockId(0)));
+        let (_env, msg) = rx1.recv().unwrap();
+        let DsmMsg::Update { items, .. } = msg else {
+            panic!("expected the window-close update, got {msg:?}");
+        };
+        assert_eq!(items.len(), 2, "both hint flushes merged into one message");
+        assert_eq!(items[0].object, ws);
+        tx1.send(
+            NodeId::new(0),
+            "update_ack",
+            40,
+            DsmMsg::UpdateAck {
+                count: 2,
+                owned_copysets: vec![],
+            },
+        )
+        .unwrap();
+        acq.join().unwrap().unwrap();
+        assert!(rt.sync.lock().lock(crate::sync::LockId(0)).held);
+        assert!(!rt.outbox.lock().has_pending());
+        assert_eq!(rt.stats().snapshot().updates_sent, 1);
+        tx1.send(NodeId::new(0), "shutdown", 8, DsmMsg::Shutdown)
+            .unwrap();
+        server.join().unwrap();
+        drop(net);
+    }
+
+    /// A release flush drains the coalescing buffer too: the buffered hint
+    /// items are prepended to the flush's own updates for the same
+    /// destination, so nothing is delivered out of write order.
+    #[test]
+    fn release_flush_carries_coalesced_items_first() {
+        let mut table = SharedDataTable::new(64);
+        table.declare("ws", SharingAnnotation::WriteShared, 4, 8, false);
+        let table = Arc::new(table);
+        let cfg = Arc::new(MuninConfig::fast_test(2).with_piggyback(true));
+        let clock = NodeClock::new();
+        let mut net: Network<DsmMsg> = Network::new(2, CostModel::fast_test());
+        let (tx0, rx0) = net.endpoint(0, clock.clone()).unwrap();
+        let (tx1, rx1) = net.endpoint(1, NodeClock::new()).unwrap();
+        let rt = NodeRuntime::new(
+            NodeId::new(0),
+            2,
+            cfg,
+            table,
+            vec![],
+            vec![],
+            clock,
+            Arc::new(CostModel::fast_test()),
+            tx0,
+        );
+        let touched: HashSet<_> = rt.table().objects().iter().map(|o| o.id).collect();
+        rt.finish_root_init(&touched);
+        let ws = rt.table().var_by_name("ws").unwrap().objects[0];
+        {
+            // Pin the copyset so the flush skips the broadcast determination
+            // round (no peer runtime is serving queries in this harness).
+            let mut dir = rt.dir.lock();
+            let e = dir.entry_mut(ws);
+            e.copyset.insert(NodeId::new(1));
+            e.state.copyset_fixed = true;
+        }
+        rt.write_fault(ws).unwrap();
+        rt.install_object_bytes(ws, &[1u8; 32]);
+        rt.flush_hint().unwrap();
+        rt.write_fault(ws).unwrap();
+        rt.install_object_bytes(ws, &[2u8; 32]);
+        let server_rt = Arc::clone(&rt);
+        let server = std::thread::spawn(move || server_rt.server_loop(rx0));
+        let flusher_rt = Arc::clone(&rt);
+        let flusher = std::thread::spawn(move || flusher_rt.flush_duq());
+        let (_env, msg) = rx1.recv().unwrap();
+        let DsmMsg::Update { items, .. } = msg else {
+            panic!("expected one merged update, got {msg:?}");
+        };
+        // Coalesced hint item first, this release's item second.
+        assert_eq!(items.len(), 2);
+        tx1.send(
+            NodeId::new(0),
+            "update_ack",
+            40,
+            DsmMsg::UpdateAck {
+                count: 2,
+                owned_copysets: vec![],
+            },
+        )
+        .unwrap();
+        flusher.join().unwrap().unwrap();
+        assert!(!rt.outbox.lock().has_pending());
         tx1.send(NodeId::new(0), "shutdown", 8, DsmMsg::Shutdown)
             .unwrap();
         server.join().unwrap();

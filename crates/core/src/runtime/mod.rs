@@ -19,6 +19,7 @@
 
 mod fault;
 mod flush;
+mod outbox;
 mod server;
 mod sync_ops;
 mod vmseg;
@@ -83,6 +84,18 @@ pub(crate) fn vm_traps_preflight() -> Result<()> {
     vmseg::VmSegment::preflight()
 }
 
+/// Verdict of [`NodeRuntime::check_update_seq`] on an inbound update
+/// transmission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum SeqCheck {
+    /// In sequence: the number was consumed, apply the items now.
+    Apply,
+    /// Ahead of the stream: defer until the missing transmissions arrive.
+    Early,
+    /// Already consumed (duplicate delivery): drop the items.
+    Stale,
+}
+
 /// The per-node runtime state shared by the user thread and the service
 /// thread.
 pub struct NodeRuntime {
@@ -126,6 +139,17 @@ pub struct NodeRuntime {
     diff_scratch: Mutex<DiffScratch>,
     /// The synchronization object directory.
     sync: Mutex<SyncDirectory>,
+    /// The per-destination carrier/outbox layer: coalesced cross-release
+    /// updates awaiting transmission, and (at a barrier owner) relayed
+    /// bundles awaiting redistribution on the release. Leaf lock — never
+    /// held while the directory, DUQ, or sync locks are taken.
+    outbox: Mutex<outbox::Outbox>,
+    /// Next outbound update-stream sequence number per destination (see
+    /// `DsmMsg::Update::seq`). Leaf lock.
+    update_seq_out: Mutex<Vec<u64>>,
+    /// Next expected inbound update-stream sequence number per source.
+    /// Leaf lock.
+    update_seq_in: Mutex<Vec<u64>>,
     /// Requests deferred because their directory entry was busy.
     deferred: Mutex<Vec<(Envelope, DsmMsg)>>,
     /// Bumped whenever a blocking condition clears (busy bit or pin
@@ -189,6 +213,9 @@ impl NodeRuntime {
                 duq: Mutex::new(DelayedUpdateQueue::new()),
                 diff_scratch: Mutex::new(DiffScratch::new()),
                 sync: Mutex::new(sync),
+                outbox: Mutex::new(outbox::Outbox::new()),
+                update_seq_out: Mutex::new(vec![0; nodes]),
+                update_seq_in: Mutex::new(vec![0; nodes]),
                 deferred: Mutex::new(Vec::new()),
                 deferred_gen: std::sync::atomic::AtomicU64::new(0),
                 stats: MuninStats::new(),
@@ -253,6 +280,47 @@ impl NodeRuntime {
     /// Charges `ops` abstract application operations as user time.
     pub fn compute(&self, ops: u64) {
         self.charge_user(self.cost.compute(ops));
+    }
+
+    /// Takes the next outbound update-stream sequence number for `dest`.
+    /// Every update-bearing transmission (standalone `Update`, carrier
+    /// bundle, relayed bundle) to a destination consumes exactly one, in
+    /// the order the transmissions are issued.
+    pub(crate) fn next_update_seq(&self, dest: NodeId) -> u64 {
+        let mut seqs = self.update_seq_out.lock();
+        let slot = &mut seqs[dest.as_usize()];
+        let seq = *slot;
+        *slot += 1;
+        seq
+    }
+
+    /// Checks an inbound update transmission against the source's sequence
+    /// stream. `Apply` consumes the number; the caller must then apply the
+    /// items. `Early` means a lower-numbered transmission is still in
+    /// flight (the caller defers and retries); `Stale` means the number was
+    /// already consumed (an engine-injected duplicate — drop the items).
+    pub(crate) fn check_update_seq(&self, src: NodeId, seq: u64) -> SeqCheck {
+        let mut seqs = self.update_seq_in.lock();
+        let expected = &mut seqs[src.as_usize()];
+        match seq.cmp(expected) {
+            std::cmp::Ordering::Equal => {
+                *expected += 1;
+                SeqCheck::Apply
+            }
+            std::cmp::Ordering::Greater => SeqCheck::Early,
+            std::cmp::Ordering::Less => SeqCheck::Stale,
+        }
+    }
+
+    /// Counts one update transmission (standalone, piggybacked, or relayed)
+    /// in the runtime statistics — the single accounting point for
+    /// `updates_sent`/`update_bytes_sent`.
+    pub(crate) fn note_update_sent(&self, items: &[crate::msg::UpdateItem]) {
+        crate::stats::add(&self.stats.updates_sent, 1);
+        crate::stats::add(
+            &self.stats.update_bytes_sent,
+            items.iter().map(|i| i.payload.model_bytes()).sum::<u64>(),
+        );
     }
 
     /// Sends a protocol message, charging the fixed message cost.

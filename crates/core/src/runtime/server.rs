@@ -14,7 +14,9 @@ use crate::annotation::SharingAnnotation;
 use crate::copyset::CopySet;
 use crate::diff;
 use crate::directory::AccessRights;
-use crate::msg::{DsmMsg, FetchKind, ReduceOp, UpdateItem, UpdatePayload};
+use crate::msg::{
+    CarrierUpdate, DsmMsg, FetchKind, ReduceOp, RelayUpdate, UpdateItem, UpdatePayload,
+};
 use crate::object::ObjectId;
 use crate::stats::{add, bump};
 use crate::sync::RemoteAcquireAction;
@@ -36,6 +38,12 @@ impl NodeRuntime {
                 // cannot interleave with a protocol operation the root's user
                 // thread is still performing.
                 let _ = self.done_tx.send(());
+            } else if matches!(msg, DsmMsg::Carrier { .. }) {
+                // Carriers are unwrapped here — never routed to the user
+                // thread directly — so the piggybacked payload is always
+                // installed before the framed message is dispatched.
+                self.handle_request(env, msg);
+                self.process_deferred();
             } else if msg.is_user_reply() {
                 self.route_to_user(env, msg);
             } else {
@@ -65,8 +73,9 @@ impl NodeRuntime {
             DsmMsg::Update {
                 items,
                 requester,
+                seq,
                 needs_ack,
-            } => self.handle_update(env, items, requester, needs_ack, now),
+            } => self.handle_update(env, items, requester, seq, needs_ack, now),
             DsmMsg::CopysetQuery { objects, requester } => {
                 self.handle_copyset_query(env, objects, requester)
             }
@@ -85,6 +94,11 @@ impl NodeRuntime {
             DsmMsg::BarrierArrive { barrier, from } => {
                 self.handle_barrier_arrive(barrier, from, now)
             }
+            DsmMsg::Carrier {
+                inner,
+                updates,
+                relay,
+            } => self.handle_carrier(env, inner, updates, relay),
             // Replies and control messages are routed before we get here.
             other => {
                 debug_assert!(
@@ -92,6 +106,222 @@ impl NodeRuntime {
                     "unexpected request message: {other:?}"
                 );
             }
+        }
+    }
+
+    /// Unwraps a carrier: installs the piggybacked payload, stashes or
+    /// installs relayed bundles, then dispatches the framed message through
+    /// the normal routing rules. The install-before-dispatch order is the
+    /// carrier layer's correctness anchor: a piggybacked lock grant or
+    /// barrier release can never reach the user thread ahead of the data
+    /// that must be visible when it resumes.
+    fn handle_carrier(
+        self: &Arc<Self>,
+        env: Envelope,
+        inner: Option<Box<DsmMsg>>,
+        updates: Vec<CarrierUpdate>,
+        relay: Vec<RelayUpdate>,
+    ) {
+        // A grant or release *gates an acquire*: the blocked user thread
+        // resumes the moment it is routed, so it must never outrun its
+        // bundles. If any bundle cannot be applied yet, the whole carrier
+        // (inner included) is re-queued and retried — deadlock-free, because
+        // the receiver's user thread is parked in `wait_reply` (it cannot
+        // hold busy/pinned entries) and any missing stream number is already
+        // on the wire. Every other inner keeps legacy ordering: it is
+        // dispatched now and only the blocked bundles wait (an
+        // `InvalidateAck` *must* go through — its requester is mid-write-
+        // fault, which is exactly what blocks the bundle).
+        let gates_acquire = matches!(
+            inner.as_deref(),
+            Some(DsmMsg::LockGrant { .. }) | Some(DsmMsg::BarrierRelease { .. })
+        );
+        if gates_acquire {
+            let waiting = self.try_install_carrier_updates(env, updates);
+            if !waiting.is_empty() {
+                crate::runtime::proto_trace!(self, "defer whole carrier (gating inner)");
+                self.deferred.lock().push((
+                    env,
+                    DsmMsg::Carrier {
+                        inner,
+                        updates: waiting,
+                        relay,
+                    },
+                ));
+                return;
+            }
+        } else {
+            self.install_carrier_updates(env, updates);
+        }
+        if !relay.is_empty() {
+            // Relays are only ever attached to barrier arrives; the barrier
+            // id keys the stash so overlapping episodes cannot mix.
+            let barrier = match inner.as_deref() {
+                Some(DsmMsg::BarrierArrive { barrier, .. }) => Some(*barrier),
+                _ => None,
+            };
+            for r in relay {
+                let bundle = CarrierUpdate {
+                    from: r.from,
+                    seq: r.seq,
+                    items: r.items,
+                    sync_install: false,
+                };
+                if r.dest == self.node {
+                    // The owner's own share is installed now — before the
+                    // arrival below is counted. (If it has to defer, the trip
+                    // still cannot release anyone ahead of the install: this
+                    // node's own arrival is outstanding until its user thread
+                    // clears the blocking state, and `process_deferred` runs
+                    // first.)
+                    self.install_carrier_updates(env, vec![bundle]);
+                } else if let Some(b) = barrier {
+                    self.outbox.lock().stash_relay(b, r.dest, bundle);
+                } else {
+                    // A relay without a framing BarrierArrive is a protocol
+                    // bug; dropping it silently would diverge the
+                    // destination, so fail loudly enough to diagnose.
+                    bump(&self.stats.runtime_errors);
+                    crate::runtime::proto_trace!(
+                        self,
+                        "dropping relay bundle without a BarrierArrive frame (dest {:?})",
+                        r.dest
+                    );
+                    debug_assert!(false, "relay bundles require a BarrierArrive");
+                }
+            }
+        }
+        let Some(inner) = inner else { return };
+        let inner = *inner;
+        if matches!(inner, DsmMsg::WorkerDone { .. }) {
+            let _ = self.done_tx.send(());
+        } else if inner.is_user_reply() {
+            self.route_to_user(env, inner);
+        } else {
+            self.handle_request(env, inner);
+        }
+    }
+
+    /// The unified carrier-install path: applies piggybacked update bundles
+    /// with the same pin/busy discipline as standalone updates. A bundle
+    /// whose directory entries are mid-transition is re-queued as a bare
+    /// carrier frame and retried when the transition completes, exactly like
+    /// a deferred `Update`.
+    pub(crate) fn install_carrier_updates(
+        self: &Arc<Self>,
+        env: Envelope,
+        updates: Vec<CarrierUpdate>,
+    ) {
+        for bundle in self.try_install_carrier_updates(env, updates) {
+            self.deferred.lock().push((
+                env,
+                DsmMsg::Carrier {
+                    inner: None,
+                    updates: vec![bundle],
+                    relay: Vec::new(),
+                },
+            ));
+        }
+    }
+
+    /// Applies every bundle that can be applied *now* and returns the rest
+    /// (blocked on a busy/pinned entry, or ahead of its source's sequence
+    /// stream). The caller decides how the returned bundles wait.
+    fn try_install_carrier_updates(
+        self: &Arc<Self>,
+        env: Envelope,
+        updates: Vec<CarrierUpdate>,
+    ) -> Vec<CarrierUpdate> {
+        let mut waiting = Vec::new();
+        for bundle in updates {
+            let blocked = {
+                let dir = self.dir.lock();
+                bundle.items.iter().any(|i| {
+                    let st = dir.entry(i.object).state;
+                    st.busy || st.pinned
+                })
+            };
+            if blocked {
+                crate::runtime::proto_trace!(self, "defer carrier bundle from {:?}", bundle.from);
+                waiting.push(bundle);
+                continue;
+            }
+            if bundle.sync_install {
+                self.install_sync_items(bundle.items);
+                continue;
+            }
+            // Flush bundles participate in the per-source update sequence
+            // stream: a bundle ahead of the stream (a lower-numbered direct
+            // update or bundle still in flight) defers like a busy entry; a
+            // stale one (duplicate delivery) is dropped.
+            match self.check_update_seq(bundle.from, bundle.seq) {
+                super::SeqCheck::Apply => {
+                    crate::runtime::proto_trace!(
+                        self,
+                        "install carrier bundle from {:?} seq {}: {:?}",
+                        bundle.from,
+                        bundle.seq,
+                        bundle.items.iter().map(|i| i.object).collect::<Vec<_>>()
+                    );
+                    self.apply_update_items(bundle.items, false, env.arrival);
+                }
+                super::SeqCheck::Early => {
+                    crate::runtime::proto_trace!(
+                        self,
+                        "defer early carrier bundle from {:?} seq {}",
+                        bundle.from,
+                        bundle.seq
+                    );
+                    waiting.push(bundle);
+                }
+                super::SeqCheck::Stale => {
+                    crate::runtime::proto_trace!(
+                        self,
+                        "drop stale carrier bundle from {:?} seq {}",
+                        bundle.from,
+                        bundle.seq
+                    );
+                }
+            }
+        }
+        waiting
+    }
+
+    /// Installs data associated with a synchronization object
+    /// (`AssociateDataAndSynch` payloads on a lock grant): full images are
+    /// written even where no local copy exists, and migratory objects hand
+    /// ownership and write access to the new lock holder. Each entry is
+    /// marked busy across its install so a concurrently arriving update or
+    /// fetch for the same object is deferred instead of interleaving with
+    /// the install.
+    fn install_sync_items(self: &Arc<Self>, items: Vec<UpdateItem>) {
+        for item in items {
+            let UpdatePayload::Full(data) = item.payload else {
+                debug_assert!(false, "sync installs always carry full images");
+                continue;
+            };
+            let object = item.object;
+            self.charge_sys(self.cost.copy(data.len() as u64));
+            {
+                let mut dir = self.dir.lock();
+                dir.entry_mut(object).state.busy = true;
+            }
+            self.install_object_bytes(object, &data);
+            {
+                let mut dir = self.dir.lock();
+                let e = dir.entry_mut(object);
+                if e.annotation == SharingAnnotation::Migratory {
+                    // Migratory data travels with the lock: the new holder
+                    // gets ownership and write access immediately.
+                    self.set_entry_rights(e, AccessRights::ReadWrite);
+                    e.state.owned = true;
+                    e.probable_owner = self.node;
+                } else if !e.state.rights.allows_write() {
+                    self.set_entry_rights(e, AccessRights::Read);
+                }
+                e.state.busy = false;
+            }
+            self.note_unblocked_and_process_deferred();
         }
     }
 
@@ -247,6 +477,13 @@ impl NodeRuntime {
                     "serve fetch {object:?} to {requester:?} (ownership={ownership} writable={writable}, arrival={}ns)",
                     env.arrival.as_nanos()
                 );
+                // The served bytes are live memory, so any outbox items for
+                // this (requester, object) pair are subsumed — and if the
+                // object is written again before they drain, delivering them
+                // later would regress the requester's fresh copy.
+                if self.cfg.piggyback {
+                    self.outbox.lock().drop_pending_object(requester, object);
+                }
                 // Charge the copy cost the prototype pays when it assembles
                 // the reply (the copy itself happened under the directory
                 // lock above).
@@ -330,16 +567,43 @@ impl NodeRuntime {
         };
         self.charge_sys(self.cost.dir_op());
         bump(&self.stats.invalidations_received);
-        if let Some(payload) = flush_payload {
-            let _ = self.send_service(
-                requester,
-                DsmMsg::Update {
-                    items: vec![UpdateItem { object, payload }],
-                    requester: self.node,
-                    needs_ack: false,
-                },
-                now + self.cost.dir_op(),
-            );
+        match flush_payload {
+            // The dirty-copy flush rides the acknowledgement it would
+            // otherwise race ahead of: one carrier instead of an Update
+            // followed by an InvalidateAck to the same destination. The
+            // receiver installs the update before the ack is routed, which
+            // is the same order per-link FIFO gave the two messages.
+            Some(payload) if self.cfg.piggyback => {
+                add(&self.stats.msgs_piggybacked, 1);
+                let _ = self.send_service(
+                    requester,
+                    DsmMsg::Carrier {
+                        inner: Some(Box::new(DsmMsg::InvalidateAck { object })),
+                        updates: vec![CarrierUpdate {
+                            from: self.node,
+                            seq: self.next_update_seq(requester),
+                            items: vec![UpdateItem { object, payload }],
+                            sync_install: false,
+                        }],
+                        relay: Vec::new(),
+                    },
+                    now + self.cost.dir_op(),
+                );
+                return;
+            }
+            Some(payload) => {
+                let _ = self.send_service(
+                    requester,
+                    DsmMsg::Update {
+                        items: vec![UpdateItem { object, payload }],
+                        requester: self.node,
+                        seq: self.next_update_seq(requester),
+                        needs_ack: false,
+                    },
+                    now + self.cost.dir_op(),
+                );
+            }
+            None => {}
         }
         let _ = self.send_service(
             requester,
@@ -365,6 +629,7 @@ impl NodeRuntime {
         env: Envelope,
         items: Vec<UpdateItem>,
         requester: NodeId,
+        seq: u64,
         needs_ack: bool,
         now: munin_sim::VirtTime,
     ) {
@@ -387,33 +652,107 @@ impl NodeRuntime {
                     DsmMsg::Update {
                         items,
                         requester,
+                        seq,
                         needs_ack,
                     },
                 ));
                 return;
             }
         }
+        // Sequence-stream check (see `DsmMsg::Update::seq`): an update ahead
+        // of its source's stream defers until the in-flight lower-numbered
+        // transmission (e.g. a barrier-relayed bundle on another link)
+        // arrives; a stale one is an injected duplicate and must not be
+        // re-applied over newer data.
+        match self.check_update_seq(requester, seq) {
+            super::SeqCheck::Apply => {}
+            super::SeqCheck::Early => {
+                crate::runtime::proto_trace!(
+                    self,
+                    "defer early update from {requester:?} seq {seq}"
+                );
+                self.deferred.lock().push((
+                    env,
+                    DsmMsg::Update {
+                        items,
+                        requester,
+                        seq,
+                        needs_ack,
+                    },
+                ));
+                return;
+            }
+            super::SeqCheck::Stale => {
+                crate::runtime::proto_trace!(
+                    self,
+                    "drop stale update from {requester:?} seq {seq}"
+                );
+                if needs_ack {
+                    // The original delivery was acknowledged when it was
+                    // applied; ack the duplicate too so a sender counting
+                    // per-message acks is no worse off than under the legacy
+                    // re-apply behaviour.
+                    let _ = self.send_service(
+                        requester,
+                        DsmMsg::UpdateAck {
+                            count: 0,
+                            owned_copysets: Vec::new(),
+                        },
+                        now,
+                    );
+                }
+                return;
+            }
+        }
+        let (applied, service, owned_copysets) = self.apply_update_items(items, needs_ack, now);
+        if needs_ack {
+            // The ack is itself a carrier opportunity: any coalesced items
+            // queued for the flusher ride it home.
+            self.send_service_with_pending(
+                requester,
+                DsmMsg::UpdateAck {
+                    count: applied,
+                    owned_copysets,
+                },
+                now + service,
+            );
+        }
+    }
+
+    /// Applies a list of update items to the local copies. The single apply
+    /// path shared by standalone `Update` messages and piggybacked carrier
+    /// bundles. Returns the number applied, the service time charged, and —
+    /// when `collect_owned` — the authoritative recorded copyset of every
+    /// *owned* updated object (see `DsmMsg::UpdateAck`): the union of every
+    /// determined set with the replicas recorded while serving fetches, so
+    /// the flusher can heal members its own (possibly stale) determination
+    /// missed.
+    fn apply_update_items(
+        self: &Arc<Self>,
+        items: Vec<UpdateItem>,
+        collect_owned: bool,
+        now: munin_sim::VirtTime,
+    ) -> (
+        usize,
+        munin_sim::VirtTime,
+        Vec<(crate::object::ObjectId, crate::copyset::CopySet)>,
+    ) {
         let mut applied = 0usize;
         let mut service = munin_sim::VirtTime::ZERO;
-        // For objects this node owns, report the authoritative recorded
-        // copyset back to the flusher (see `DsmMsg::UpdateAck`): it is the
-        // union of every determined set with the replicas recorded while
-        // serving fetches, so the flusher can heal members its own (possibly
-        // stale) determination missed.
         let mut owned_copysets: Vec<(crate::object::ObjectId, crate::copyset::CopySet)> =
             Vec::new();
         for item in items {
             let has_copy = {
                 let dir = self.dir.lock();
                 let e = dir.entry(item.object);
-                if needs_ack && e.state.owned {
+                if collect_owned && e.state.owned {
                     owned_copysets.push((item.object, e.copyset));
                 }
                 e.state.rights.allows_read()
             };
             crate::runtime::proto_trace!(
                 self,
-                "update {:?} from {requester:?} has_copy={has_copy} arrival={}ns",
+                "update {:?} has_copy={has_copy} arrival={}ns",
                 item.object,
                 now.as_nanos()
             );
@@ -455,16 +794,60 @@ impl NodeRuntime {
             applied += 1;
             bump(&self.stats.updates_applied);
         }
-        if needs_ack {
-            let _ = self.send_service(
-                requester,
-                DsmMsg::UpdateAck {
-                    count: applied,
-                    owned_copysets,
-                },
-                now + service,
-            );
+        (applied, service, owned_copysets)
+    }
+
+    /// Takes everything pending for `dst` and — when non-empty — the next
+    /// update-stream slot, in ONE outbox-lock scope. Atomicity matters: if
+    /// the take and the slot allocation were separate, a preempted service
+    /// thread could end up holding *older* items than a concurrent
+    /// user-thread flush while drawing a *later* slot, and the receiver
+    /// (which applies strictly in seq order) would install the stale items
+    /// over the newer data.
+    fn take_pending_with_seq(&self, dst: NodeId) -> Option<(Vec<UpdateItem>, u64)> {
+        if !self.cfg.piggyback {
+            return None;
         }
+        let mut outbox = self.outbox.lock();
+        let pending = outbox.take_pending(dst);
+        if pending.is_empty() {
+            return None;
+        }
+        let seq = self.next_update_seq(dst);
+        Some((pending, seq))
+    }
+
+    /// Sends a service-thread reply, attaching any coalesced outbox items
+    /// queued for the same destination as a carrier bundle (the "queued
+    /// updates ride replies already headed there" half of the carrier
+    /// layer). Falls back to the plain message when nothing is pending or
+    /// piggybacking is off.
+    fn send_service_with_pending(
+        self: &Arc<Self>,
+        dst: NodeId,
+        msg: DsmMsg,
+        logical_time: munin_sim::VirtTime,
+    ) {
+        let Some((pending, seq)) = self.take_pending_with_seq(dst) else {
+            let _ = self.send_service(dst, msg, logical_time);
+            return;
+        };
+        add(&self.stats.msgs_piggybacked, 1);
+        self.note_update_sent(&pending);
+        let _ = self.send_service(
+            dst,
+            DsmMsg::Carrier {
+                inner: Some(Box::new(msg)),
+                updates: vec![CarrierUpdate {
+                    from: self.node,
+                    seq,
+                    items: pending,
+                    sync_install: false,
+                }],
+                relay: Vec::new(),
+            },
+            logical_time,
+        );
     }
 
     /// Answers a broadcast copyset query: which of the listed objects does
@@ -504,7 +887,7 @@ impl NodeRuntime {
                 .collect()
         };
         self.charge_sys(self.cost.dir_op());
-        let _ = self.send_service(
+        self.send_service_with_pending(
             requester,
             DsmMsg::CopysetReply { have },
             now + self.cost.dir_op(),
@@ -535,7 +918,7 @@ impl NodeRuntime {
                 })
                 .collect()
         };
-        let _ = self.send_service(
+        self.send_service_with_pending(
             requester,
             DsmMsg::OwnerCopysetReply { copysets },
             now + self.cost.dir_op(),
@@ -612,28 +995,68 @@ impl NodeRuntime {
                 );
             }
             RemoteAcquireAction::Grant => {
-                self.send_lock_grant(lock, requester, Vec::new());
+                self.send_lock_grant(lock, requester, Vec::new(), Vec::new());
             }
             RemoteAcquireAction::Queued => {}
         }
     }
 
     /// Sends a lock grant (ownership transfer) to `to`, carrying the waiter
-    /// queue and any consistency data associated with the lock.
+    /// queue. The associated consistency data (`AssociateDataAndSynch`), any
+    /// flush updates the releaser diverted onto this grant, and any
+    /// coalesced outbox items for the grantee all ride the same carrier
+    /// frame; a grant with none of them goes out bare.
     pub(crate) fn send_lock_grant(
         self: &Arc<Self>,
         lock: crate::sync::LockId,
         to: NodeId,
         queue: Vec<NodeId>,
+        diverted: Vec<UpdateItem>,
     ) {
-        let piggyback = self.build_lock_piggyback(lock, to);
+        let sync_items = self.build_lock_piggyback(lock, to);
+        // Pending outbox items and their stream slot are taken in one
+        // outbox-lock scope (see `take_pending_with_seq`); the diverted
+        // flush items draw a slot the same way so the merged bundle's number
+        // reflects when its content was captured.
+        let mut flush_items = diverted;
+        let mut seq = None;
+        if let Some((pending, s)) = self.take_pending_with_seq(to) {
+            // Older coalesced changes apply before this release's items.
+            let fresh = std::mem::replace(&mut flush_items, pending);
+            flush_items.extend(fresh);
+            seq = Some(s);
+        }
         add(&self.stats.lock_messages, 1);
+        let grant = DsmMsg::LockGrant { lock, queue };
+        if sync_items.is_empty() && flush_items.is_empty() {
+            let _ = self.send(to, grant);
+            return;
+        }
+        let mut updates = Vec::new();
+        if !sync_items.is_empty() {
+            updates.push(CarrierUpdate {
+                from: self.node,
+                seq: 0, // sync installs are ordered by the lock token, not the stream
+                items: sync_items,
+                sync_install: true,
+            });
+        }
+        if !flush_items.is_empty() {
+            add(&self.stats.msgs_piggybacked, 1);
+            self.note_update_sent(&flush_items);
+            updates.push(CarrierUpdate {
+                from: self.node,
+                seq: seq.unwrap_or_else(|| self.next_update_seq(to)),
+                items: flush_items,
+                sync_install: false,
+            });
+        }
         let _ = self.send(
             to,
-            DsmMsg::LockGrant {
-                lock,
-                queue,
-                piggyback,
+            DsmMsg::Carrier {
+                inner: Some(Box::new(grant)),
+                updates,
+                relay: Vec::new(),
             },
         );
     }
@@ -641,12 +1064,14 @@ impl NodeRuntime {
     /// Builds the consistency data piggybacked on a lock grant: the current
     /// contents of every object associated with the lock that this node holds
     /// a valid copy of ("Munin sends the new value of the object in the
-    /// message that is used to pass lock ownership").
+    /// message that is used to pass lock ownership"). Installed on the
+    /// receive side by the unified carrier-install path (`sync_install`
+    /// bundles).
     fn build_lock_piggyback(
         self: &Arc<Self>,
         lock: crate::sync::LockId,
         to: NodeId,
-    ) -> Vec<(ObjectId, Vec<u8>)> {
+    ) -> Vec<UpdateItem> {
         let associated = {
             let sync = self.sync.lock();
             sync.lock(lock).associated.clone()
@@ -669,7 +1094,10 @@ impl NodeRuntime {
             }
             let size = self.table.object(object).size;
             self.charge_sys(self.cost.copy(size as u64));
-            out.push((object, self.object_bytes(object)));
+            out.push(UpdateItem {
+                object,
+                payload: UpdatePayload::Full(self.object_bytes(object)),
+            });
             if migrate {
                 // Migratory data protected by the lock travels with it: the
                 // old holder gives up its copy and ownership.
@@ -698,12 +1126,39 @@ impl NodeRuntime {
         };
         if let Some(waiters) = released {
             // The barrier opens when the last arrival has been processed.
+            // Each release carries the relayed flush bundles stashed for its
+            // destination (and any of this node's own coalesced items), so
+            // the waiter installs every update it is owed before its user
+            // thread resumes.
             for node in waiters {
-                let _ = self.send_service(
-                    node,
-                    DsmMsg::BarrierRelease { barrier },
-                    now + self.cost.sync_op(),
-                );
+                let mut updates = {
+                    let mut outbox = self.outbox.lock();
+                    outbox.take_relay(barrier, node)
+                };
+                if let Some((pending, seq)) = self.take_pending_with_seq(node) {
+                    add(&self.stats.msgs_piggybacked, 1);
+                    self.note_update_sent(&pending);
+                    updates.push(CarrierUpdate {
+                        from: self.node,
+                        seq,
+                        items: pending,
+                        sync_install: false,
+                    });
+                }
+                let release = DsmMsg::BarrierRelease { barrier };
+                if updates.is_empty() {
+                    let _ = self.send_service(node, release, now + self.cost.sync_op());
+                } else {
+                    let _ = self.send_service(
+                        node,
+                        DsmMsg::Carrier {
+                            inner: Some(Box::new(release)),
+                            updates,
+                            relay: Vec::new(),
+                        },
+                        now + self.cost.sync_op(),
+                    );
+                }
             }
         }
     }
@@ -732,6 +1187,7 @@ mod tests {
         table.declare("conv", SharingAnnotation::Conventional, 4, 8, false);
         table.declare("ws", SharingAnnotation::WriteShared, 4, 8, false);
         table.declare("red", SharingAnnotation::Reduction, 8, 2, false);
+        table.declare("mig", SharingAnnotation::Migratory, 4, 8, false);
         let table = Arc::new(table);
         let cfg = Arc::new(MuninConfig::fast_test(2));
         let clock0 = NodeClock::new();
@@ -892,6 +1348,7 @@ mod tests {
                         payload: UpdatePayload::Diff(d),
                     }],
                     requester: NodeId::new(1),
+                    seq: 0,
                     needs_ack: true,
                 },
             )
@@ -938,6 +1395,7 @@ mod tests {
                         payload: UpdatePayload::Diff(d),
                     }],
                     requester: NodeId::new(1),
+                    seq: 0,
                     needs_ack: true,
                 },
             )
@@ -985,6 +1443,7 @@ mod tests {
                         payload: UpdatePayload::Diff(d),
                     }],
                     requester: NodeId::new(1),
+                    seq: 0,
                     needs_ack: true,
                 },
             )
@@ -992,6 +1451,282 @@ mod tests {
         h.pump();
         assert!(matches!(h.peer_recv(), DsmMsg::UpdateAck { count: 1, .. }));
         assert_eq!(&h.rt.object_bytes(ws)[0..4], &7u32.to_le_bytes());
+    }
+
+    /// The unified carrier-install path: a bare carrier frame applies its
+    /// bundle exactly like a standalone update (no ack, same diff apply).
+    #[test]
+    fn carrier_bundle_applies_like_an_update() {
+        let h = harness();
+        let ws = h.obj("ws");
+        h.rt.install_object_bytes(ws, &[0u8; 32]);
+        let d = diff::encode(&[5u8; 32], &[0u8; 32]);
+        h.peer_tx
+            .send(
+                NodeId::new(0),
+                "carrier",
+                64,
+                DsmMsg::Carrier {
+                    inner: None,
+                    updates: vec![CarrierUpdate {
+                        from: NodeId::new(1),
+                        seq: 0,
+                        items: vec![UpdateItem {
+                            object: ws,
+                            payload: UpdatePayload::Diff(d),
+                        }],
+                        sync_install: false,
+                    }],
+                    relay: vec![],
+                },
+            )
+            .unwrap();
+        h.pump();
+        assert_eq!(h.rt.object_bytes(ws), vec![5u8; 32]);
+        assert_eq!(h.rt.stats().snapshot().updates_applied, 1);
+        // Piggybacked bundles are never individually acknowledged.
+        assert!(h.peer_rx.try_recv().unwrap().is_none());
+    }
+
+    /// A carrier bundle hitting a busy entry defers — same pin/busy
+    /// discipline as a standalone update — and applies once the transition
+    /// completes.
+    #[test]
+    fn carrier_bundle_for_busy_entry_is_deferred() {
+        let h = harness();
+        let ws = h.obj("ws");
+        h.rt.install_object_bytes(ws, &[0u8; 32]);
+        h.rt.dir.lock().entry_mut(ws).state.busy = true;
+        let d = diff::encode(&[9u8; 32], &[0u8; 32]);
+        h.peer_tx
+            .send(
+                NodeId::new(0),
+                "carrier",
+                64,
+                DsmMsg::Carrier {
+                    inner: None,
+                    updates: vec![CarrierUpdate {
+                        from: NodeId::new(1),
+                        seq: 0,
+                        items: vec![UpdateItem {
+                            object: ws,
+                            payload: UpdatePayload::Diff(d),
+                        }],
+                        sync_install: false,
+                    }],
+                    relay: vec![],
+                },
+            )
+            .unwrap();
+        h.pump();
+        assert_eq!(h.rt.deferred.lock().len(), 1, "bundle must defer on busy");
+        assert_eq!(h.rt.object_bytes(ws), vec![0u8; 32]);
+        h.rt.dir.lock().entry_mut(ws).state.busy = false;
+        h.rt.process_deferred();
+        assert_eq!(h.rt.object_bytes(ws), vec![9u8; 32]);
+    }
+
+    /// Sync-install bundles (lock-associated data on a grant carrier) force
+    /// the install and apply the migratory ownership handover — the receive
+    /// side of the old `install_piggyback`, now on the one carrier path.
+    #[test]
+    fn lock_grant_carrier_installs_migratory_data_with_ownership() {
+        let h = harness();
+        let mig = h.obj("mig");
+        {
+            // This node is not the owner and has no copy: a migratory grant
+            // must install the image and hand over ownership anyway.
+            let mut dir = h.rt.dir.lock();
+            let e = dir.entry_mut(mig);
+            e.state.rights = AccessRights::Invalid;
+            e.state.owned = false;
+            e.probable_owner = NodeId::new(1);
+        }
+        h.peer_tx
+            .send(
+                NodeId::new(0),
+                "lock_grant",
+                96,
+                DsmMsg::Carrier {
+                    inner: Some(Box::new(DsmMsg::LockGrant {
+                        lock: crate::sync::LockId(0),
+                        queue: vec![],
+                    })),
+                    updates: vec![CarrierUpdate {
+                        from: NodeId::new(1),
+                        seq: 0,
+                        items: vec![UpdateItem {
+                            object: mig,
+                            payload: UpdatePayload::Full(vec![3u8; 32]),
+                        }],
+                        sync_install: true,
+                    }],
+                    relay: vec![],
+                },
+            )
+            .unwrap();
+        h.pump();
+        assert_eq!(h.rt.object_bytes(mig), vec![3u8; 32]);
+        let dir = h.rt.dir.lock();
+        let e = dir.entry(mig);
+        assert_eq!(e.state.rights, AccessRights::ReadWrite);
+        assert!(e.state.owned);
+        assert_eq!(e.probable_owner, NodeId::new(0));
+        drop(dir);
+        // The framed grant itself was routed to the (test's) user mailbox
+        // only after the install.
+        let (_env, reply) = h.rt.reply_rx.try_recv().unwrap();
+        assert!(matches!(reply, DsmMsg::LockGrant { .. }));
+    }
+
+    /// A barrier-arrive carrier stashes relayed bundles at the owner and
+    /// re-attaches each to the release headed to its destination; the
+    /// owner's own share installs before the arrival is counted.
+    #[test]
+    fn barrier_arrive_relay_is_redistributed_on_the_releases() {
+        let h = harness();
+        let ws = h.obj("ws");
+        h.rt.install_object_bytes(ws, &[0u8; 32]);
+        let b = crate::sync::BarrierId(0);
+        // Node 0 arrives first (no relay of its own).
+        h.rt.handle_request(
+            Envelope {
+                src: NodeId::new(0),
+                dst: NodeId::new(0),
+                class: "barrier_arrive",
+                model_bytes: 40,
+                sent_at: munin_sim::VirtTime::ZERO,
+                arrival: munin_sim::VirtTime::ZERO,
+            },
+            DsmMsg::BarrierArrive {
+                barrier: b,
+                from: NodeId::new(0),
+            },
+        );
+        // Node 1 arrives with a relay: one bundle for node 0 (the owner
+        // itself) and one for node 1 (its own release will carry it back —
+        // degenerate but legal).
+        let d0 = diff::encode(&[7u8; 32], &[0u8; 32]);
+        h.peer_tx
+            .send(
+                NodeId::new(0),
+                "barrier_arrive",
+                96,
+                DsmMsg::Carrier {
+                    inner: Some(Box::new(DsmMsg::BarrierArrive {
+                        barrier: b,
+                        from: NodeId::new(1),
+                    })),
+                    updates: vec![],
+                    relay: vec![RelayUpdate {
+                        dest: NodeId::new(0),
+                        from: NodeId::new(1),
+                        seq: 0,
+                        items: vec![UpdateItem {
+                            object: ws,
+                            payload: UpdatePayload::Diff(d0),
+                        }],
+                    }],
+                },
+            )
+            .unwrap();
+        h.pump();
+        // The owner's share was installed at arrive-processing time, before
+        // the trip.
+        assert_eq!(h.rt.object_bytes(ws), vec![7u8; 32]);
+        // Node 1's release is a plain BarrierRelease (nothing stashed for it).
+        assert!(matches!(h.peer_recv(), DsmMsg::BarrierRelease { .. }));
+    }
+
+    /// The cross-link reordering regression the update sequence stream
+    /// exists for: a barrier-relayed bundle (seq 0, travelling via the
+    /// barrier owner) is overtaken by a newer direct update (seq 1, on the
+    /// flusher's own link). The direct update must defer until the relayed
+    /// bundle lands, and a late duplicate of the old bundle must be dropped
+    /// — never applied over the newer data.
+    #[test]
+    fn update_stream_orders_relayed_and_direct_updates_across_links() {
+        let h = harness();
+        let ws = h.obj("ws");
+        h.rt.install_object_bytes(ws, &[0u8; 32]);
+        let old_diff = diff::encode(&[1u8; 32], &[0u8; 32]);
+        let new_diff = diff::encode(&[2u8; 32], &[1u8; 32]);
+        // The newer direct update (seq 1) arrives first: it must defer.
+        h.peer_tx
+            .send(
+                NodeId::new(0),
+                "update",
+                64,
+                DsmMsg::Update {
+                    items: vec![UpdateItem {
+                        object: ws,
+                        payload: UpdatePayload::Diff(new_diff),
+                    }],
+                    requester: NodeId::new(1),
+                    seq: 1,
+                    needs_ack: true,
+                },
+            )
+            .unwrap();
+        h.pump();
+        assert_eq!(h.rt.deferred.lock().len(), 1, "early update must defer");
+        assert_eq!(h.rt.object_bytes(ws), vec![0u8; 32]);
+        // The relayed bundle (seq 0) lands — e.g. on a BarrierRelease
+        // carrier — and unblocks the stream.
+        h.peer_tx
+            .send(
+                NodeId::new(0),
+                "barrier_release",
+                96,
+                DsmMsg::Carrier {
+                    inner: Some(Box::new(DsmMsg::BarrierRelease {
+                        barrier: crate::sync::BarrierId(0),
+                    })),
+                    updates: vec![CarrierUpdate {
+                        from: NodeId::new(1),
+                        seq: 0,
+                        items: vec![UpdateItem {
+                            object: ws,
+                            payload: UpdatePayload::Diff(old_diff.clone()),
+                        }],
+                        sync_install: false,
+                    }],
+                    relay: vec![],
+                },
+            )
+            .unwrap();
+        h.pump();
+        h.rt.process_deferred();
+        // Both applied, in stream order: the copy holds the *newer* data.
+        assert_eq!(h.rt.object_bytes(ws), vec![2u8; 32]);
+        assert!(matches!(h.peer_recv(), DsmMsg::UpdateAck { count: 1, .. }));
+        // A duplicate of the old bundle is stale and must be dropped.
+        h.peer_tx
+            .send(
+                NodeId::new(0),
+                "carrier",
+                64,
+                DsmMsg::Carrier {
+                    inner: None,
+                    updates: vec![CarrierUpdate {
+                        from: NodeId::new(1),
+                        seq: 0,
+                        items: vec![UpdateItem {
+                            object: ws,
+                            payload: UpdatePayload::Diff(old_diff),
+                        }],
+                        sync_install: false,
+                    }],
+                    relay: vec![],
+                },
+            )
+            .unwrap();
+        h.pump();
+        assert_eq!(
+            h.rt.object_bytes(ws),
+            vec![2u8; 32],
+            "stale bundle must not regress the copy"
+        );
     }
 
     #[test]

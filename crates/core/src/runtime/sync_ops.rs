@@ -9,13 +9,13 @@ use std::sync::Arc;
 use munin_sim::NodeId;
 
 use crate::annotation::SharingAnnotation;
-use crate::directory::AccessRights;
 use crate::error::{MuninError, Result};
-use crate::msg::{DsmMsg, ReduceOp};
+use crate::msg::{DsmMsg, ReduceOp, RelayUpdate};
 use crate::object::ObjectId;
 use crate::stats::{add, bump};
 use crate::sync::{BarrierId, LockId};
 
+use super::flush::FlushMode;
 use super::NodeRuntime;
 
 impl NodeRuntime {
@@ -30,8 +30,12 @@ impl NodeRuntime {
     }
 
     /// Acquires a distributed lock (an *acquire* in the release-consistency
-    /// sense).
+    /// sense). An acquire closes the outbox's coalescing window: updates
+    /// buffered by earlier `Flush()` hints are transmitted (and
+    /// acknowledged) before the acquire proceeds, so no flush can be merged
+    /// across an acquire.
     pub(crate) fn acquire_lock(self: &Arc<Self>, lock: LockId) -> Result<()> {
+        self.close_coalescing_window()?;
         bump(&self.stats.lock_acquires);
         self.charge_sys(self.cost.sync_op());
         let hint = {
@@ -56,16 +60,12 @@ impl NodeRuntime {
         )?;
         let (_env, reply) = self.wait_reply()?;
         match reply {
-            DsmMsg::LockGrant {
-                lock: l,
-                queue,
-                piggyback,
-            } if l == lock => {
-                {
-                    let mut sync = self.sync.lock();
-                    sync.lock_mut(lock).receive_grant(queue, self.node);
-                }
-                self.install_piggyback(piggyback);
+            DsmMsg::LockGrant { lock: l, queue } if l == lock => {
+                // Any consistency data rode the grant's carrier frame and was
+                // installed by the service loop's unified carrier-install
+                // path before this reply was routed here.
+                let mut sync = self.sync.lock();
+                sync.lock_mut(lock).receive_grant(queue, self.node);
                 Ok(())
             }
             _ => Err(MuninError::ProtocolViolation(
@@ -74,84 +74,108 @@ impl NodeRuntime {
         }
     }
 
-    /// Installs consistency data piggybacked on a lock grant, avoiding the
-    /// access misses the requester would otherwise take on the protected
-    /// data.
-    ///
-    /// Each entry is marked busy across its install so a concurrently
-    /// arriving update or fetch for the same object is deferred instead of
-    /// interleaving with the install (the piggybacked image would clobber a
-    /// just-applied newer diff; in VM-trap mode the two privileged writes
-    /// would also race their protection restores).
-    fn install_piggyback(self: &Arc<Self>, piggyback: Vec<(ObjectId, Vec<u8>)>) {
-        for (object, data) in piggyback {
-            self.charge_sys(self.cost.copy(data.len() as u64));
-            {
-                let mut dir = self.dir.lock();
-                dir.entry_mut(object).state.busy = true;
-            }
-            self.install_object_bytes(object, &data);
-            {
-                let mut dir = self.dir.lock();
-                let e = dir.entry_mut(object);
-                if e.annotation == SharingAnnotation::Migratory {
-                    // Migratory data travels with the lock: the new holder
-                    // gets ownership and write access immediately.
-                    self.set_entry_rights(e, AccessRights::ReadWrite);
-                    e.state.owned = true;
-                    e.probable_owner = self.node;
-                } else if !e.state.rights.allows_write() {
-                    self.set_entry_rights(e, AccessRights::Read);
-                }
-                e.state.busy = false;
-            }
-            self.note_unblocked_and_process_deferred();
-        }
-    }
-
     /// Releases a distributed lock (a *release*): flushes the DUQ first, then
     /// passes ownership to the first waiter if any.
+    ///
+    /// With piggybacking enabled and a waiter already queued, owner-flushed
+    /// updates destined for that waiter skip the standalone update+ack round
+    /// and ride the `LockGrant` carrier instead: the grantee installs them
+    /// before its acquire returns, which is exactly the visibility point the
+    /// legacy ack round guaranteed.
     pub(crate) fn release_lock(self: &Arc<Self>, lock: LockId) -> Result<()> {
-        self.flush_duq()?;
-        self.charge_sys(self.cost.sync_op());
-        let handoff = {
-            let mut sync = self.sync.lock();
+        // Peek the head waiter before flushing. Only the releasing user
+        // thread ever pops the queue, and the service thread only appends,
+        // so the head cannot change under us while we flush.
+        let grantee = {
+            let sync = self.sync.lock();
             if sync.lock_count() <= lock.0 as usize {
                 return Err(MuninError::UnknownSyncObject(lock.0));
             }
-            let state = sync.lock_mut(lock);
+            let state = sync.lock(lock);
             if !state.held {
                 return Err(MuninError::LockNotHeld(lock.0));
             }
-            state.release()
+            state.queue.front().copied()
+        };
+        let mode = match grantee {
+            Some(next) if self.cfg.piggyback => FlushMode::LockRelay { grantee: next },
+            _ => FlushMode::Immediate,
+        };
+        let mut relay = self.flush_duq_mode(mode)?;
+        self.charge_sys(self.cost.sync_op());
+        let handoff = {
+            let mut sync = self.sync.lock();
+            sync.lock_mut(lock).release()
         };
         if let Some((next, rest)) = handoff {
-            self.send_lock_grant(lock, next, rest);
+            let diverted = relay.remove(&next).unwrap_or_default();
+            debug_assert!(relay.is_empty(), "lock relay only ever targets the grantee");
+            self.send_lock_grant(lock, next, rest, diverted);
         }
         Ok(())
     }
 
     /// Waits at a barrier (a *release* followed by an *acquire*): flushes the
     /// DUQ, notifies the barrier owner, and blocks until the barrier opens.
+    ///
+    /// With piggybacking enabled at an all-node barrier, owner-flushed
+    /// updates ride the `BarrierArrive` carrier to the owner, which
+    /// re-attaches each bundle to the `BarrierRelease` headed to its
+    /// destination — a release flush then costs no standalone update or ack
+    /// messages. Every destination is a barrier participant, and each
+    /// installs its bundle before its release is routed to the user thread,
+    /// so no thread can pass the barrier and observe pre-flush data.
     pub(crate) fn wait_at_barrier(self: &Arc<Self>, barrier: BarrierId) -> Result<()> {
-        self.flush_duq()?;
-        crate::runtime::proto_trace!(self, "arrive barrier {barrier:?}");
-        bump(&self.stats.barrier_waits);
-        self.charge_sys(self.cost.sync_op());
-        let owner = {
+        let (owner, parties) = {
             let sync = self.sync.lock();
             if sync.barrier_count() <= barrier.0 as usize {
                 return Err(MuninError::UnknownSyncObject(barrier.0));
             }
-            sync.barrier(barrier).owner
+            let b = sync.barrier(barrier);
+            (b.owner, b.parties)
         };
-        self.send(
-            owner,
-            DsmMsg::BarrierArrive {
-                barrier,
-                from: self.node,
-            },
-        )?;
+        let mode = if self.cfg.piggyback && parties == self.nodes {
+            FlushMode::BarrierRelay { owner }
+        } else {
+            FlushMode::Immediate
+        };
+        let relay = self.flush_duq_mode(mode)?;
+        crate::runtime::proto_trace!(self, "arrive barrier {barrier:?}");
+        bump(&self.stats.barrier_waits);
+        self.charge_sys(self.cost.sync_op());
+        let arrive = DsmMsg::BarrierArrive {
+            barrier,
+            from: self.node,
+        };
+        if relay.is_empty() {
+            self.send(owner, arrive)?;
+        } else {
+            let relay: Vec<RelayUpdate> = relay
+                .into_iter()
+                .map(|(dest, items)| {
+                    add(&self.stats.msgs_piggybacked, 1);
+                    self.note_update_sent(&items);
+                    RelayUpdate {
+                        dest,
+                        from: self.node,
+                        // The bundle takes its slot in this node's update
+                        // stream to `dest` *now*, so any later direct update
+                        // gets a higher number and can never be overtaken by
+                        // this bundle's slower owner-relayed route.
+                        seq: self.next_update_seq(dest),
+                        items,
+                    }
+                })
+                .collect();
+            self.send(
+                owner,
+                DsmMsg::Carrier {
+                    inner: Some(Box::new(arrive)),
+                    updates: Vec::new(),
+                    relay,
+                },
+            )?;
+        }
         let (_env, reply) = self.wait_reply()?;
         match reply {
             DsmMsg::BarrierRelease { barrier: b } if b == barrier => Ok(()),

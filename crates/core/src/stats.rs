@@ -97,6 +97,16 @@ counters! {
         /// missed but the object's owner had recorded (see
         /// `DsmMsg::UpdateAck::owned_copysets`).
         updates_healed,
+        /// Update/ack bundles that travelled piggybacked on another protocol
+        /// message (lock grant, barrier arrive/release, copyset reply,
+        /// update ack, invalidate ack) instead of as standalone messages —
+        /// each counts one wire message the carrier layer avoided.
+        msgs_piggybacked,
+        /// `Flush()`-hint flushes whose updates were buffered in the outbox
+        /// and merged into a later transmission instead of going on the wire
+        /// immediately (cross-release coalescing; the window closes at the
+        /// next acquire).
+        flushes_coalesced,
         /// Lock acquires performed by the local user thread.
         lock_acquires,
         /// Lock acquires satisfied locally without any message.

@@ -327,9 +327,27 @@ struct DestState<M> {
     /// the hot path; [`EventEngine::stats`] sums over shards.
     messages_sent: u64,
     bytes_sent: u64,
+    /// The same volume broken down by message class (the envelope's static
+    /// class string), so reports can show per-message-kind counts.
+    class_counts: HashMap<&'static str, ClassVolume>,
     /// This destination's slice of the delivery trace, in `seq_at_dst`
     /// order by construction.
     trace: Vec<TraceEntry>,
+}
+
+impl<M> DestState<M> {
+    /// Counts one scheduled delivery in the shard's total and per-class
+    /// volume (one place, so the two counters cannot drift). Classes are
+    /// interned `&'static str` literals, so the per-message cost under the
+    /// shard lock is one short-string hash and an upsert into a map with a
+    /// handful of entries.
+    fn count_scheduled(&mut self, class: &'static str, bytes: u64) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes;
+        let vol = self.class_counts.entry(class).or_default();
+        vol.msgs += 1;
+        vol.bytes += bytes;
+    }
 }
 
 /// A destination shard: its lock domain plus the condvar a blocked `recv`
@@ -346,15 +364,35 @@ struct Shard<M> {
     cond: Condvar,
 }
 
+/// Message/byte volume of one message class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassVolume {
+    /// Messages scheduled for delivery.
+    pub msgs: u64,
+    /// Their total modelled wire bytes.
+    pub bytes: u64,
+}
+
 /// Aggregate engine counters. Message volume as the *engine* sees it: one
 /// count per scheduled delivery, so an injected duplicate counts like the
 /// extra wire message it models.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Messages scheduled for delivery (including injected duplicates).
     pub messages_sent: u64,
     /// Total modelled wire bytes of those messages.
     pub bytes_sent: u64,
+    /// The same volume broken down by message kind, sorted by class name.
+    /// A carrier frame counts once, under the class of the message it
+    /// frames.
+    pub per_class: std::collections::BTreeMap<&'static str, ClassVolume>,
+}
+
+impl EngineStats {
+    /// Volume of one message class (zero if the class never appeared).
+    pub fn class(&self, name: &str) -> ClassVolume {
+        self.per_class.get(name).copied().unwrap_or_default()
+    }
 }
 
 /// The discrete-event scheduler shared by every endpoint of one [`Network`],
@@ -387,6 +425,7 @@ impl<M> EventEngine<M> {
                         next_seq: 0,
                         messages_sent: 0,
                         bytes_sent: 0,
+                        class_counts: HashMap::new(),
                         trace: Vec::new(),
                     }),
                     cond: Condvar::new(),
@@ -415,6 +454,11 @@ impl<M> EventEngine<M> {
             let st = self.lock_shard(shard);
             stats.messages_sent += st.messages_sent;
             stats.bytes_sent += st.bytes_sent;
+            for (class, vol) in &st.class_counts {
+                let agg = stats.per_class.entry(class).or_default();
+                agg.msgs += vol.msgs;
+                agg.bytes += vol.bytes;
+            }
         }
         stats
     }
@@ -470,8 +514,7 @@ impl<M> EventEngine<M> {
         if !guard.open {
             return Err(SimError::Disconnected);
         }
-        guard.messages_sent += 1;
-        guard.bytes_sent += env.model_bytes;
+        guard.count_scheduled(env.class, env.model_bytes);
         let st = &mut *guard;
         let seq = st.next_seq;
         st.next_seq += 1;
@@ -533,8 +576,7 @@ impl<M> EventEngine<M> {
                 // common path moves it straight into the heap (object-data
                 // payloads can be large).
                 if duplicate {
-                    st.messages_sent += 1;
-                    st.bytes_sent += env.model_bytes;
+                    st.count_scheduled(env.class, env.model_bytes);
                     let dup_seq = st.next_seq;
                     st.next_seq += 1;
                     let mut dup_env = env;

@@ -64,7 +64,9 @@ pub mod time;
 pub use cluster::{Cluster, ClusterReport, NodeCtx};
 pub use cost::CostModel;
 pub use error::SimError;
-pub use event::{DeliveryMode, EngineConfig, EngineStats, EventEngine, FaultPlan, TraceEntry};
+pub use event::{
+    ClassVolume, DeliveryMode, EngineConfig, EngineStats, EventEngine, FaultPlan, TraceEntry,
+};
 pub use net::{Envelope, Network, NodeId, Receiver, Sender};
 pub use stats::{NetStats, NodeTimes};
 pub use time::{NodeClock, TimeKind, VirtTime};

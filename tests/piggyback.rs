@@ -1,0 +1,190 @@
+//! Differential tests for the carrier/outbox layer (`MUNIN_PIGGYBACK`).
+//!
+//! The piggyback path must be *invisible* except in message counts: for
+//! every workload and engine seed, `on` and `off` must produce bit-identical
+//! results, and `on` must never send more protocol messages than `off`.
+//! Seeds include adversarial delay/reorder injection, the load that exposed
+//! every protocol race the earlier PRs fixed.
+
+use munin::apps::{matmul, sor, tsp};
+use munin::sim::{CostModel, EngineConfig, FaultPlan};
+use munin::AccessMode;
+
+/// Same adversarial plan as the stress suite: 20% of messages get up to
+/// 20 µs of extra virtual latency or jitter.
+const STRESS_FAULTS: FaultPlan = FaultPlan::jittery(200_000, 20_000);
+
+fn sor_run(seed: u64, piggyback: bool, access_mode: AccessMode) -> (Vec<f64>, u64, u64) {
+    let mut params = sor::SorParams::small(20, 12, 3, 4);
+    params.engine = EngineConfig::seeded(seed).with_faults(STRESS_FAULTS);
+    params.piggyback = piggyback;
+    params.access_mode = access_mode;
+    let (m, grid) = sor::run_munin(params, CostModel::fast_test()).unwrap();
+    (grid, m.engine.messages_sent, m.engine.bytes_sent)
+}
+
+#[test]
+fn sor_piggyback_is_bit_identical_and_strictly_cheaper_across_16_seeds() {
+    for seed in 0..16u64 {
+        let (on, on_msgs, _) = sor_run(seed, true, AccessMode::Explicit);
+        let (off, off_msgs, _) = sor_run(seed, false, AccessMode::Explicit);
+        assert_eq!(
+            on.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            off.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "SOR grids diverged between piggyback on/off under seed {seed}"
+        );
+        // Messages drop strictly. (Bytes are *not* asserted: a relayed
+        // bundle's payload transits twice — flusher to barrier owner, owner
+        // to destination — so the byte total can rise while the message
+        // count falls; see DESIGN.md "Carrier layer" for the trade-off.)
+        assert!(
+            on_msgs < off_msgs,
+            "piggybacking must strictly reduce SOR messages (seed {seed}: {on_msgs} vs {off_msgs})"
+        );
+    }
+}
+
+#[test]
+fn matmul_piggyback_is_bit_identical_and_strictly_cheaper_across_16_seeds() {
+    let reference = matmul::serial(16);
+    for seed in 0..16u64 {
+        let run = |piggyback: bool| {
+            let mut params = matmul::MatmulParams::small(16, 4);
+            params.engine = EngineConfig::seeded(seed).with_faults(STRESS_FAULTS);
+            params.piggyback = piggyback;
+            let (m, c) = matmul::run_munin(params, CostModel::fast_test()).unwrap();
+            (c, m.engine.messages_sent)
+        };
+        let (on, on_msgs) = run(true);
+        let (off, off_msgs) = run(false);
+        assert_eq!(
+            on, reference,
+            "matmul diverged with piggyback on, seed {seed}"
+        );
+        assert_eq!(
+            on, off,
+            "matmul results diverged between on/off, seed {seed}"
+        );
+        // Each non-root worker's single result update rides its final
+        // barrier arrive instead of a standalone update+ack round.
+        assert!(
+            on_msgs < off_msgs,
+            "piggybacking must strictly reduce matmul messages (seed {seed}: {on_msgs} vs {off_msgs})"
+        );
+    }
+}
+
+#[test]
+fn tsp_piggyback_is_result_identical_across_16_seeds() {
+    let reference = tsp::serial(8);
+    for seed in 0..16u64 {
+        let run = |piggyback: bool| {
+            let mut params = tsp::TspParams {
+                cities: 8,
+                ..tsp::TspParams::default_instance(3)
+            };
+            params.engine = EngineConfig::seeded(seed).with_faults(STRESS_FAULTS);
+            params.piggyback = piggyback;
+            let (_m, r) = tsp::run_munin(params, CostModel::fast_test()).unwrap();
+            r
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(
+            on.best_len, reference.best_len,
+            "TSP bound wrong, seed {seed}"
+        );
+        assert_eq!(
+            on.best_len, off.best_len,
+            "TSP bounds diverged on/off, seed {seed}"
+        );
+        // No message-count assertion for TSP: its flushes are mostly empty
+        // (migratory data rides lock grants in both modes), and the
+        // free-running branch-and-bound trajectory makes per-run message
+        // counts host-timing dependent in either direction. The economy
+        // claims are carried by the SOR and matmul assertions above, whose
+        // traffic is phase-structured and seed-deterministic.
+    }
+}
+
+/// The headline acceptance criterion: at 16 nodes, SOR's total protocol
+/// message count drops by at least 20% with piggybacking on, with
+/// bit-identical results — in both access-detection modes.
+fn assert_16_node_sor_saving(access_mode: AccessMode) {
+    let (on, on_msgs, _) = sor_run_16(true, access_mode);
+    let (off, off_msgs, _) = sor_run_16(false, access_mode);
+    assert_eq!(
+        on.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        off.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "16-node SOR grids diverged between piggyback on/off"
+    );
+    let drop = 1.0 - on_msgs as f64 / off_msgs as f64;
+    assert!(
+        drop >= 0.20,
+        "16-node SOR must shed >= 20% of its messages ({on_msgs} vs {off_msgs}, drop {:.1}%)",
+        drop * 100.0
+    );
+}
+
+fn sor_run_16(piggyback: bool, access_mode: AccessMode) -> (Vec<f64>, u64, u64) {
+    // Page-aligned sections like the paper's instance (1024x512 over 8 KB
+    // pages): each worker's band is exactly one 512-byte page (4 rows x
+    // 16 cols x 8 bytes), so every flushed page has a single writer that
+    // also owns it, and enough iterations that the stable producer-consumer
+    // phase (where the paper's message-economy claim lives) dominates the
+    // one-off first-touch and copyset-determination traffic.
+    let mut params = sor::SorParams::small(64, 16, 12, 16);
+    params.engine = EngineConfig::seeded(7).with_faults(STRESS_FAULTS);
+    params.piggyback = piggyback;
+    params.access_mode = access_mode;
+    let (m, grid) = sor::run_munin(params, CostModel::fast_test()).unwrap();
+    (grid, m.engine.messages_sent, m.engine.bytes_sent)
+}
+
+#[test]
+fn sixteen_node_sor_sheds_a_fifth_of_its_messages_explicit_mode() {
+    assert_16_node_sor_saving(AccessMode::Explicit);
+}
+
+#[test]
+fn sixteen_node_sor_sheds_a_fifth_of_its_messages_vm_mode() {
+    if !AccessMode::vm_supported() {
+        eprintln!("skipping: AccessMode::VmTraps requires 64-bit Linux on x86_64");
+        return;
+    }
+    assert_16_node_sor_saving(AccessMode::VmTraps);
+}
+
+/// Per-message-kind accounting: the carrier framing must keep class counts
+/// meaningful (a carrier counts under its inner class), while the update
+/// class collapses into the barrier traffic.
+#[test]
+fn per_class_engine_counts_reflect_the_carrier_framing() {
+    let (_, _, _) = sor_run(3, true, AccessMode::Explicit);
+    let mut params = sor::SorParams::small(20, 12, 3, 4);
+    params.engine = EngineConfig::seeded(3).with_faults(STRESS_FAULTS);
+    params.piggyback = true;
+    let (on, _) = sor::run_munin(params, CostModel::fast_test()).unwrap();
+    let mut params_off = sor::SorParams::small(20, 12, 3, 4);
+    params_off.engine = EngineConfig::seeded(3).with_faults(STRESS_FAULTS);
+    params_off.piggyback = false;
+    let (off, _) = sor::run_munin(params_off, CostModel::fast_test()).unwrap();
+    // Barrier traffic is identical in count — the savings come from updates
+    // and acks riding it, not from changing the synchronization protocol.
+    assert_eq!(
+        on.engine.class("barrier_arrive").msgs,
+        off.engine.class("barrier_arrive").msgs
+    );
+    assert_eq!(
+        on.engine.class("barrier_release").msgs,
+        off.engine.class("barrier_release").msgs
+    );
+    assert!(
+        on.engine.class("update").msgs < off.engine.class("update").msgs,
+        "standalone update messages must collapse into carriers"
+    );
+    assert!(on.stats.msgs_piggybacked > 0);
+    // The kind breakdown sums to the total.
+    let sum: u64 = on.engine.per_class.values().map(|v| v.msgs).sum();
+    assert_eq!(sum, on.engine.messages_sent);
+}
