@@ -50,6 +50,14 @@ pub struct MatmulParams {
     /// Whether the carrier/outbox layer may piggyback and coalesce protocol
     /// traffic (`MUNIN_PIGGYBACK`).
     pub piggyback: bool,
+    /// Forces the reliability layer on/off; `None` keeps the auto policy
+    /// (enabled exactly when the engine injects message loss).
+    pub reliability: Option<bool>,
+    /// Overrides the reliability layer's retransmit pacing (tests drop this
+    /// to ~1 ms so loss runs converge quickly); `None` keeps the default.
+    pub retransmit_pacing: Option<std::time::Duration>,
+    /// Overrides the stall-watchdog window; `None` keeps the default.
+    pub watchdog: Option<std::time::Duration>,
 }
 
 impl MatmulParams {
@@ -64,6 +72,9 @@ impl MatmulParams {
             engine: munin_sim::EngineConfig::from_env(),
             access_mode: munin_core::AccessMode::from_env(),
             piggyback: munin_core::piggyback_from_env(),
+            reliability: None,
+            retransmit_pacing: None,
+            watchdog: None,
         }
     }
 
@@ -78,6 +89,9 @@ impl MatmulParams {
             engine: munin_sim::EngineConfig::from_env(),
             access_mode: munin_core::AccessMode::from_env(),
             piggyback: munin_core::piggyback_from_env(),
+            reliability: None,
+            retransmit_pacing: None,
+            watchdog: None,
         }
     }
 }
@@ -129,6 +143,15 @@ pub fn run_munin(
         .with_piggyback(params.piggyback);
     if let Some(ann) = params.annotation_override {
         cfg = cfg.with_annotation_override(ann);
+    }
+    if let Some(r) = params.reliability {
+        cfg = cfg.with_reliability(r);
+    }
+    if let Some(p) = params.retransmit_pacing {
+        cfg = cfg.with_retransmit_pacing(p);
+    }
+    if let Some(w) = params.watchdog {
+        cfg = cfg.with_watchdog(w);
     }
     let mut prog = MuninProgram::new(cfg);
     let input1 = prog.declare::<i32>("input1", n * n, SharingAnnotation::ReadOnly);

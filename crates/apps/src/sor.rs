@@ -55,6 +55,14 @@ pub struct SorParams {
     /// Whether the carrier/outbox layer may piggyback and coalesce protocol
     /// traffic (`MUNIN_PIGGYBACK`).
     pub piggyback: bool,
+    /// Forces the reliability layer on/off; `None` keeps the auto policy
+    /// (enabled exactly when the engine injects message loss).
+    pub reliability: Option<bool>,
+    /// Overrides the reliability layer's retransmit pacing (tests drop this
+    /// to ~1 ms so loss runs converge quickly); `None` keeps the default.
+    pub retransmit_pacing: Option<std::time::Duration>,
+    /// Overrides the stall-watchdog window; `None` keeps the default.
+    pub watchdog: Option<std::time::Duration>,
 }
 
 impl SorParams {
@@ -71,6 +79,9 @@ impl SorParams {
             engine: munin_sim::EngineConfig::from_env(),
             access_mode: munin_core::AccessMode::from_env(),
             piggyback: munin_core::piggyback_from_env(),
+            reliability: None,
+            retransmit_pacing: None,
+            watchdog: None,
         }
     }
 
@@ -87,6 +98,9 @@ impl SorParams {
             engine: munin_sim::EngineConfig::from_env(),
             access_mode: munin_core::AccessMode::from_env(),
             piggyback: munin_core::piggyback_from_env(),
+            reliability: None,
+            retransmit_pacing: None,
+            watchdog: None,
         }
     }
 }
@@ -173,6 +187,15 @@ pub fn run_munin(
         .with_piggyback(params.piggyback);
     if let Some(ann) = params.annotation_override {
         cfg = cfg.with_annotation_override(ann);
+    }
+    if let Some(r) = params.reliability {
+        cfg = cfg.with_reliability(r);
+    }
+    if let Some(p) = params.retransmit_pacing {
+        cfg = cfg.with_retransmit_pacing(p);
+    }
+    if let Some(w) = params.watchdog {
+        cfg = cfg.with_watchdog(w);
     }
     let mut prog = MuninProgram::new(cfg);
     let matrix = prog.declare::<f64>("matrix", rows * cols, SharingAnnotation::ProducerConsumer);

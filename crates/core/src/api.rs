@@ -372,16 +372,38 @@ impl MuninProgram {
                 }
 
                 if rt.is_root() {
-                    if rt.wait_workers_done().is_ok() {
-                        if let Some(f) = &done {
-                            f(&wctx);
+                    match rt.wait_workers_done() {
+                        Ok(()) => {
+                            if let Some(f) = &done {
+                                f(&wctx);
+                            }
+                        }
+                        Err(e) => {
+                            // A stalled completion wait is a run failure even
+                            // when the root's own worker succeeded.
+                            if outcome.result.is_ok() {
+                                outcome.result = Err(e);
+                            }
                         }
                     }
                     outcome.root_memory = Some(rt.memory_snapshot());
                     let _ = rt.broadcast_shutdown();
                 } else {
                     let _ = rt.signal_worker_done();
-                    let _ = rt.wait_for_shutdown();
+                    if let Err(e) = rt.wait_for_shutdown() {
+                        if outcome.result.is_ok() {
+                            outcome.result = Err(e);
+                        }
+                    }
+                }
+                if outcome.result.is_err() {
+                    // After an error the shutdown handshake cannot be
+                    // trusted — under injected loss the `Shutdown` messages
+                    // themselves may have been dropped (and with the
+                    // reliability layer off nothing retransmits them).
+                    // Close the inbox so the service thread observes
+                    // disconnection and exits instead of wedging the join.
+                    rt.abort_service();
                 }
                 let _ = server.join();
                 outcome.stats = rt.stats().snapshot();

@@ -1,5 +1,7 @@
 //! Runtime configuration.
 
+use std::time::Duration;
+
 use munin_sim::{CostModel, EngineConfig};
 
 use crate::annotation::SharingAnnotation;
@@ -85,6 +87,23 @@ pub struct MuninConfig {
     /// `MUNIN_PIGGYBACK` from the environment (`on` unless set to `off`/`0`);
     /// `off` preserves the legacy one-message-per-update behaviour exactly.
     pub piggyback: bool,
+    /// Whether the reliability layer (per-link message ids, cumulative acks,
+    /// retransmission, duplicate suppression) wraps protocol traffic. `None`
+    /// (the default) auto-enables it exactly when the engine injects message
+    /// loss in virtual-time mode; `Some(_)` forces it either way. Defaults to
+    /// `MUNIN_RELIABILITY` from the environment (`on`/`off`; unset = auto).
+    pub reliability: Option<bool>,
+    /// Stall-watchdog window: when a blocked protocol operation (fetch, lock
+    /// acquire, barrier, shutdown wait) sees no reply for this long, the
+    /// runtime raises a structured [`StallReport`](crate::StallReport)
+    /// instead of hanging. Defaults to `MUNIN_WATCHDOG` seconds from the
+    /// environment, else 60 s.
+    pub watchdog: Duration,
+    /// Base wall-clock pacing of the reliability layer's retransmit timer;
+    /// an unacked message is retransmitted after `pacing << attempts`
+    /// (exponential backoff, capped). Tests drop this to ~1 ms so loss runs
+    /// converge quickly.
+    pub retransmit_pacing: Duration,
 }
 
 /// Reads `MUNIN_PIGGYBACK` from the environment: anything but `off`/`0`
@@ -95,6 +114,38 @@ pub fn piggyback_from_env() -> bool {
         Err(_) => true,
     }
 }
+
+/// Reads `MUNIN_RELIABILITY` from the environment: `on`/`1` forces the
+/// reliability layer, `off`/`0` disables it, unset (or anything else) leaves
+/// the auto policy (enabled exactly when the engine injects loss).
+pub fn reliability_from_env() -> Option<bool> {
+    match std::env::var("MUNIN_RELIABILITY") {
+        Ok(v) if v == "on" || v == "1" => Some(true),
+        Ok(v) if v == "off" || v == "0" => Some(false),
+        _ => None,
+    }
+}
+
+/// Reads `MUNIN_WATCHDOG` (whole seconds) from the environment; unset or
+/// unparsable yields the 60 s default.
+pub fn watchdog_from_env() -> Duration {
+    match std::env::var("MUNIN_WATCHDOG") {
+        Ok(v) => match v.parse::<u64>() {
+            Ok(secs) if secs > 0 => Duration::from_secs(secs),
+            _ => {
+                eprintln!("munin: ignoring MUNIN_WATCHDOG={v:?} (expected whole seconds > 0)");
+                DEFAULT_WATCHDOG
+            }
+        },
+        Err(_) => DEFAULT_WATCHDOG,
+    }
+}
+
+/// Default stall-watchdog window.
+pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(60);
+
+/// Default wall-clock base pacing for reliability-layer retransmissions.
+pub const DEFAULT_RETRANSMIT_PACING: Duration = Duration::from_millis(20);
 
 impl MuninConfig {
     /// Configuration matching the paper's prototype: 8 KB objects, the
@@ -109,6 +160,9 @@ impl MuninConfig {
             engine: EngineConfig::from_env(),
             access_mode: AccessMode::from_env(),
             piggyback: piggyback_from_env(),
+            reliability: reliability_from_env(),
+            watchdog: watchdog_from_env(),
+            retransmit_pacing: DEFAULT_RETRANSMIT_PACING,
         }
     }
 
@@ -124,6 +178,9 @@ impl MuninConfig {
             engine: EngineConfig::from_env(),
             access_mode: AccessMode::from_env(),
             piggyback: piggyback_from_env(),
+            reliability: reliability_from_env(),
+            watchdog: watchdog_from_env(),
+            retransmit_pacing: DEFAULT_RETRANSMIT_PACING,
         }
     }
 
@@ -166,6 +223,25 @@ impl MuninConfig {
     /// Enables or disables the carrier/outbox piggyback layer.
     pub fn with_piggyback(mut self, piggyback: bool) -> Self {
         self.piggyback = piggyback;
+        self
+    }
+
+    /// Forces the reliability layer on or off, overriding the auto policy
+    /// (which enables it exactly when the engine injects message loss).
+    pub fn with_reliability(mut self, reliability: bool) -> Self {
+        self.reliability = Some(reliability);
+        self
+    }
+
+    /// Sets the stall-watchdog window.
+    pub fn with_watchdog(mut self, watchdog: Duration) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Sets the base wall-clock pacing of the retransmit timer.
+    pub fn with_retransmit_pacing(mut self, pacing: Duration) -> Self {
+        self.retransmit_pacing = pacing;
         self
     }
 }

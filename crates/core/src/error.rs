@@ -6,10 +6,68 @@
 //! runtime errors are the interesting variants here.
 
 use std::fmt;
+use std::time::Duration;
 
-use munin_sim::SimError;
+use munin_sim::{NodeId, SimError};
 
 use crate::object::ObjectId;
+
+/// Structured diagnosis of a protocol stall, produced by the watchdog when a
+/// blocked user thread saw no protocol progress for the configured window
+/// (see `MuninConfig::watchdog`). Everything a post-mortem needs: who was
+/// blocked, on what operation, on which object or synchronization id, for how
+/// long, what the reliability layer still had in flight, and how far each
+/// destination's delivery schedule had progressed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallReport {
+    /// The stalled node.
+    pub node: NodeId,
+    /// The blocked protocol operation (e.g. `"fetch"`, `"lock_acquire"`,
+    /// `"barrier"`).
+    pub op: &'static str,
+    /// The object the operation was about, when it concerns one.
+    pub object: Option<ObjectId>,
+    /// The lock or barrier id, when the operation concerns one.
+    pub sync_id: Option<u32>,
+    /// How long (wall clock) the thread waited before giving up.
+    pub waited: Duration,
+    /// Reliability-layer messages still unacknowledged, as
+    /// `(destination index, count)` pairs (empty when the transport is off).
+    pub unacked: Vec<(usize, u64)>,
+    /// Requests parked in the service loop's deferred queue.
+    pub deferred: usize,
+    /// Per-destination delivery frontier in nanoseconds of virtual time, as
+    /// `(destination index, frontier_ns)` pairs.
+    pub frontiers: Vec<(usize, u64)>,
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "node {:?} made no protocol progress for {:?} while blocked in `{}`",
+            self.node, self.waited, self.op
+        )?;
+        if let Some(o) = self.object {
+            write!(f, " on object {o:?}")?;
+        }
+        if let Some(id) = self.sync_id {
+            write!(f, " (sync id {id})")?;
+        }
+        write!(f, "; deferred requests: {}", self.deferred)?;
+        if !self.unacked.is_empty() {
+            write!(f, "; unacked:")?;
+            for (dst, n) in &self.unacked {
+                write!(f, " →N{dst}:{n}")?;
+            }
+        }
+        write!(f, "; delivery frontiers (ns):")?;
+        for (dst, ns) in &self.frontiers {
+            write!(f, " N{dst}@{ns}")?;
+        }
+        Ok(())
+    }
+}
 
 /// Errors raised by the Munin runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +107,10 @@ pub enum MuninError {
     Sim(SimError),
     /// The runtime received a reply it cannot correlate with a request.
     ProtocolViolation(&'static str),
+    /// The stall watchdog fired: a blocked protocol operation made no
+    /// progress for the configured window. Boxed: the report is large and
+    /// stalls are the exceptional path.
+    Stalled(Box<StallReport>),
 }
 
 impl fmt::Display for MuninError {
@@ -86,6 +148,7 @@ impl fmt::Display for MuninError {
             }
             MuninError::Sim(e) => write!(f, "simulation error: {e}"),
             MuninError::ProtocolViolation(what) => write!(f, "protocol violation: {what}"),
+            MuninError::Stalled(report) => write!(f, "protocol stall: {report}"),
         }
     }
 }

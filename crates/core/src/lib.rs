@@ -47,8 +47,11 @@ pub mod sync;
 
 pub use annotation::{render_table1, Param, ProtocolParams, SharingAnnotation};
 pub use api::{InitCtx, MuninProgram, MuninReport, Shareable, SharedVar, WorkerCtx};
-pub use config::{piggyback_from_env, AccessMode, CopysetStrategy, MuninConfig};
-pub use error::{MuninError, Result};
+pub use config::{
+    piggyback_from_env, reliability_from_env, watchdog_from_env, AccessMode, CopysetStrategy,
+    MuninConfig,
+};
+pub use error::{MuninError, Result, StallReport};
 pub use object::{ObjectId, VarId, DEFAULT_PAGE_SIZE};
 pub use stats::MuninStatsSnapshot;
 pub use sync::{BarrierId, LockId};

@@ -301,6 +301,35 @@ pub enum DsmMsg {
         /// matching `BarrierRelease`s (empty on every other carrier).
         relay: Vec<RelayUpdate>,
     },
+    /// The reliability-layer frame: any protocol message wrapped with a
+    /// per-(source, destination) message id and a piggybacked cumulative
+    /// acknowledgement of the reverse lane (see `DESIGN.md`, "Reliability
+    /// layer"). The receiver delivers each id exactly once, in order, so
+    /// every handler behind this frame is idempotent under retransmission
+    /// by construction. Reliable frames are never nested.
+    Reliable {
+        /// Position in the sender → receiver reliable-message stream
+        /// (ids start at 1 and are consecutive per lane).
+        id: u64,
+        /// Cumulative acknowledgement: every receiver → sender message with
+        /// id ≤ `ack` has been delivered (0 = nothing yet). Riding every
+        /// wrapped message keeps standalone ack traffic near zero.
+        ack: u64,
+        /// The framed protocol message.
+        inner: Box<DsmMsg>,
+    },
+    /// A standalone cumulative acknowledgement, sent when the receiver owes
+    /// acks but has no reverse traffic to piggyback them on (delayed-ack
+    /// flush), or immediately upon receiving a duplicate (retransmit quench).
+    NetAck {
+        /// Every message with id ≤ `upto` on the sender's lane has been
+        /// delivered.
+        upto: u64,
+    },
+    /// The reliability layer's retransmit/ack-flush tick. Never on the wire:
+    /// it is the payload of a virtual-time timer event the service loop
+    /// schedules for itself.
+    Tick,
 }
 
 /// Fixed modelled header size of every message, in bytes.
@@ -335,6 +364,11 @@ impl DsmMsg {
                 Some(m) => m.class(),
                 None => "carrier",
             },
+            // Like carriers, a reliable frame is classed as the message it
+            // wraps, so per-class accounting is unaffected by the transport.
+            DsmMsg::Reliable { inner, .. } => inner.class(),
+            DsmMsg::NetAck { .. } => "net_ack",
+            DsmMsg::Tick => "tick",
         }
     }
 
@@ -390,6 +424,12 @@ impl DsmMsg {
                     .sum();
                 inner_payload + update_bytes + relay_bytes
             }
+            // The reliable frame adds an id + ack pair to the message it
+            // wraps, sharing the wrapped message's header.
+            DsmMsg::Reliable { inner, .. } => inner.model_bytes() - HEADER_BYTES + 8,
+            DsmMsg::NetAck { .. } => 8,
+            // Never on the wire (timer payload only).
+            DsmMsg::Tick => 0,
         };
         HEADER_BYTES + payload
     }

@@ -407,7 +407,7 @@ impl NodeRuntime {
                 requester: self.node,
             },
         )?;
-        let (env, reply) = self.wait_reply()?;
+        let (env, reply) = self.wait_reply(crate::runtime::WaitOp::Fetch(object))?;
         let DsmMsg::ObjectData {
             object: got,
             data,
@@ -489,7 +489,7 @@ impl NodeRuntime {
         }
         let mut acks = 0;
         while acks < members.len() {
-            let (_env, reply) = self.wait_reply()?;
+            let (_env, reply) = self.wait_reply(crate::runtime::WaitOp::InvalidateAcks(object))?;
             match reply {
                 DsmMsg::InvalidateAck { object: o } if o == object => acks += 1,
                 _ => {

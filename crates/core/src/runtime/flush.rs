@@ -362,7 +362,7 @@ impl NodeRuntime {
         // overtaken by) this node's later flushes.
         let mut acks = 0usize;
         while acks < expected_acks {
-            let (_env, reply) = self.wait_reply()?;
+            let (_env, reply) = self.wait_reply(crate::runtime::WaitOp::UpdateAcks)?;
             match reply {
                 DsmMsg::UpdateAck { owned_copysets, .. } => {
                     acks += 1;
@@ -451,7 +451,7 @@ impl NodeRuntime {
         }
         let mut acks = 0usize;
         while acks < expected_acks {
-            let (_env, reply) = self.wait_reply()?;
+            let (_env, reply) = self.wait_reply(crate::runtime::WaitOp::WindowAcks)?;
             match reply {
                 // Only owner-flushed items are ever coalesced, so the acks
                 // carry no copysets this node would need to heal against.
@@ -598,7 +598,7 @@ impl NodeRuntime {
         }
         let mut replies = 0;
         while replies < peers.len() {
-            let (env, reply) = self.wait_reply()?;
+            let (env, reply) = self.wait_reply(crate::runtime::WaitOp::CopysetReplies)?;
             match reply {
                 DsmMsg::CopysetReply { have } => {
                     for o in have {
@@ -654,7 +654,7 @@ impl NodeRuntime {
         }
         let mut replies = 0;
         while replies < expected {
-            let (_env, reply) = self.wait_reply()?;
+            let (_env, reply) = self.wait_reply(crate::runtime::WaitOp::OwnerCopysetReplies)?;
             match reply {
                 DsmMsg::OwnerCopysetReply { copysets } => {
                     for (o, cs) in copysets {

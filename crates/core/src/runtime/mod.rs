@@ -20,13 +20,14 @@
 mod fault;
 mod flush;
 mod outbox;
+mod reliable;
 mod server;
 mod sync_ops;
 mod vmseg;
 
 use std::collections::HashSet;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 use parking_lot::Mutex;
@@ -37,17 +38,17 @@ use crate::config::{AccessMode, MuninConfig};
 use crate::diff::DiffScratch;
 use crate::directory::{AccessRights, DirEntry, Directory};
 use crate::duq::DelayedUpdateQueue;
-use crate::error::{MuninError, Result};
+use crate::error::{MuninError, Result, StallReport};
 use crate::msg::DsmMsg;
 use crate::object::ObjectId;
 use crate::segment::SharedDataTable;
 use crate::stats::MuninStats;
 use crate::sync::SyncDirectory;
 
-/// How long the user thread waits (in wall-clock time) for a protocol reply
-/// before declaring the run wedged. This is a safety net for the test suite;
-/// a correct protocol never hits it.
-const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
+/// Granularity of the watchdog's blocking waits: the user thread blocks in
+/// slices of this length so it can notice watchdog expiry without a
+/// dedicated thread.
+const WATCHDOG_SLICE: Duration = Duration::from_millis(50);
 
 /// Whether `MUNIN_PROTO_TRACE=1` protocol tracing is enabled (debugging aid
 /// for protocol races; logs go to stderr with node ids and virtual times).
@@ -82,6 +83,71 @@ pub(crate) use proto_trace;
 /// (e.g. registry exhaustion) still panic the node loudly.
 pub(crate) fn vm_traps_preflight() -> Result<()> {
     vmseg::VmSegment::preflight()
+}
+
+/// What a blocked user thread is waiting for. Carried into [`wait_reply`]
+/// (`NodeRuntime::wait_reply`) so a watchdog expiry can say precisely which
+/// operation stalled, on which object or synchronization id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum WaitOp {
+    /// Waiting for `ObjectData` after an `ObjectFetch`.
+    Fetch(ObjectId),
+    /// Waiting for `InvalidateAck`s after invalidating remote copies.
+    InvalidateAcks(ObjectId),
+    /// Waiting for `UpdateAck`s after a DUQ flush transmission round.
+    UpdateAcks,
+    /// Waiting for `UpdateAck`s while closing the cross-release coalescing
+    /// window at an acquire.
+    WindowAcks,
+    /// Waiting for `CopysetReply`s in a broadcast determination round.
+    CopysetReplies,
+    /// Waiting for `OwnerCopysetReply`s in an owner-collected round.
+    OwnerCopysetReplies,
+    /// Waiting for `ReduceReply` from a reduction object's fixed owner.
+    Reduce(ObjectId),
+    /// Waiting for `LockGrant`.
+    LockGrant(u32),
+    /// Waiting for `BarrierRelease`.
+    BarrierRelease(u32),
+    /// Waiting for `Shutdown` (worker nodes at the end of a run).
+    Shutdown,
+    /// Waiting for a `WorkerDone` notification (root only).
+    WorkerDone,
+}
+
+impl WaitOp {
+    /// Short name of the blocked operation for stall reports.
+    pub(crate) fn kind(&self) -> &'static str {
+        match self {
+            WaitOp::Fetch(_) => "fetch",
+            WaitOp::InvalidateAcks(_) => "invalidate_acks",
+            WaitOp::UpdateAcks => "update_acks",
+            WaitOp::WindowAcks => "window_acks",
+            WaitOp::CopysetReplies => "copyset_replies",
+            WaitOp::OwnerCopysetReplies => "owner_copyset_replies",
+            WaitOp::Reduce(_) => "reduce",
+            WaitOp::LockGrant(_) => "lock_acquire",
+            WaitOp::BarrierRelease(_) => "barrier",
+            WaitOp::Shutdown => "shutdown_wait",
+            WaitOp::WorkerDone => "worker_done",
+        }
+    }
+
+    /// The object the operation concerns, when there is one.
+    fn object(&self) -> Option<ObjectId> {
+        match self {
+            WaitOp::Fetch(o) | WaitOp::InvalidateAcks(o) | WaitOp::Reduce(o) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// The lock or barrier id the operation concerns, when there is one.
+    fn sync_id(&self) -> Option<u32> {
+        match self {
+            WaitOp::LockGrant(id) | WaitOp::BarrierRelease(id) => Some(*id),
+            _ => None,
+        }
+    }
 }
 
 /// Verdict of [`NodeRuntime::check_update_seq`] on an inbound update
@@ -150,6 +216,9 @@ pub struct NodeRuntime {
     /// Next expected inbound update-stream sequence number per source.
     /// Leaf lock.
     update_seq_in: Mutex<Vec<u64>>,
+    /// The reliability layer's link state (leaf lock except for raw engine
+    /// sends; see `runtime/reliable.rs`).
+    reliable: Mutex<reliable::ReliableState>,
     /// Requests deferred because their directory entry was busy.
     deferred: Mutex<Vec<(Envelope, DsmMsg)>>,
     /// Bumped whenever a blocking condition clears (busy bit or pin
@@ -216,6 +285,7 @@ impl NodeRuntime {
                 outbox: Mutex::new(outbox::Outbox::new()),
                 update_seq_out: Mutex::new(vec![0; nodes]),
                 update_seq_in: Mutex::new(vec![0; nodes]),
+                reliable: Mutex::new(reliable::ReliableState::new(&cfg, nodes)),
                 deferred: Mutex::new(Vec::new()),
                 deferred_gen: std::sync::atomic::AtomicU64::new(0),
                 stats: MuninStats::new(),
@@ -323,8 +393,10 @@ impl NodeRuntime {
         );
     }
 
-    /// Sends a protocol message, charging the fixed message cost.
+    /// Sends a protocol message, charging the fixed message cost. The
+    /// message is wrapped by the reliability layer when that is enabled.
     pub(crate) fn send(&self, dst: NodeId, msg: DsmMsg) -> Result<()> {
+        let msg = self.wrap_outgoing(dst, msg);
         self.sender
             .send(dst, msg.class(), msg.model_bytes(), msg)
             .map(|_| ())
@@ -342,6 +414,7 @@ impl NodeRuntime {
         msg: DsmMsg,
         logical_time: VirtTime,
     ) -> Result<()> {
+        let msg = self.wrap_outgoing(dst, msg);
         self.sender
             .send_at(dst, msg.class(), msg.model_bytes(), msg, logical_time)
             .map(|_| ())
@@ -349,17 +422,70 @@ impl NodeRuntime {
     }
 
     /// Blocks the user thread until the service thread routes it a reply.
-    pub(crate) fn wait_reply(&self) -> Result<(Envelope, DsmMsg)> {
-        self.reply_rx
-            .recv_timeout(REPLY_TIMEOUT)
-            .map_err(|_| MuninError::ProtocolViolation("timed out waiting for a protocol reply"))
+    /// `op` names what the thread is blocked on; if no reply arrives within
+    /// the watchdog window the wait fails with a structured
+    /// [`StallReport`](crate::StallReport) instead of hanging.
+    pub(crate) fn wait_reply(&self, op: WaitOp) -> Result<(Envelope, DsmMsg)> {
+        let start = Instant::now();
+        loop {
+            match self.reply_rx.recv_timeout(WATCHDOG_SLICE) {
+                Ok(reply) => return Ok(reply),
+                Err(_) => {
+                    let waited = start.elapsed();
+                    if waited >= self.cfg.watchdog {
+                        return Err(self.raise_stall(op, waited));
+                    }
+                }
+            }
+        }
     }
 
-    /// Blocks until one worker-completion notification arrives (root only).
+    /// Blocks until one worker-completion notification arrives (root only),
+    /// under the same watchdog as [`Self::wait_reply`].
     pub(crate) fn wait_worker_done_notification(&self) -> Result<()> {
-        self.done_rx
-            .recv_timeout(REPLY_TIMEOUT)
-            .map_err(|_| MuninError::ProtocolViolation("timed out waiting for workers to finish"))
+        let start = Instant::now();
+        loop {
+            match self.done_rx.recv_timeout(WATCHDOG_SLICE) {
+                Ok(()) => return Ok(()),
+                Err(_) => {
+                    let waited = start.elapsed();
+                    if waited >= self.cfg.watchdog {
+                        return Err(self.raise_stall(WaitOp::WorkerDone, waited));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds the structured stall diagnosis, records it in the statistics,
+    /// prints it to stderr (the run is about to die; make the post-mortem
+    /// immediate), and returns it as an error.
+    fn raise_stall(&self, op: WaitOp, waited: Duration) -> MuninError {
+        let report = StallReport {
+            node: self.node,
+            op: op.kind(),
+            object: op.object(),
+            sync_id: op.sync_id(),
+            waited,
+            unacked: self.unacked_snapshot(),
+            deferred: self.deferred.lock().len(),
+            frontiers: (0..self.nodes)
+                .map(|i| (i, self.sender.delivery_frontier(NodeId::new(i))))
+                .collect(),
+        };
+        crate::stats::bump(&self.stats.runtime_errors);
+        crate::stats::bump(&self.stats.watchdog_stalls);
+        eprintln!("munin: {report}");
+        MuninError::Stalled(Box::new(report))
+    }
+
+    /// Aborts the service thread: closes this node's inbox so its receive
+    /// loop observes disconnection and exits even if the `Shutdown` message
+    /// was lost or never sent. Called on error paths before joining the
+    /// service thread; without it the `Arc` cycle between the service thread
+    /// and the runtime would keep the channel alive forever.
+    pub(crate) fn abort_service(&self) {
+        self.sender.close_inbox();
     }
 
     /// Hands a reply to the blocked user thread (called by the service loop).

@@ -1,0 +1,326 @@
+//! The reliability layer: per-link message ids, cumulative acks,
+//! retransmission with exponential backoff, and duplicate suppression.
+//!
+//! The event engine (and any future socket transport) may *lose* messages;
+//! the Munin protocol above assumes it never does. This layer sits exactly at
+//! the send/receive seam and restores that assumption: every outbound
+//! protocol message is wrapped in [`DsmMsg::Reliable`] carrying a
+//! per-(source, destination) message id — a generalization of the update
+//! `seq` stream to all traffic — plus a cumulative ack of everything received
+//! from that destination. Receivers deliver in id order exactly once
+//! (buffering early arrivals, dropping duplicates below the receive
+//! frontier), so the handlers above see the same in-order exactly-once
+//! stream they always did. Senders hold unacked messages and retransmit on a
+//! wall-clock backoff driven by engine timer events, which fire only when
+//! the destination's delivery schedule is otherwise idle — a lost message
+//! therefore stalls its link only until the next tick, not forever.
+//!
+//! The layer is off by default and auto-enables when the engine injects
+//! loss (`MuninConfig::reliability` / `MUNIN_RELIABILITY` override the auto
+//! policy). When off, `wrap_outgoing` is an `enabled` check and nothing else
+//! changes on the wire, so loss-free runs keep byte-identical schedules.
+//!
+//! Lock order: the reliable state is a leaf lock except that raw engine
+//! sends (`Sender::send`, `Sender::schedule_timer`) are performed while it
+//! is held — reliable lock → engine shard lock is the one permitted
+//! nesting. It is never held while the directory, DUQ, sync, or outbox
+//! locks are taken, and `NodeRuntime::send`/`send_service` take it only in
+//! `wrap_outgoing` (which performs no engine call).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Instant;
+
+use munin_sim::{DeliveryMode, NodeId, VirtTime};
+
+use crate::config::MuninConfig;
+use crate::msg::DsmMsg;
+use crate::stats;
+
+use super::NodeRuntime;
+
+/// Cap on the backoff exponent: backoff = pacing × 2^min(attempts, CAP).
+const BACKOFF_EXP_CAP: u32 = 8;
+
+/// One unacknowledged outbound message, held for retransmission.
+#[derive(Debug)]
+struct UnackedEntry {
+    /// Per-link message id (the id the wrapped transmission carried).
+    id: u64,
+    /// The inner protocol message, re-wrapped on retransmit with a fresh
+    /// cumulative ack.
+    inner: DsmMsg,
+    /// Retransmissions performed so far (governs the backoff exponent).
+    attempts: u32,
+    /// Wall-clock time of the most recent transmission.
+    last_tx: Instant,
+}
+
+/// Per-peer link state (one per destination, including the self link — the
+/// engine's loss injection is per-lane and the self lane is a lane).
+#[derive(Debug)]
+struct PeerState {
+    /// Id the next outbound wrapped message will carry (ids start at 1).
+    next_id_out: u64,
+    /// Outbound messages not yet covered by a cumulative ack from the peer.
+    unacked: VecDeque<UnackedEntry>,
+    /// Next inbound id we will deliver (everything below is acknowledged).
+    next_id_in: u64,
+    /// Early arrivals (id above `next_id_in`) buffered until the gap fills.
+    reorder: BTreeMap<u64, DsmMsg>,
+    /// Whether the peer has sent us something since our last ack to it; the
+    /// ack rides the next outbound wrapped message, or a standalone
+    /// `NetAck` at the next tick.
+    acks_owed: bool,
+}
+
+impl PeerState {
+    fn new() -> Self {
+        PeerState {
+            next_id_out: 1,
+            unacked: VecDeque::new(),
+            next_id_in: 1,
+            reorder: BTreeMap::new(),
+            acks_owed: false,
+        }
+    }
+
+    /// Cumulative ack value: every id up to and including it was delivered.
+    fn ack_upto(&self) -> u64 {
+        self.next_id_in - 1
+    }
+}
+
+/// The node's reliability-layer state (behind one mutex on `NodeRuntime`).
+#[derive(Debug)]
+pub(crate) struct ReliableState {
+    /// Whether the layer wraps traffic at all (resolved once at startup).
+    enabled: bool,
+    /// Per-destination link state, indexed by node.
+    peers: Vec<PeerState>,
+    /// Whether a tick timer is currently scheduled with the engine.
+    tick_scheduled: bool,
+}
+
+impl ReliableState {
+    /// Builds the state, resolving the enable policy: an explicit
+    /// `cfg.reliability` wins; otherwise the layer auto-enables exactly when
+    /// the engine can lose messages (loss injection in virtual-time mode).
+    pub(crate) fn new(cfg: &MuninConfig, nodes: usize) -> Self {
+        let auto = cfg.engine.faults.loss_ppm > 0 && cfg.engine.mode == DeliveryMode::VirtualTime;
+        ReliableState {
+            enabled: cfg.reliability.unwrap_or(auto),
+            peers: (0..nodes).map(|_| PeerState::new()).collect(),
+            tick_scheduled: false,
+        }
+    }
+}
+
+impl NodeRuntime {
+    /// Whether the reliability layer is wrapping this node's traffic.
+    pub(crate) fn reliability_enabled(&self) -> bool {
+        self.reliable.lock().enabled
+    }
+
+    /// Snapshot of outstanding unacked messages as
+    /// `(destination index, count)` pairs, for stall reports.
+    pub(crate) fn unacked_snapshot(&self) -> Vec<(usize, u64)> {
+        self.reliable
+            .lock()
+            .peers
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.unacked.is_empty())
+            .map(|(i, p)| (i, p.unacked.len() as u64))
+            .collect()
+    }
+
+    /// Wraps an outbound protocol message in a `Reliable` frame, assigning
+    /// the next per-link id, piggybacking the cumulative ack owed to `dst`,
+    /// and recording the message for retransmission. Identity when the layer
+    /// is disabled; transport-internal frames (`NetAck`, `Tick`) pass
+    /// through unchanged.
+    pub(crate) fn wrap_outgoing(&self, dst: NodeId, msg: DsmMsg) -> DsmMsg {
+        if matches!(msg, DsmMsg::NetAck { .. } | DsmMsg::Tick) {
+            return msg;
+        }
+        let mut rel = self.reliable.lock();
+        if !rel.enabled {
+            return msg;
+        }
+        let peer = &mut rel.peers[dst.as_usize()];
+        let id = peer.next_id_out;
+        peer.next_id_out += 1;
+        let ack = peer.ack_upto();
+        peer.acks_owed = false;
+        peer.unacked.push_back(UnackedEntry {
+            id,
+            inner: msg.clone(),
+            attempts: 0,
+            last_tx: Instant::now(),
+        });
+        self.ensure_tick(&mut rel);
+        DsmMsg::Reliable {
+            id,
+            ack,
+            inner: Box::new(msg),
+        }
+    }
+
+    /// Processes a cumulative ack from `src`: drops every held message with
+    /// id ≤ `upto`.
+    pub(crate) fn on_net_ack(&self, src: NodeId, upto: u64) {
+        let mut rel = self.reliable.lock();
+        if !rel.enabled {
+            return;
+        }
+        let peer = &mut rel.peers[src.as_usize()];
+        while peer.unacked.front().is_some_and(|e| e.id <= upto) {
+            peer.unacked.pop_front();
+        }
+    }
+
+    /// Accepts an inbound `Reliable` frame from `src` and returns the inner
+    /// messages now deliverable, in id order. Duplicates (id below the
+    /// receive frontier) are dropped and quenched with an immediate
+    /// standalone ack so the sender stops retransmitting; early arrivals are
+    /// buffered until the gap fills.
+    pub(crate) fn reliable_deliver(&self, src: NodeId, id: u64, inner: DsmMsg) -> Vec<DsmMsg> {
+        let mut rel = self.reliable.lock();
+        let peer = &mut rel.peers[src.as_usize()];
+        if id < peer.next_id_in {
+            stats::bump(&self.stats.dup_msgs_dropped);
+            let upto = peer.ack_upto();
+            peer.acks_owed = false;
+            stats::bump(&self.stats.net_acks_sent);
+            let ack = DsmMsg::NetAck { upto };
+            let _ = self.sender.send(src, ack.class(), ack.model_bytes(), ack);
+            return Vec::new();
+        }
+        if id > peer.next_id_in {
+            peer.reorder.insert(id, inner);
+            peer.acks_owed = true;
+            self.ensure_tick(&mut rel);
+            return Vec::new();
+        }
+        peer.next_id_in += 1;
+        let mut out = vec![inner];
+        loop {
+            let next = peer.next_id_in;
+            match peer.reorder.remove(&next) {
+                Some(m) => {
+                    out.push(m);
+                    peer.next_id_in += 1;
+                }
+                None => break,
+            }
+        }
+        peer.acks_owed = true;
+        self.ensure_tick(&mut rel);
+        out
+    }
+
+    /// The tick handler: flushes owed acks that found no outbound message to
+    /// ride (standalone `NetAck`), retransmits every unacked message whose
+    /// backoff window has elapsed, and re-arms the timer while any work
+    /// remains. Sweeps are unconditional — a lost *reply* leaves the
+    /// original request acked-but-unanswered on one side and the reply
+    /// unacked on the other, and only the sweep restores liveness.
+    pub(crate) fn reliability_tick(&self) {
+        let mut rel = self.reliable.lock();
+        rel.tick_scheduled = false;
+        if !rel.enabled {
+            return;
+        }
+        let now = Instant::now();
+        let pacing = self.cfg.retransmit_pacing;
+        for (dst, peer) in rel.peers.iter_mut().enumerate() {
+            let dst = NodeId::new(dst);
+            if peer.acks_owed {
+                peer.acks_owed = false;
+                stats::bump(&self.stats.net_acks_sent);
+                let ack = DsmMsg::NetAck {
+                    upto: peer.ack_upto(),
+                };
+                let _ = self.sender.send(dst, ack.class(), ack.model_bytes(), ack);
+            }
+            let upto = peer.ack_upto();
+            for entry in peer.unacked.iter_mut() {
+                let backoff = pacing * (1u32 << entry.attempts.min(BACKOFF_EXP_CAP));
+                if now.duration_since(entry.last_tx) < backoff {
+                    continue;
+                }
+                entry.attempts += 1;
+                entry.last_tx = now;
+                stats::bump(&self.stats.retransmits);
+                let frame = DsmMsg::Reliable {
+                    id: entry.id,
+                    ack: upto,
+                    inner: Box::new(entry.inner.clone()),
+                };
+                let _ = self
+                    .sender
+                    .send(dst, frame.class(), frame.model_bytes(), frame);
+            }
+        }
+        let pending = rel
+            .peers
+            .iter()
+            .any(|p| p.acks_owed || !p.unacked.is_empty());
+        if pending {
+            self.ensure_tick(&mut rel);
+        }
+    }
+
+    /// Immediately sends every owed cumulative ack as a standalone `NetAck`
+    /// instead of waiting for the next tick. The shutdown drain calls this
+    /// on entry and exit: the peer that sent this node its final message
+    /// (the `Shutdown` frame itself) is blocked in its *own* drain waiting
+    /// for exactly this ack, and once the service loop exits no tick will
+    /// ever flush it.
+    pub(crate) fn flush_owed_acks(&self) {
+        let mut rel = self.reliable.lock();
+        if !rel.enabled {
+            return;
+        }
+        for (dst, peer) in rel.peers.iter_mut().enumerate() {
+            if peer.acks_owed {
+                peer.acks_owed = false;
+                stats::bump(&self.stats.net_acks_sent);
+                let ack = DsmMsg::NetAck {
+                    upto: peer.ack_upto(),
+                };
+                let _ = self
+                    .sender
+                    .send(NodeId::new(dst), ack.class(), ack.model_bytes(), ack);
+            }
+        }
+    }
+
+    /// Whether any outbound message is still unacknowledged (shutdown drain).
+    pub(crate) fn has_unacked(&self) -> bool {
+        self.reliable
+            .lock()
+            .peers
+            .iter()
+            .any(|p| !p.unacked.is_empty())
+    }
+
+    /// Schedules a tick timer with the engine if none is outstanding. The
+    /// virtual due time only orders the timer against other timers; actual
+    /// firing waits for the destination schedule to go idle, and retransmit
+    /// eligibility is governed by wall-clock backoff.
+    fn ensure_tick(&self, rel: &mut ReliableState) {
+        if rel.tick_scheduled || !rel.enabled {
+            return;
+        }
+        let pacing = self.cfg.retransmit_pacing;
+        let due = self.clock.now() + VirtTime::from_nanos(pacing.as_nanos() as u64);
+        if self
+            .sender
+            .schedule_timer(due, "tick", DsmMsg::Tick)
+            .is_ok()
+        {
+            rel.tick_scheduled = true;
+        }
+    }
+}

@@ -29,31 +29,105 @@ impl NodeRuntime {
     pub fn server_loop(self: Arc<Self>, receiver: Receiver<DsmMsg>) {
         loop {
             let Ok((env, msg)) = receiver.recv() else {
-                // All senders dropped: the run is over.
+                // All senders dropped (or the inbox was closed by the abort
+                // path): the run is over.
                 return;
             };
-            let shutdown = matches!(msg, DsmMsg::Shutdown);
-            if matches!(msg, DsmMsg::WorkerDone { .. }) {
-                // Completion notifications go to a dedicated channel so they
-                // cannot interleave with a protocol operation the root's user
-                // thread is still performing.
-                let _ = self.done_tx.send(());
-            } else if matches!(msg, DsmMsg::Carrier { .. }) {
-                // Carriers are unwrapped here — never routed to the user
-                // thread directly — so the piggybacked payload is always
-                // installed before the framed message is dispatched.
-                self.handle_request(env, msg);
-                self.process_deferred();
-            } else if msg.is_user_reply() {
-                self.route_to_user(env, msg);
-            } else {
-                self.handle_request(env, msg);
-                self.process_deferred();
-            }
-            if shutdown {
+            if self.handle_incoming(env, msg) {
+                self.drain_unacked(&receiver);
                 return;
             }
         }
+    }
+
+    /// Processes one incoming transmission: unwraps the reliability layer
+    /// (acks, dedup, in-order release) when present, then dispatches every
+    /// deliverable protocol message. Returns `true` once `Shutdown` has been
+    /// dispatched.
+    pub(crate) fn handle_incoming(self: &Arc<Self>, env: Envelope, msg: DsmMsg) -> bool {
+        match msg {
+            DsmMsg::Tick => {
+                self.reliability_tick();
+                false
+            }
+            DsmMsg::NetAck { upto } => {
+                self.on_net_ack(env.src, upto);
+                false
+            }
+            DsmMsg::Reliable { id, ack, inner } => {
+                self.on_net_ack(env.src, ack);
+                let mut shutdown = false;
+                for released in self.reliable_deliver(env.src, id, *inner) {
+                    shutdown |= self.dispatch(env, released);
+                }
+                shutdown
+            }
+            msg => self.dispatch(env, msg),
+        }
+    }
+
+    /// Routes one protocol message to its handler. Returns `true` for
+    /// `Shutdown`.
+    fn dispatch(self: &Arc<Self>, env: Envelope, msg: DsmMsg) -> bool {
+        let shutdown = matches!(msg, DsmMsg::Shutdown);
+        if matches!(msg, DsmMsg::WorkerDone { .. }) {
+            // Completion notifications go to a dedicated channel so they
+            // cannot interleave with a protocol operation the root's user
+            // thread is still performing.
+            let _ = self.done_tx.send(());
+        } else if matches!(msg, DsmMsg::Carrier { .. }) {
+            // Carriers are unwrapped here — never routed to the user
+            // thread directly — so the piggybacked payload is always
+            // installed before the framed message is dispatched.
+            self.handle_request(env, msg);
+            self.process_deferred();
+        } else if msg.is_user_reply() {
+            self.route_to_user(env, msg);
+        } else {
+            self.handle_request(env, msg);
+            self.process_deferred();
+        }
+        shutdown
+    }
+
+    /// Post-shutdown drain: while this node still holds unacknowledged
+    /// outbound messages, keep servicing the reliability layer (acks in,
+    /// retransmits out, ack-and-discard any late inner messages) so peers
+    /// can finish their own drains, up to a bounded wall-clock deadline.
+    /// Without this, a node whose final messages were lost would exit and
+    /// strand its peers' retransmit loops until *their* watchdogs fire.
+    fn drain_unacked(self: &Arc<Self>, receiver: &Receiver<DsmMsg>) {
+        if !self.reliability_enabled() {
+            return;
+        }
+        // Ack the `Shutdown` frame (and anything else owed) right away: the
+        // sender is blocked in its own drain waiting for it, and this node's
+        // tick never fires again once the service loop exits.
+        self.flush_owed_acks();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(1);
+        while self.has_unacked() && std::time::Instant::now() < deadline {
+            // A tick is always scheduled while messages are unacked, so this
+            // recv wakes at least once per retransmit interval.
+            let Ok((env, msg)) = receiver.recv() else {
+                return;
+            };
+            match msg {
+                DsmMsg::Tick => self.reliability_tick(),
+                DsmMsg::NetAck { upto } => self.on_net_ack(env.src, upto),
+                DsmMsg::Reliable { id, ack, inner } => {
+                    self.on_net_ack(env.src, ack);
+                    // Deliverable inners are acknowledged (the dedup frontier
+                    // advances) but discarded: the run is over, and anything
+                    // arriving now is a retransmission of work already done.
+                    let _ = self.reliable_deliver(env.src, id, *inner);
+                }
+                _ => {}
+            }
+        }
+        // Acks owed for frames that arrived *during* the drain (a peer's
+        // retransmissions) flush here so the peer's own drain completes
+        // instead of running out its deadline against a closed inbox.
+        self.flush_owed_acks();
     }
 
     /// Dispatches one incoming request. Replies are timestamped from the
@@ -1182,6 +1256,16 @@ mod tests {
     }
 
     fn harness() -> Harness {
+        harness_with(MuninConfig::fast_test(2))
+    }
+
+    /// Same two-node harness but with the reliability layer forced on, for
+    /// the duplicate-delivery idempotence tests.
+    fn reliable_harness() -> Harness {
+        harness_with(MuninConfig::fast_test(2).with_reliability(true))
+    }
+
+    fn harness_with(cfg: MuninConfig) -> Harness {
         let mut table = SharedDataTable::new(64);
         table.declare("ro", SharingAnnotation::ReadOnly, 4, 8, false);
         table.declare("conv", SharingAnnotation::Conventional, 4, 8, false);
@@ -1189,7 +1273,7 @@ mod tests {
         table.declare("red", SharingAnnotation::Reduction, 8, 2, false);
         table.declare("mig", SharingAnnotation::Migratory, 4, 8, false);
         let table = Arc::new(table);
-        let cfg = Arc::new(MuninConfig::fast_test(2));
+        let cfg = Arc::new(cfg);
         let clock0 = NodeClock::new();
         let clock1 = NodeClock::new();
         let mut net: Network<DsmMsg> = Network::new(2, CostModel::fast_test());
@@ -1868,5 +1952,192 @@ mod tests {
             h.rt_rx.recv().unwrap().1,
             DsmMsg::BarrierRelease { .. }
         ));
+    }
+
+    // --- reliability-layer idempotence -----------------------------------
+    //
+    // These tests forge `Reliable` frames straight into `handle_incoming`,
+    // modelling a retransmission whose original was *not* lost: the handler
+    // behind each frame must run exactly once. The handlers covered are the
+    // ones that are not naturally idempotent — a re-dispatched barrier
+    // arrival advances the arrival count, a re-dispatched lock acquire
+    // re-grants the lock, a re-dispatched update re-enters the seq check,
+    // and a re-routed invalidate ack desynchronizes the requester's
+    // ack-counting loop with a phantom reply.
+
+    /// Envelope for a forged frame from node 1.
+    fn rel_env() -> Envelope {
+        Envelope {
+            src: NodeId::new(1),
+            dst: NodeId::new(0),
+            class: "reliable",
+            model_bytes: 40,
+            sent_at: munin_sim::VirtTime::ZERO,
+            arrival: munin_sim::VirtTime::ZERO,
+        }
+    }
+
+    fn rel_frame(id: u64, inner: DsmMsg) -> DsmMsg {
+        DsmMsg::Reliable {
+            id,
+            ack: 0,
+            inner: Box::new(inner),
+        }
+    }
+
+    /// Strips transport (`Reliable`) and carrier framing off a message.
+    fn innermost(m: DsmMsg) -> Option<DsmMsg> {
+        match m {
+            DsmMsg::Reliable { inner, .. } => innermost(*inner),
+            DsmMsg::Carrier {
+                inner: Some(inner), ..
+            } => innermost(*inner),
+            DsmMsg::Carrier { inner: None, .. } => None,
+            other => Some(other),
+        }
+    }
+
+    #[test]
+    fn duplicate_barrier_arrive_is_counted_once() {
+        let h = reliable_harness();
+        let arrive = DsmMsg::BarrierArrive {
+            barrier: crate::sync::BarrierId(0),
+            from: NodeId::new(1),
+        };
+        h.rt.handle_incoming(rel_env(), rel_frame(1, arrive.clone()));
+        h.rt.handle_incoming(rel_env(), rel_frame(1, arrive));
+        // Were the duplicate dispatched, the 2-party barrier would count two
+        // arrivals and release; the peer must see only the dedup quench ack.
+        let mut released = false;
+        let mut net_acks = 0;
+        while let Some((_env, m)) = h.peer_rx.try_recv().unwrap() {
+            match (matches!(m, DsmMsg::NetAck { .. }), innermost(m)) {
+                (true, _) => net_acks += 1,
+                (false, Some(DsmMsg::BarrierRelease { .. })) => released = true,
+                _ => {}
+            }
+        }
+        assert!(!released, "duplicate barrier arrival released the barrier");
+        assert_eq!(net_acks, 1);
+        assert_eq!(h.rt.stats().snapshot().dup_msgs_dropped, 1);
+    }
+
+    #[test]
+    fn duplicate_lock_acquire_grants_once() {
+        let h = reliable_harness();
+        let acquire = DsmMsg::LockAcquire {
+            lock: crate::sync::LockId(0),
+            requester: NodeId::new(1),
+        };
+        h.rt.handle_incoming(rel_env(), rel_frame(1, acquire.clone()));
+        h.rt.handle_incoming(rel_env(), rel_frame(1, acquire));
+        let mut grants = 0;
+        while let Some((_env, m)) = h.peer_rx.try_recv().unwrap() {
+            if let Some(DsmMsg::LockGrant { .. }) = innermost(m) {
+                grants += 1;
+            }
+        }
+        assert_eq!(grants, 1, "duplicate lock acquire must not re-grant");
+        assert_eq!(h.rt.stats().snapshot().dup_msgs_dropped, 1);
+    }
+
+    #[test]
+    fn duplicate_update_is_dropped_before_the_seq_check() {
+        let h = reliable_harness();
+        let ws = h.obj("ws");
+        h.rt.install_object_bytes(ws, &[0u8; 32]);
+        let d = diff::encode(&[1u8; 32], &[0u8; 32]);
+        let update = DsmMsg::Update {
+            items: vec![UpdateItem {
+                object: ws,
+                payload: UpdatePayload::Diff(d),
+            }],
+            requester: NodeId::new(1),
+            seq: 0,
+            needs_ack: true,
+        };
+        h.rt.handle_incoming(rel_env(), rel_frame(1, update.clone()));
+        h.rt.handle_incoming(rel_env(), rel_frame(1, update));
+        let snap = h.rt.stats().snapshot();
+        assert_eq!(snap.updates_applied, 1);
+        assert_eq!(snap.dup_msgs_dropped, 1);
+        // Exactly one real UpdateAck; the duplicate is answered by the
+        // transport's NetAck, never by a second (count: 0) protocol ack.
+        let mut update_acks = 0;
+        let mut net_acks = 0;
+        while let Some((_env, m)) = h.peer_rx.try_recv().unwrap() {
+            match (matches!(m, DsmMsg::NetAck { .. }), innermost(m)) {
+                (true, _) => net_acks += 1,
+                (false, Some(DsmMsg::UpdateAck { .. })) => update_acks += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(update_acks, 1);
+        assert_eq!(net_acks, 1);
+    }
+
+    #[test]
+    fn duplicate_invalidate_ack_routes_to_user_once() {
+        let h = reliable_harness();
+        let ack = DsmMsg::InvalidateAck {
+            object: h.obj("ws"),
+        };
+        h.rt.handle_incoming(rel_env(), rel_frame(1, ack.clone()));
+        h.rt.handle_incoming(rel_env(), rel_frame(1, ack));
+        // A phantom second ack would make a later ack-counting wait return
+        // early; exactly one reply may reach the user mailbox.
+        assert!(h.rt.reply_rx.try_recv().is_ok());
+        assert!(h.rt.reply_rx.try_recv().is_err());
+        assert_eq!(h.rt.stats().snapshot().dup_msgs_dropped, 1);
+    }
+
+    #[test]
+    fn out_of_order_frames_are_released_in_id_order() {
+        let h = reliable_harness();
+        let ws = h.obj("ws");
+        h.rt.install_object_bytes(ws, &[0u8; 32]);
+        let first = DsmMsg::Update {
+            items: vec![UpdateItem {
+                object: ws,
+                payload: UpdatePayload::Diff(diff::encode(&[1u8; 32], &[0u8; 32])),
+            }],
+            requester: NodeId::new(1),
+            seq: 0,
+            needs_ack: false,
+        };
+        let second = DsmMsg::Update {
+            items: vec![UpdateItem {
+                object: ws,
+                payload: UpdatePayload::Diff(diff::encode(&[2u8; 32], &[1u8; 32])),
+            }],
+            requester: NodeId::new(1),
+            seq: 1,
+            needs_ack: false,
+        };
+        // Frame 2 arrives first: buffered, nothing dispatched.
+        h.rt.handle_incoming(rel_env(), rel_frame(2, second));
+        assert_eq!(h.rt.stats().snapshot().updates_applied, 0);
+        // Frame 1 fills the gap: both dispatch, in id order.
+        h.rt.handle_incoming(rel_env(), rel_frame(1, first));
+        assert_eq!(h.rt.stats().snapshot().updates_applied, 2);
+        assert_eq!(h.rt.object_bytes(ws), vec![2u8; 32]);
+    }
+
+    #[test]
+    fn cumulative_ack_releases_held_messages() {
+        let h = reliable_harness();
+        let ws = h.obj("ws");
+        let invalidate = DsmMsg::Invalidate {
+            object: ws,
+            requester: NodeId::new(0),
+        };
+        h.rt.send(NodeId::new(1), invalidate.clone()).unwrap();
+        h.rt.send(NodeId::new(1), invalidate).unwrap();
+        assert!(h.rt.has_unacked());
+        // Acking id 1 still leaves id 2 held; acking through id 2 clears.
+        h.rt.handle_incoming(rel_env(), DsmMsg::NetAck { upto: 1 });
+        assert!(h.rt.has_unacked());
+        h.rt.handle_incoming(rel_env(), DsmMsg::NetAck { upto: 2 });
+        assert!(!h.rt.has_unacked());
     }
 }

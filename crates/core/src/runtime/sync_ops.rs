@@ -58,7 +58,7 @@ impl NodeRuntime {
                 requester: self.node,
             },
         )?;
-        let (_env, reply) = self.wait_reply()?;
+        let (_env, reply) = self.wait_reply(crate::runtime::WaitOp::LockGrant(lock.0))?;
         match reply {
             DsmMsg::LockGrant { lock: l, queue } if l == lock => {
                 // Any consistency data rode the grant's carrier frame and was
@@ -176,7 +176,7 @@ impl NodeRuntime {
                 },
             )?;
         }
-        let (_env, reply) = self.wait_reply()?;
+        let (_env, reply) = self.wait_reply(crate::runtime::WaitOp::BarrierRelease(barrier.0))?;
         match reply {
             DsmMsg::BarrierRelease { barrier: b } if b == barrier => Ok(()),
             _ => Err(MuninError::ProtocolViolation(
@@ -215,7 +215,7 @@ impl NodeRuntime {
                 requester: self.node,
             },
         )?;
-        let (_env, reply) = self.wait_reply()?;
+        let (_env, reply) = self.wait_reply(crate::runtime::WaitOp::Reduce(object))?;
         match reply {
             DsmMsg::ReduceReply { old } => Ok(old),
             _ => Err(MuninError::ProtocolViolation(
@@ -253,7 +253,7 @@ impl NodeRuntime {
     /// requests in the meantime, e.g. for the root's `user_done` phase).
     pub(crate) fn wait_for_shutdown(self: &Arc<Self>) -> Result<()> {
         loop {
-            let (_env, msg) = self.wait_reply()?;
+            let (_env, msg) = self.wait_reply(crate::runtime::WaitOp::Shutdown)?;
             if matches!(msg, DsmMsg::Shutdown) {
                 return Ok(());
             }
@@ -263,10 +263,19 @@ impl NodeRuntime {
     /// Called by the root at the very end: tells every node (including
     /// itself, so its own service loop exits) to shut down.
     pub(crate) fn broadcast_shutdown(self: &Arc<Self>) -> Result<()> {
-        for i in 0..self.nodes {
+        // Workers first, self strictly last. The moment this node's own
+        // service loop dispatches the self-addressed `Shutdown` it moves to
+        // the bounded unacked drain and then exits — so every worker frame
+        // must already be wrapped (and thus held for retransmission by that
+        // drain) before the self frame is even submitted. Sending to self
+        // first would race the drain against the rest of the broadcast: a
+        // worker `Shutdown` lost after the drain finds the queue empty has
+        // no retransmitter, and that worker stalls in `shutdown_wait` until
+        // its watchdog fires.
+        for i in 1..self.nodes {
             self.send(NodeId::new(i), DsmMsg::Shutdown)?;
         }
-        Ok(())
+        self.send(self.node, DsmMsg::Shutdown)
     }
 }
 

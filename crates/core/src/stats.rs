@@ -119,6 +119,16 @@ counters! {
         reductions,
         /// Runtime errors detected (e.g. writes to read-only objects).
         runtime_errors,
+        /// Reliability-layer retransmissions of unacknowledged messages.
+        retransmits,
+        /// Standalone `NetAck` messages sent (acks that could not ride an
+        /// outgoing protocol message).
+        net_acks_sent,
+        /// Duplicate deliveries discarded by the reliability layer before
+        /// dispatch (message id below the cumulative receive frontier).
+        dup_msgs_dropped,
+        /// Stall-watchdog reports raised for blocked protocol operations.
+        watchdog_stalls,
     }
 }
 

@@ -14,7 +14,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use munin_sim::{Cluster, ClusterReport, CostModel, Envelope, NodeCtx, NodeId, SimError};
+use munin_sim::{
+    Cluster, ClusterReport, CostModel, EngineConfig, Envelope, NodeCtx, NodeId, SimError,
+};
 
 /// A message in the hand-coded message-passing programs.
 #[derive(Clone, Debug, PartialEq)]
@@ -151,7 +153,14 @@ where
     R: Send,
     F: Fn(&MpCtx) -> R + Sync,
 {
-    let cluster: Cluster<MpMsg> = Cluster::new(nodes, cost);
+    // The baseline models ideal hardware message passing and has no
+    // retransmission protocol, so env-injected loss (`MUNIN_LOSS`) is
+    // stripped here — it applies to the Munin runtime, which recovers
+    // through its reliability layer. Delay/reorder/duplicate injection and
+    // the seed still apply.
+    let mut engine = EngineConfig::from_env();
+    engine.faults.loss_ppm = 0;
+    let cluster: Cluster<MpMsg> = Cluster::new(nodes, cost).with_engine(engine);
     cluster.run(|ctx| {
         let mp = MpCtx { inner: ctx };
         worker(&mp)

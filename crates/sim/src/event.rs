@@ -79,6 +79,11 @@ pub const SEED_ENV_VAR: &str = "MUNIN_ENGINE_SEED";
 /// the legacy raw-channel ordering).
 pub const MODE_ENV_VAR: &str = "MUNIN_ENGINE_MODE";
 
+/// Environment variable injecting seeded per-link message loss, as a
+/// probability in `0..=1` (e.g. `MUNIN_LOSS=0.05` drops 5% of messages).
+/// Only the virtual-time mode injects faults; passthrough ignores it.
+pub const LOSS_ENV_VAR: &str = "MUNIN_LOSS";
+
 /// How the engine orders deliveries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum DeliveryMode {
@@ -109,6 +114,11 @@ pub struct FaultPlan {
     /// same payload bytes and a slightly later delivery time. Only protocols
     /// that tolerate duplicates should enable this.
     pub duplicate_ppm: u32,
+    /// Probability (ppm) of dropping a message outright. The sender observes
+    /// a successful send (as it would on a lossy wire); the message is never
+    /// scheduled. Only protocols with a retransmission layer should enable
+    /// this — see the runtime's reliability layer.
+    pub loss_ppm: u32,
 }
 
 impl FaultPlan {
@@ -120,6 +130,7 @@ impl FaultPlan {
             reorder_ppm: 0,
             reorder_window_ns: 0,
             duplicate_ppm: 0,
+            loss_ppm: 0,
         }
     }
 
@@ -132,7 +143,14 @@ impl FaultPlan {
             reorder_ppm: ppm,
             reorder_window_ns: window_ns,
             duplicate_ppm: 0,
+            loss_ppm: 0,
         }
+    }
+
+    /// Returns the plan with seeded message loss at the given rate (ppm).
+    pub const fn with_loss(mut self, loss_ppm: u32) -> Self {
+        self.loss_ppm = loss_ppm;
+        self
     }
 
     fn is_none(&self) -> bool {
@@ -202,6 +220,18 @@ impl EngineConfig {
                     eprintln!(
                         "warning: ignoring unknown {MODE_ENV_VAR}={v:?} (expected \"passthrough\" or \"virtual_time\")"
                     );
+                }
+            }
+            if let Ok(v) = std::env::var(LOSS_ENV_VAR) {
+                match v.trim().parse::<f64>() {
+                    Ok(rate) if (0.0..=1.0).contains(&rate) => {
+                        cfg.faults.loss_ppm = (rate * 1_000_000.0).round() as u32;
+                    }
+                    // A present-but-invalid loss rate must be loud, or a CI
+                    // loss run could silently test the lossless default.
+                    _ => eprintln!(
+                        "warning: ignoring unparsable {LOSS_ENV_VAR}={v:?} (expected a rate in 0..=1)"
+                    ),
                 }
             }
             cfg
@@ -305,6 +335,19 @@ struct LaneState {
 /// or writes.
 struct DestState<M> {
     heap: BinaryHeap<Scheduled<M>>,
+    /// Virtual-time timer events scheduled *by* this node for itself (the
+    /// runtime's retransmit/ack ticks). Kept out of the delivery heap: a
+    /// timer fires only when no real message is deliverable (see
+    /// [`EventEngine::recv`]), never advances the delivery frontier, and is
+    /// never traced or counted as a wire message.
+    timers: BinaryHeap<Scheduled<M>>,
+    /// Ordering sequence for the timer heap (independent of the message
+    /// sequence so timers never perturb delivery tie-breaks).
+    timer_seq: u64,
+    /// Timer events handed out to this node.
+    timers_fired: u64,
+    /// Messages dropped by seeded loss injection before scheduling.
+    dropped: u64,
     /// Lane clamps and fault streams of every link terminating here, keyed
     /// by source index.
     lanes: HashMap<u32, LaneState>,
@@ -382,6 +425,11 @@ pub struct EngineStats {
     pub messages_sent: u64,
     /// Total modelled wire bytes of those messages.
     pub bytes_sent: u64,
+    /// Messages dropped by seeded loss injection (never scheduled; not in
+    /// `messages_sent`).
+    pub messages_dropped: u64,
+    /// Virtual-time timer events delivered (never wire messages).
+    pub timers_fired: u64,
     /// The same volume broken down by message kind, sorted by class name.
     /// A carrier frame counts once, under the class of the message it
     /// frames.
@@ -418,6 +466,10 @@ impl<M> EventEngine<M> {
                 .map(|_| Shard {
                     state: Mutex::new(DestState {
                         heap: BinaryHeap::new(),
+                        timers: BinaryHeap::new(),
+                        timer_seq: 0,
+                        timers_fired: 0,
+                        dropped: 0,
                         lanes: HashMap::new(),
                         frontier_ns: 0,
                         delivered: 0,
@@ -454,6 +506,8 @@ impl<M> EventEngine<M> {
             let st = self.lock_shard(shard);
             stats.messages_sent += st.messages_sent;
             stats.bytes_sent += st.bytes_sent;
+            stats.messages_dropped += st.dropped;
+            stats.timers_fired += st.timers_fired;
             for (class, vol) in &st.class_counts {
                 let agg = stats.per_class.entry(class).or_default();
                 agg.msgs += vol.msgs;
@@ -514,13 +568,13 @@ impl<M> EventEngine<M> {
         if !guard.open {
             return Err(SimError::Disconnected);
         }
-        guard.count_scheduled(env.class, env.model_bytes);
         let st = &mut *guard;
-        let seq = st.next_seq;
-        st.next_seq += 1;
         let env = match self.cfg.mode {
             DeliveryMode::Passthrough => {
                 // Legacy FIFO: the enqueue sequence is the whole key.
+                st.count_scheduled(env.class, env.model_bytes);
+                let seq = st.next_seq;
+                st.next_seq += 1;
                 st.heap.push(Scheduled {
                     key: DeliveryKey {
                         deliver_at_ns: 0,
@@ -543,6 +597,17 @@ impl<M> EventEngine<M> {
                 let mut duplicate = false;
                 if !self.cfg.faults.is_none() {
                     let f = &self.cfg.faults;
+                    // The loss draw comes first and is gated on its own ppm,
+                    // so every non-loss plan consumes the exact RNG stream it
+                    // did before loss existed (replay digests are stable). A
+                    // lost message draws nothing further: it consumes no
+                    // sequence number, no lane clamp, and no volume count —
+                    // it simply never existed on the wire. The sender still
+                    // sees a successful send, as it would on a lossy link.
+                    if f.loss_ppm > 0 && splitmix64(&mut lane.rng) % 1_000_000 < f.loss_ppm as u64 {
+                        st.dropped += 1;
+                        return Ok(env);
+                    }
                     if f.delay_ppm > 0 && splitmix64(&mut lane.rng) % 1_000_000 < f.delay_ppm as u64
                     {
                         arrival_ns += 1 + splitmix64(&mut lane.rng) % f.max_delay_ns.max(1);
@@ -558,6 +623,9 @@ impl<M> EventEngine<M> {
                 // Lane FIFO: a link never reorders its own traffic.
                 arrival_ns = arrival_ns.max(lane.last_arrival_ns);
                 lane.last_arrival_ns = arrival_ns;
+                st.count_scheduled(env.class, env.model_bytes);
+                let seq = st.next_seq;
+                st.next_seq += 1;
                 // Seeded tie-break over (src, dst, deliver_at) only: two
                 // same-lane messages clamped to the same delivery time share
                 // the hash and fall through to the submission seqno, which
@@ -634,29 +702,129 @@ impl<M> EventEngine<M> {
         Some((env, sched.payload))
     }
 
+    /// Schedules a self-addressed virtual-time timer event for `node`. The
+    /// payload is handed to the node's `recv` once no real message is
+    /// deliverable (see [`EventEngine::recv`]); `due` orders timers against
+    /// each other. Timers never appear in traces, volume counters, or the
+    /// delivery frontier — they are not wire messages.
+    pub(crate) fn submit_timer(
+        &self,
+        node: usize,
+        due: VirtTime,
+        class: &'static str,
+        payload: M,
+    ) -> Result<(), SimError> {
+        let Some(shard) = self.shards.get(node) else {
+            return Err(SimError::Disconnected);
+        };
+        let mut st = self.lock_shard(shard);
+        if !st.open {
+            return Err(SimError::Disconnected);
+        }
+        let seq = st.timer_seq;
+        st.timer_seq += 1;
+        st.timers.push(Scheduled {
+            key: DeliveryKey {
+                deliver_at_ns: due.as_nanos(),
+                tie: 0,
+                seq,
+            },
+            env: Envelope {
+                src: NodeId::new(node),
+                dst: NodeId::new(node),
+                class,
+                model_bytes: 0,
+                sent_at: due,
+                arrival: due,
+            },
+            payload,
+        });
+        drop(st);
+        shard.cond.notify_all();
+        Ok(())
+    }
+
+    /// The delivery frontier of `node` in nanoseconds: the largest effective
+    /// delivery time handed out there so far (stall diagnostics).
+    pub fn frontier_ns(&self, node: usize) -> u64 {
+        self.shards
+            .get(node)
+            .map(|s| self.lock_shard(s).frontier_ns)
+            .unwrap_or(0)
+    }
+
+    /// Closes `node`'s inbox: subsequent submits fail, and its `recv` reports
+    /// disconnection once the already-scheduled messages drain. Used by the
+    /// runtime's abort path to guarantee a service thread terminates even
+    /// when the shutdown message itself was lost.
+    pub(crate) fn close_inbox(&self, node: usize) {
+        self.receiver_dropped(node);
+    }
+
+    /// How long a blocked `recv` waits for a real message before letting a
+    /// pending timer fire. Wall-clock: virtual time only advances when nodes
+    /// do work, so "no real message arrived for a moment" is the engine's
+    /// only honest notion of the destination being idle.
+    const TIMER_GRACE: std::time::Duration = std::time::Duration::from_millis(1);
+
     /// Blocking receive for `node`. Locks only the receiver's own shard.
+    /// Test convenience: production receivers go through [`recv_flagged`]
+    /// so they can tell timer events from real deliveries.
+    ///
+    /// [`recv_flagged`]: EventEngine::recv_flagged
+    #[cfg(test)]
     pub(crate) fn recv(&self, node: usize) -> Result<(Envelope, M), SimError> {
+        self.recv_flagged(node)
+            .map(|(env, payload, _)| (env, payload))
+    }
+
+    /// Blocking receive for `node`, with a flag distinguishing timer events
+    /// from real deliveries (the receiver must not advance its clock to a
+    /// timer's due time — timers fire opportunistically when the node is
+    /// idle and do not model virtual waiting).
+    ///
+    /// Timer semantics: a pending timer fires only when no real message is
+    /// deliverable after a short wall-clock grace (the destination is idle);
+    /// among timers, the earliest virtual due time fires first. Timers do not
+    /// advance the frontier and are not traced.
+    pub(crate) fn recv_flagged(&self, node: usize) -> Result<(Envelope, M, bool), SimError> {
         let shard = &self.shards[node];
         let mut st = self.lock_shard(shard);
         loop {
-            if let Some(delivery) = self.pop(&mut st) {
-                return Ok(delivery);
+            if let Some((env, payload)) = self.pop(&mut st) {
+                return Ok((env, payload, false));
             }
-            if self.senders.load(Ordering::SeqCst) == 0 {
+            if !st.open || self.senders.load(Ordering::SeqCst) == 0 {
                 return Err(SimError::Disconnected);
             }
-            st = shard.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+            if st.timers.is_empty() {
+                st = shard.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+            } else {
+                let (guard, timeout) = shard
+                    .cond
+                    .wait_timeout(st, Self::TIMER_GRACE)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+                if timeout.timed_out() && st.heap.is_empty() {
+                    if let Some(timer) = st.timers.pop() {
+                        st.timers_fired += 1;
+                        return Ok((timer.env, timer.payload, true));
+                    }
+                }
+            }
         }
     }
 
     /// Non-blocking receive for `node`. Locks only the receiver's own shard.
+    /// Never fires timers (they model "the destination went idle", which a
+    /// poll cannot observe).
     pub(crate) fn try_recv(&self, node: usize) -> Result<Option<(Envelope, M)>, SimError> {
         let shard = &self.shards[node];
         let mut st = self.lock_shard(shard);
         if let Some(delivery) = self.pop(&mut st) {
             return Ok(Some(delivery));
         }
-        if self.senders.load(Ordering::SeqCst) == 0 {
+        if !st.open || self.senders.load(Ordering::SeqCst) == 0 {
             return Err(SimError::Disconnected);
         }
         Ok(None)
@@ -896,5 +1064,95 @@ mod tests {
             e.submit(env(0, 1, 5), 1).err(),
             Some(SimError::Disconnected)
         );
+    }
+
+    #[test]
+    fn loss_drops_messages_deterministically_per_seed() {
+        let faults = FaultPlan::none().with_loss(500_000);
+        let run = |seed: u64| -> Vec<u64> {
+            let e = engine(2, EngineConfig::seeded(seed).with_faults(faults));
+            for i in 0..64u64 {
+                e.submit(env(0, 1, 100 * i), i).unwrap();
+            }
+            let mut got = Vec::new();
+            while let Ok(Some((_, v))) = e.try_recv(1) {
+                got.push(v);
+            }
+            let stats = e.stats();
+            assert_eq!(stats.messages_sent + stats.messages_dropped, 64);
+            assert!(stats.messages_dropped > 0, "50% loss must drop something");
+            assert!(stats.messages_sent > 0, "50% loss must deliver something");
+            got
+        };
+        assert_eq!(run(11), run(11), "loss schedule must replay under a seed");
+        assert_ne!(run(11), run(12), "loss schedule must depend on the seed");
+    }
+
+    #[test]
+    fn lost_messages_leave_no_schedule_side_effects() {
+        // Total loss: nothing is counted, clamped, or delivered, and the
+        // sender still observes successful sends.
+        let faults = FaultPlan::none().with_loss(1_000_000);
+        let e = engine(2, EngineConfig::seeded(5).with_faults(faults));
+        for i in 0..8u64 {
+            e.submit(env(0, 1, 100 * i), i).unwrap();
+        }
+        assert!(e.try_recv(1).unwrap().is_none());
+        let stats = e.stats();
+        assert_eq!(stats.messages_sent, 0);
+        assert_eq!(stats.messages_dropped, 8);
+        assert!(e.trace_snapshot().is_empty());
+    }
+
+    #[test]
+    fn timers_fire_only_when_no_real_message_is_deliverable() {
+        let e = engine(2, EngineConfig::seeded(1));
+        e.submit_timer(1, VirtTime::from_nanos(10), "tick", 77)
+            .unwrap();
+        e.submit(env(0, 1, 500), 1).unwrap();
+        // The real message wins even though the timer's due time is earlier.
+        let (_, first, timer) = e.recv_flagged(1).unwrap();
+        assert_eq!((first, timer), (1, false));
+        let (tick_env, second, timer) = e.recv_flagged(1).unwrap();
+        assert_eq!((second, timer), (77, true));
+        assert_eq!(tick_env.class, "tick");
+        assert_eq!(tick_env.src, NodeId::new(1));
+        // Timers are not wire messages: no volume, no trace, no frontier.
+        let stats = e.stats();
+        assert_eq!(stats.messages_sent, 1);
+        assert_eq!(stats.timers_fired, 1);
+        assert_eq!(e.frontier_ns(1), 500);
+    }
+
+    #[test]
+    fn earliest_due_timer_fires_first() {
+        let e = engine(1, EngineConfig::seeded(1));
+        e.submit_timer(0, VirtTime::from_nanos(900), "tick", 9)
+            .unwrap();
+        e.submit_timer(0, VirtTime::from_nanos(100), "tick", 1)
+            .unwrap();
+        assert_eq!(e.recv(0).unwrap().1, 1);
+        assert_eq!(e.recv(0).unwrap().1, 9);
+    }
+
+    #[test]
+    fn try_recv_never_fires_timers() {
+        let e = engine(1, EngineConfig::seeded(1));
+        e.submit_timer(0, VirtTime::ZERO, "tick", 1).unwrap();
+        assert!(e.try_recv(0).unwrap().is_none());
+    }
+
+    #[test]
+    fn closed_inbox_drains_then_disconnects() {
+        let e = engine(2, EngineConfig::seeded(1));
+        e.submit(env(0, 1, 5), 3).unwrap();
+        e.close_inbox(1);
+        assert_eq!(
+            e.submit(env(0, 1, 9), 4).err(),
+            Some(SimError::Disconnected)
+        );
+        assert_eq!(e.recv(1).unwrap().1, 3, "scheduled messages drain first");
+        assert_eq!(e.recv(1).err(), Some(SimError::Disconnected));
+        assert_eq!(e.try_recv(1).err(), Some(SimError::Disconnected));
     }
 }

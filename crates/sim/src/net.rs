@@ -207,6 +207,36 @@ impl<M: Send + Clone> Sender<M> {
         self.engine.submit(env, payload)
     }
 
+    /// Schedules a self-addressed virtual-time timer event for this node.
+    /// The payload is handed to the node's receiver once no real message is
+    /// deliverable (the node went idle); `due` orders timers against each
+    /// other. Timers are free: no wire bytes, no per-message cost, no trace
+    /// entry, and the receiver's clock does not advance to `due`.
+    pub fn schedule_timer(
+        &self,
+        due: VirtTime,
+        class: &'static str,
+        payload: M,
+    ) -> Result<(), SimError> {
+        self.engine
+            .submit_timer(self.node.as_usize(), due, class, payload)
+    }
+
+    /// The delivery frontier of `dst` in nanoseconds of virtual time: the
+    /// largest effective delivery time handed out there so far. Used by stall
+    /// diagnostics to show how far each destination's schedule progressed.
+    pub fn delivery_frontier(&self, dst: NodeId) -> u64 {
+        self.engine.frontier_ns(dst.as_usize())
+    }
+
+    /// Closes this node's own inbox: subsequent sends to it fail and its
+    /// receiver reports disconnection once the already-scheduled messages
+    /// drain. The runtime's abort path uses this to guarantee the service
+    /// thread terminates even when the shutdown message itself was lost.
+    pub fn close_inbox(&self) {
+        self.engine.close_inbox(self.node.as_usize());
+    }
+
     /// The node this sender belongs to.
     pub fn node_id(&self) -> NodeId {
         self.node
@@ -244,10 +274,14 @@ impl<M> Drop for Receiver<M> {
 impl<M: Send> Receiver<M> {
     /// Blocks until the engine delivers the earliest scheduled message, then
     /// advances this node's clock to the message's effective delivery time
-    /// (charging the gap as wait time).
+    /// (charging the gap as wait time). Timer events (scheduled through
+    /// [`Sender::schedule_timer`]) are delivered without advancing the
+    /// clock: they fire when the node is idle and model no virtual waiting.
     pub fn recv(&self) -> Result<(Envelope, M), SimError> {
-        let (env, payload) = self.engine.recv(self.node.as_usize())?;
-        self.clock.advance_to(TimeKind::Wait, env.arrival);
+        let (env, payload, is_timer) = self.engine.recv_flagged(self.node.as_usize())?;
+        if !is_timer {
+            self.clock.advance_to(TimeKind::Wait, env.arrival);
+        }
         Ok((env, payload))
     }
 

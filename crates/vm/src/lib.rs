@@ -66,12 +66,17 @@ pub enum PageRights {
 
 /// Whether the full trap substrate — including read-vs-write fault decoding
 /// and callback-mode regions as used by `munin-core`'s `AccessMode::VmTraps`
-/// — is available on this target (64-bit Linux on x86_64).
+/// — is available on this target (64-bit Linux on x86_64 with glibc). The
+/// read-vs-write decode reaches into glibc's `ucontext_t` layout at a
+/// hard-coded offset; musl lays `ucontext_t` out differently, so non-gnu
+/// targets report unsupported and `AccessMode::VmTraps` fails with the clean
+/// capability error instead of mis-classifying faults.
 pub const fn traps_supported() -> bool {
     cfg!(all(
         target_os = "linux",
         target_arch = "x86_64",
-        target_pointer_width = "64"
+        target_pointer_width = "64",
+        target_env = "gnu"
     ))
 }
 

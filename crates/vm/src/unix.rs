@@ -59,15 +59,19 @@ static PREVIOUS_HANDLER: AtomicUsize = AtomicUsize::new(0);
 /// Decodes whether a SIGSEGV was caused by a write access, from the saved
 /// user context.
 ///
-/// On x86_64/Linux the page-fault error code is saved in the `REG_ERR` slot
-/// of `uc_mcontext.gregs`; bit 1 is set for write accesses. The glibc
+/// On x86_64/Linux/glibc the page-fault error code is saved in the `REG_ERR`
+/// slot of `uc_mcontext.gregs`; bit 1 is set for write accesses. The glibc
 /// `ucontext_t` layout places `gregs` at byte offset 40 (`uc_flags` 8 +
-/// `uc_link` 8 + `stack_t` 24) and `REG_ERR` is greg index 19. On other
-/// architectures the distinction is not decoded and every fault is reported
-/// as a write (the legacy twin behaviour only ever sees write faults, and the
-/// callback integration in `munin-core` is gated to x86_64).
+/// `uc_link` 8 + `stack_t` 24) and `REG_ERR` is greg index 19. That offset is
+/// a *glibc* ABI fact — musl lays `ucontext_t` out differently, so the decode
+/// is gated on `target_env = "gnu"`: elsewhere the distinction is not decoded
+/// and every fault is reported as a write (the legacy twin behaviour only
+/// ever sees write faults, and the callback integration in `munin-core` is
+/// gated behind `traps_supported`, which is false off x86_64/gnu — those
+/// targets get the clean `VmUnavailable` capability error instead of garbage
+/// fault classification).
 fn fault_is_write(ctx: *mut libc::c_void) -> bool {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", target_env = "gnu"))]
     {
         if ctx.is_null() {
             return true;
@@ -78,7 +82,7 @@ fn fault_is_write(ctx: *mut libc::c_void) -> bool {
         let err = unsafe { *((ctx as *const u8).add(40 + 19 * 8) as *const u64) };
         err & 0x2 != 0
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(not(all(target_arch = "x86_64", target_env = "gnu")))]
     {
         let _ = ctx;
         true
@@ -472,9 +476,9 @@ mod tests {
 
     /// Callback-mode region: faults are routed to the callback with the
     /// faulting offset and access kind, and the callback's own rights
-    /// transitions resolve them. Read-vs-write decoding is x86_64-only.
+    /// transitions resolve them. Read-vs-write decoding is x86_64/glibc-only.
     #[test]
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", target_env = "gnu"))]
     fn callback_receives_offset_and_access_kind() {
         use std::sync::Mutex;
 

@@ -22,6 +22,6 @@ pub use munin_vm as vm;
 
 pub use munin_core::{
     AccessMode, BarrierId, LockId, MuninConfig, MuninError, MuninProgram, MuninReport,
-    MuninStatsSnapshot, SharedVar, SharingAnnotation, WorkerCtx,
+    MuninStatsSnapshot, SharedVar, SharingAnnotation, StallReport, WorkerCtx,
 };
 pub use munin_sim::CostModel;
