@@ -58,6 +58,9 @@ pub struct MatmulParams {
     pub retransmit_pacing: Option<std::time::Duration>,
     /// Overrides the stall-watchdog window; `None` keeps the default.
     pub watchdog: Option<std::time::Duration>,
+    /// Overrides the flight-recorder ring capacity (`0` disables event
+    /// capture); `None` keeps the config default / `MUNIN_FLIGHT_EVENTS`.
+    pub flight_events: Option<usize>,
 }
 
 impl MatmulParams {
@@ -75,6 +78,7 @@ impl MatmulParams {
             reliability: None,
             retransmit_pacing: None,
             watchdog: None,
+            flight_events: None,
         }
     }
 
@@ -92,6 +96,7 @@ impl MatmulParams {
             reliability: None,
             retransmit_pacing: None,
             watchdog: None,
+            flight_events: None,
         }
     }
 }
@@ -153,6 +158,9 @@ pub fn run_munin(
     if let Some(w) = params.watchdog {
         cfg = cfg.with_watchdog(w);
     }
+    if let Some(f) = params.flight_events {
+        cfg = cfg.with_flight_events(f);
+    }
     let mut prog = MuninProgram::new(cfg);
     let input1 = prog.declare::<i32>("input1", n * n, SharingAnnotation::ReadOnly);
     let input2 = prog.declare::<i32>("input2", n * n, SharingAnnotation::ReadOnly);
@@ -213,7 +221,9 @@ pub fn run_munin(
         report.net.clone(),
     )
     .with_stats(report.stats_total())
-    .with_engine_stats(report.engine_stats.clone());
+    .with_engine_stats(report.engine_stats.clone())
+    .with_obs(report.obs_total())
+    .with_trace_digest(report.trace_digest);
     let c = report.read_root_slice(&output);
     Ok((measurement, c))
 }

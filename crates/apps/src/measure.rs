@@ -1,7 +1,10 @@
 //! Measurement records shared by the application drivers and the benchmark
 //! harnesses.
 
-use munin_core::MuninStatsSnapshot;
+use std::fmt::Write as _;
+
+use munin_core::obs::fmt_ns;
+use munin_core::{LatencyHist, MuninStatsSnapshot, ObsSnapshot};
 use munin_sim::stats::NetSnapshot;
 use munin_sim::{EngineStats, NodeTimes, VirtTime};
 
@@ -27,6 +30,15 @@ pub struct RunMeasurement {
     /// every delivery the event engine scheduled (empty for runs that do not
     /// surface it).
     pub engine: EngineStats,
+    /// Cluster-wide observability aggregate: blocking-wait and fault-service
+    /// latency histograms merged over all nodes (empty for message-passing
+    /// runs, which have no Munin runtime).
+    pub obs: ObsSnapshot,
+    /// Digest of the engine's delivery trace (0 for runs that do not surface
+    /// it). Identical across runs with the same seed and protocol behaviour,
+    /// so the differential observability tests compare it as a golden value
+    /// between recording-on and recording-off runs.
+    pub trace_digest: u64,
 }
 
 impl RunMeasurement {
@@ -47,6 +59,8 @@ impl RunMeasurement {
             net,
             stats: MuninStatsSnapshot::default(),
             engine: EngineStats::default(),
+            obs: ObsSnapshot::default(),
+            trace_digest: 0,
         }
     }
 
@@ -59,6 +73,19 @@ impl RunMeasurement {
     /// Attaches the engine-level message volume counters.
     pub fn with_engine_stats(mut self, engine: EngineStats) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Attaches the merged observability aggregate
+    /// (see `MuninReport::obs_total`).
+    pub fn with_obs(mut self, obs: ObsSnapshot) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Attaches the engine delivery-trace digest.
+    pub fn with_trace_digest(mut self, digest: u64) -> Self {
+        self.trace_digest = digest;
         self
     }
 
@@ -85,6 +112,74 @@ impl RunMeasurement {
         }
         single_proc.secs() / self.secs()
     }
+
+    /// Renders the unified run report: time split, per-message-kind traffic,
+    /// and — when the run carries an observability aggregate — blocking-wait
+    /// and fault-service latency percentiles. All times are virtual.
+    pub fn render_report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ({} procs) ==", self.label, self.procs);
+        let _ = writeln!(
+            out,
+            "total {:.3}s  user {:.3}s  system {:.3}s",
+            self.secs(),
+            self.root_user.as_secs_f64(),
+            self.root_system.as_secs_f64()
+        );
+        if self.engine.messages_sent > 0 {
+            let _ = writeln!(
+                out,
+                "messages: {} msgs, {} bytes",
+                self.engine.messages_sent, self.engine.bytes_sent
+            );
+            let mut kinds: Vec<&str> = self.engine.per_class.keys().copied().collect();
+            kinds.sort_unstable();
+            for kind in kinds {
+                let c = self.engine.class(kind);
+                let _ = writeln!(
+                    out,
+                    "  {kind:<22} {:>10} msgs {:>14} bytes",
+                    c.msgs, c.bytes
+                );
+            }
+        }
+        render_hist_table(&mut out, "blocking waits (virtual time)", &self.obs.waits);
+        render_hist_table(
+            &mut out,
+            "fault service by annotation (virtual time)",
+            &self.obs.fault_service,
+        );
+        out
+    }
+}
+
+/// Appends one percentile table (`count p50 p95 p99 max` per key) to `out`;
+/// silent when the map is empty so message-passing reports stay compact.
+fn render_hist_table(
+    out: &mut String,
+    title: &str,
+    hists: &std::collections::BTreeMap<&'static str, LatencyHist>,
+) {
+    if hists.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "{title}:");
+    let _ = writeln!(
+        out,
+        "  {:<22} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "kind", "count", "p50", "p95", "p99", "max"
+    );
+    for (kind, h) in hists {
+        let _ = writeln!(
+            out,
+            "  {kind:<22} {:>8} {:>9} {:>9} {:>9} {:>9}",
+            h.count(),
+            fmt_ns(h.p50_ns()),
+            fmt_ns(h.p95_ns()),
+            fmt_ns(h.p99_ns()),
+            fmt_ns(h.max_ns())
+        );
+    }
 }
 
 #[cfg(test)]
@@ -101,6 +196,8 @@ mod tests {
             net: NetSnapshot::default(),
             stats: MuninStatsSnapshot::default(),
             engine: EngineStats::default(),
+            obs: ObsSnapshot::default(),
+            trace_digest: 0,
         }
     }
 
@@ -117,5 +214,23 @@ mod tests {
         let single = m("munin", 100);
         let parallel = m("munin", 10);
         assert!((parallel.speedup(&single) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_includes_wait_percentiles_when_present() {
+        let mut run = m("munin", 10);
+        let plain = run.render_report();
+        assert!(plain.contains("== munin (4 procs) =="));
+        assert!(!plain.contains("blocking waits"));
+
+        let mut hist = LatencyHist::default();
+        for ns in [1_000, 2_000, 40_000] {
+            hist.record(ns);
+        }
+        run.obs.waits.insert("barrier", hist);
+        let with_waits = run.render_report();
+        assert!(with_waits.contains("blocking waits"));
+        assert!(with_waits.contains("barrier"));
+        assert!(with_waits.contains("p95"));
     }
 }

@@ -63,6 +63,9 @@ pub struct SorParams {
     pub retransmit_pacing: Option<std::time::Duration>,
     /// Overrides the stall-watchdog window; `None` keeps the default.
     pub watchdog: Option<std::time::Duration>,
+    /// Overrides the flight-recorder ring capacity (`0` disables event
+    /// capture); `None` keeps the config default / `MUNIN_FLIGHT_EVENTS`.
+    pub flight_events: Option<usize>,
 }
 
 impl SorParams {
@@ -82,6 +85,7 @@ impl SorParams {
             reliability: None,
             retransmit_pacing: None,
             watchdog: None,
+            flight_events: None,
         }
     }
 
@@ -101,6 +105,7 @@ impl SorParams {
             reliability: None,
             retransmit_pacing: None,
             watchdog: None,
+            flight_events: None,
         }
     }
 }
@@ -197,6 +202,9 @@ pub fn run_munin(
     if let Some(w) = params.watchdog {
         cfg = cfg.with_watchdog(w);
     }
+    if let Some(f) = params.flight_events {
+        cfg = cfg.with_flight_events(f);
+    }
     let mut prog = MuninProgram::new(cfg);
     let matrix = prog.declare::<f64>("matrix", rows * cols, SharingAnnotation::ProducerConsumer);
     let computed = prog.create_barrier("computed");
@@ -284,7 +292,9 @@ pub fn run_munin(
         report.net.clone(),
     )
     .with_stats(report.stats_total())
-    .with_engine_stats(report.engine_stats.clone());
+    .with_engine_stats(report.engine_stats.clone())
+    .with_obs(report.obs_total())
+    .with_trace_digest(report.trace_digest);
     Ok((measurement, grid))
 }
 

@@ -244,7 +244,9 @@ pub fn run_munin(
         report.net.clone(),
     )
     .with_stats(report.stats_total())
-    .with_engine_stats(report.engine_stats.clone());
+    .with_engine_stats(report.engine_stats.clone())
+    .with_obs(report.obs_total())
+    .with_trace_digest(report.trace_digest);
     Ok((
         measurement,
         TspResult {

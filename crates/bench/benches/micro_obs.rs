@@ -1,0 +1,181 @@
+//! Microbenchmark of the observability subsystem's overhead.
+//!
+//! Three things are measured:
+//!
+//! * **Wall clock** of complete 8- and 16-node SOR runs with the flight
+//!   recorder at its default capacity vs disabled (`MUNIN_FLIGHT_EVENTS=0`)
+//!   — recording must be cheap enough to stay on by default (the committed
+//!   budget is ≤5% on the 8-node run).
+//! * **Per-record cost**: nanoseconds per flight-recorder event and per
+//!   wait-histogram sample, measured in a tight loop.
+//! * **Trace weight**: exported Perfetto JSON bytes per 1000 events.
+//!
+//! The measured numbers are printed on every run and are the source of the
+//! committed `BENCH_obs.json` baseline. Refresh with:
+//! `cargo bench -p munin-bench --bench micro_obs` (copy the printed table).
+//!
+//! CI runs this bench with `-- --quick` as a smoke test.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use munin_apps::sor::{self, SorParams};
+use munin_core::obs::{EventKind, Recorder};
+use munin_sim::{CostModel, EngineConfig, NodeId};
+use std::time::{Duration, Instant};
+
+/// The same page-aligned SOR shape as `micro_flush`, with the recorder ring
+/// pinned to `flight_events`.
+fn params(nodes: usize, iterations: usize, flight_events: usize) -> SorParams {
+    let mut p = SorParams::small(nodes * 4, 16, iterations, nodes);
+    p.engine = EngineConfig::seeded(7);
+    p.flight_events = Some(flight_events);
+    p
+}
+
+/// Default ring capacity (`MuninConfig::flight_events` without overrides).
+const DEFAULT_RING: usize = 256;
+
+/// SOR iteration count for the wall-clock comparison. High enough that
+/// protocol work (where the recorder sits) dominates the fixed per-run
+/// thread spawn/join cost, which would otherwise drown the signal.
+const WALLCLOCK_ITERS: usize = 120;
+
+/// One timed SOR run, in wall-clock milliseconds.
+fn run_ms(nodes: usize, flight_events: usize) -> f64 {
+    let t0 = Instant::now();
+    let (m, grid) = sor::run_munin(
+        params(nodes, WALLCLOCK_ITERS, flight_events),
+        CostModel::fast_test(),
+    )
+    .expect("SOR run");
+    criterion::black_box((m.elapsed, grid));
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Best-of-N wall-clock milliseconds of recording-on vs recording-off runs.
+/// On/off samples are interleaved so machine-speed drift during the
+/// measurement hits both sides equally, and the minimum is compared: a run
+/// spawns far more threads than the host has cores, so wall clock carries
+/// heavy positive scheduler noise and the minimum is the estimator of the
+/// interference-free cost.
+fn best_on_off_ms(nodes: usize, reps: usize) -> (f64, f64) {
+    let mut on = f64::INFINITY;
+    let mut off = f64::INFINITY;
+    for _ in 0..reps {
+        on = on.min(run_ms(nodes, DEFAULT_RING));
+        off = off.min(run_ms(nodes, 0));
+    }
+    (on, off)
+}
+
+/// Nanoseconds per `Recorder::record` into a default-capacity ring, with a
+/// representative fill (peer + seq).
+fn ns_per_event(iters: u64) -> f64 {
+    let rec = Recorder::new(NodeId::new(0), DEFAULT_RING, false);
+    let t0 = Instant::now();
+    for i in 0..iters {
+        rec.record(i, EventKind::UpdateSend, |ev| {
+            ev.peer = Some(NodeId::new(1));
+            ev.seq = Some(i);
+        });
+    }
+    criterion::black_box(rec.snapshot());
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Nanoseconds per wait-histogram sample.
+fn ns_per_wait(iters: u64) -> f64 {
+    let rec = Recorder::new(NodeId::new(0), 0, false);
+    let t0 = Instant::now();
+    for i in 0..iters {
+        rec.record_wait("barrier", (i % 1_000_000) * 64);
+    }
+    criterion::black_box(rec.snapshot());
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Exported trace bytes per 1000 events, for a representative event mix.
+fn trace_bytes_per_1k_events() -> f64 {
+    const EVENTS: u64 = 1_000;
+    let rec = Recorder::new(NodeId::new(0), EVENTS as usize, false);
+    for i in 0..EVENTS {
+        match i % 4 {
+            0 => rec.record(i * 100, EventKind::UpdateSend, |ev| {
+                ev.peer = Some(NodeId::new(1));
+                ev.seq = Some(i);
+            }),
+            1 => rec.record(i * 100, EventKind::ReadFaultEnd, |ev| {
+                ev.object = Some(munin_core::ObjectId::new((i % 64) as u32));
+                ev.dur_ns = 5_000;
+            }),
+            2 => rec.record(i * 100, EventKind::LockGrant, |ev| {
+                ev.sync_id = Some((i % 8) as u32);
+                ev.dur_ns = 2_000;
+            }),
+            _ => rec.record(i * 100, EventKind::TimerFire, |_| {}),
+        }
+    }
+    let trace = munin_core::obs::perfetto::render_trace(&[rec.snapshot()]);
+    trace.len() as f64 * 1_000.0 / EVENTS as f64
+}
+
+fn report_obs_overhead(quick: bool) {
+    let (reps8, reps16, loop_iters) = if quick {
+        (3, 2, 200_000)
+    } else {
+        (21, 11, 2_000_000)
+    };
+    eprintln!(
+        "micro_obs overhead (SOR, page-aligned bands, {WALLCLOCK_ITERS} iterations, \
+         seeded engine, interleaved best-of-N):"
+    );
+    eprintln!(
+        "{:>6} {:>14} {:>14} {:>10}",
+        "nodes", "on (ms)", "off (ms)", "overhead"
+    );
+    for (nodes, reps) in [(8usize, reps8), (16usize, reps16)] {
+        let (on, off) = best_on_off_ms(nodes, reps);
+        eprintln!(
+            "{nodes:>6} {on:>14.2} {off:>14.2} {:>9.1}%",
+            (on / off - 1.0) * 100.0
+        );
+    }
+    eprintln!(
+        "per-event record: {:.0} ns   per-wait sample: {:.0} ns   trace: {:.0} bytes / 1k events",
+        ns_per_event(loop_iters),
+        ns_per_wait(loop_iters),
+        trace_bytes_per_1k_events()
+    );
+}
+
+fn bench_obs(c: &mut Criterion) {
+    report_obs_overhead(criterion::quick_mode());
+    let mut group = c.benchmark_group("obs");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
+    for (label, flight_events) in [("recording_on", DEFAULT_RING), ("recording_off", 0)] {
+        group.bench_function(format!("sor_8node/{label}"), |b| {
+            b.iter(|| {
+                let (m, grid) =
+                    sor::run_munin(params(8, 4, flight_events), CostModel::fast_test()).unwrap();
+                criterion::black_box((m.elapsed, grid))
+            });
+        });
+    }
+    group.bench_function("record_event", |b| {
+        let rec = Recorder::new(NodeId::new(0), DEFAULT_RING, false);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            rec.record(i, EventKind::UpdateSend, |ev| {
+                ev.peer = Some(NodeId::new(1));
+                ev.seq = Some(i);
+            });
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

@@ -49,6 +49,7 @@ use crate::config::MuninConfig;
 use crate::error::{MuninError, Result};
 use crate::msg::{DsmMsg, ReduceOp};
 use crate::object::{ObjectId, VarId};
+use crate::obs::ObsSnapshot;
 use crate::runtime::NodeRuntime;
 use crate::segment::SharedDataTable;
 use crate::stats::MuninStatsSnapshot;
@@ -353,6 +354,7 @@ impl MuninProgram {
                 let mut outcome = NodeOutcome {
                     result: Err(MuninError::ProtocolViolation("worker did not run")),
                     stats: Default::default(),
+                    obs: Default::default(),
                     root_memory: None,
                 };
                 // Synchronize the start so no worker faults before the root
@@ -407,18 +409,42 @@ impl MuninProgram {
                 }
                 let _ = server.join();
                 outcome.stats = rt.stats().snapshot();
+                // Both threads have stopped, so this snapshot is the node's
+                // complete event and histogram record for the run.
+                outcome.obs = rt.obs().snapshot();
                 outcome
             })
             .map_err(MuninError::from)?;
 
         let mut results = Vec::with_capacity(nodes);
         let mut stats = Vec::with_capacity(nodes);
+        let mut obs = Vec::with_capacity(nodes);
         let mut root_memory = Vec::new();
         for outcome in report.results {
             results.push(outcome.result);
             stats.push(outcome.stats);
+            obs.push(outcome.obs);
             if let Some(mem) = outcome.root_memory {
                 root_memory = mem;
+            }
+        }
+        // The watchdog could only attach the stalled node's own event tail
+        // when it raised; now that every runtime has stopped, extend each
+        // stall report with the forensics of all nodes.
+        let tails: Vec<(usize, Vec<String>)> = obs
+            .iter()
+            .map(|s| (s.node, s.tail(crate::obs::STALL_TAIL_EVENTS)))
+            .collect();
+        for r in &mut results {
+            if let Err(MuninError::Stalled(rep)) = r {
+                rep.last_events = tails.clone();
+            }
+        }
+        if let Some(path) = &self.cfg.trace_out {
+            // Trace export is best-effort diagnostics: an unwritable path
+            // must not turn a successful run into a failure.
+            if let Err(e) = crate::obs::perfetto::write_trace_file(path, &obs) {
+                eprintln!("munin: failed to write trace to {path}: {e}");
             }
         }
         Ok(MuninReport {
@@ -426,7 +452,9 @@ impl MuninProgram {
             node_times: report.node_times,
             net: report.net,
             engine_stats: report.engine_stats,
+            trace_digest: report.trace_digest,
             stats,
+            obs,
             results,
             root_memory,
             table: Arc::new(self.build_table()),
@@ -437,6 +465,7 @@ impl MuninProgram {
 struct NodeOutcome<R> {
     result: Result<R>,
     stats: MuninStatsSnapshot,
+    obs: ObsSnapshot,
     root_memory: Option<Vec<u8>>,
 }
 
@@ -755,8 +784,15 @@ pub struct MuninReport<R> {
     /// every delivery the event engine scheduled (carriers count once, under
     /// the class of the message they frame).
     pub engine_stats: munin_sim::EngineStats,
+    /// Digest of the engine's delivery trace, identical across runs with
+    /// the same seed and protocol behaviour (the differential observability
+    /// tests compare it between recording-on and recording-off runs).
+    pub trace_digest: u64,
     /// Per-node Munin runtime statistics.
     pub stats: Vec<MuninStatsSnapshot>,
+    /// Per-node observability snapshots: flight-recorder events and
+    /// blocking-wait / fault-service latency histograms.
+    pub obs: Vec<ObsSnapshot>,
     /// Per-node worker results.
     pub results: Vec<Result<R>>,
     /// Final contents of the root node's shared data segment.
@@ -789,6 +825,17 @@ impl<R> MuninReport<R> {
         self.stats
             .iter()
             .fold(MuninStatsSnapshot::default(), |acc, s| acc.merge(s))
+    }
+
+    /// Cluster-wide observability aggregate: every node's wait and
+    /// fault-service histograms merged (flight-recorder events stay
+    /// per-node and are not included).
+    pub fn obs_total(&self) -> ObsSnapshot {
+        let mut total = ObsSnapshot::default();
+        for s in &self.obs {
+            total.merge_hists(s);
+        }
+        total
     }
 
     /// The first worker error, if any worker failed.

@@ -104,6 +104,16 @@ pub struct MuninConfig {
     /// (exponential backoff, capped). Tests drop this to ~1 ms so loss runs
     /// converge quickly.
     pub retransmit_pacing: Duration,
+    /// Per-node flight-recorder capacity in events (the newest are kept;
+    /// `0` disables event capture — the wait histograms stay on either
+    /// way). Defaults to `MUNIN_FLIGHT_EVENTS` from the environment, else
+    /// 256. Raised to at least [`TRACE_FLIGHT_EVENTS`] when `trace_out` is
+    /// set so exported traces cover whole runs.
+    pub flight_events: usize,
+    /// When set, the run writes a Chrome-trace-event/Perfetto JSON file of
+    /// every node's flight recorder to this path. Defaults to
+    /// `MUNIN_TRACE_OUT` from the environment.
+    pub trace_out: Option<String>,
 }
 
 /// Reads `MUNIN_PIGGYBACK` from the environment: anything but `off`/`0`
@@ -141,8 +151,40 @@ pub fn watchdog_from_env() -> Duration {
     }
 }
 
+/// Reads `MUNIN_FLIGHT_EVENTS` (per-node flight-recorder capacity) from the
+/// environment; unset yields the 256-event default, unparsable values are
+/// ignored with a warning. `0` disables event capture.
+pub fn flight_events_from_env() -> usize {
+    match std::env::var("MUNIN_FLIGHT_EVENTS") {
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("munin: ignoring MUNIN_FLIGHT_EVENTS={v:?} (expected an event count)");
+                DEFAULT_FLIGHT_EVENTS
+            }
+        },
+        Err(_) => DEFAULT_FLIGHT_EVENTS,
+    }
+}
+
+/// Reads `MUNIN_TRACE_OUT` (Perfetto trace output path) from the
+/// environment; unset or empty yields `None`.
+pub fn trace_out_from_env() -> Option<String> {
+    std::env::var("MUNIN_TRACE_OUT")
+        .ok()
+        .filter(|v| !v.is_empty())
+}
+
 /// Default stall-watchdog window.
 pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(60);
+
+/// Default per-node flight-recorder capacity (events).
+pub const DEFAULT_FLIGHT_EVENTS: usize = 256;
+
+/// Minimum per-node flight-recorder capacity when a trace export is
+/// requested: a 256-event ring would wrap long before a run ends, leaving
+/// the exported trace a keyhole view with dangling flow arrows.
+pub const TRACE_FLIGHT_EVENTS: usize = 65_536;
 
 /// Default wall-clock base pacing for reliability-layer retransmissions.
 pub const DEFAULT_RETRANSMIT_PACING: Duration = Duration::from_millis(20);
@@ -163,6 +205,8 @@ impl MuninConfig {
             reliability: reliability_from_env(),
             watchdog: watchdog_from_env(),
             retransmit_pacing: DEFAULT_RETRANSMIT_PACING,
+            flight_events: flight_events_from_env(),
+            trace_out: trace_out_from_env(),
         }
     }
 
@@ -181,6 +225,8 @@ impl MuninConfig {
             reliability: reliability_from_env(),
             watchdog: watchdog_from_env(),
             retransmit_pacing: DEFAULT_RETRANSMIT_PACING,
+            flight_events: flight_events_from_env(),
+            trace_out: trace_out_from_env(),
         }
     }
 
@@ -244,6 +290,28 @@ impl MuninConfig {
         self.retransmit_pacing = pacing;
         self
     }
+
+    /// Sets the per-node flight-recorder capacity (0 disables events).
+    pub fn with_flight_events(mut self, events: usize) -> Self {
+        self.flight_events = events;
+        self
+    }
+
+    /// Requests a Perfetto trace export to `path` at the end of the run.
+    pub fn with_trace_out(mut self, path: impl Into<String>) -> Self {
+        self.trace_out = Some(path.into());
+        self
+    }
+
+    /// Effective flight-recorder capacity: the configured capacity, raised
+    /// to [`TRACE_FLIGHT_EVENTS`] when a trace export is requested.
+    pub fn effective_flight_events(&self) -> usize {
+        if self.trace_out.is_some() {
+            self.flight_events.max(TRACE_FLIGHT_EVENTS)
+        } else {
+            self.flight_events
+        }
+    }
 }
 
 #[cfg(test)]
@@ -271,5 +339,13 @@ mod tests {
             Some(SharingAnnotation::Conventional)
         );
         assert_eq!(cfg.copyset_strategy, CopysetStrategy::OwnerCollected);
+    }
+
+    #[test]
+    fn trace_out_raises_flight_capacity() {
+        let cfg = MuninConfig::fast_test(2).with_flight_events(8);
+        assert_eq!(cfg.effective_flight_events(), 8);
+        let cfg = cfg.with_trace_out("/tmp/trace.json");
+        assert_eq!(cfg.effective_flight_events(), TRACE_FLIGHT_EVENTS);
     }
 }

@@ -39,6 +39,12 @@ pub struct StallReport {
     /// Per-destination delivery frontier in nanoseconds of virtual time, as
     /// `(destination index, frontier_ns)` pairs.
     pub frontiers: Vec<(usize, u64)>,
+    /// Flight-recorder forensics: the last few recorded events of each
+    /// node, rendered, as `(node index, events oldest → newest)` pairs.
+    /// When the report is raised it holds only the stalled node's tail; the
+    /// run driver extends it to every node before returning the error.
+    /// Empty when event capture is disabled (`MUNIN_FLIGHT_EVENTS=0`).
+    pub last_events: Vec<(usize, Vec<String>)>,
 }
 
 impl fmt::Display for StallReport {
@@ -64,6 +70,15 @@ impl fmt::Display for StallReport {
         write!(f, "; delivery frontiers (ns):")?;
         for (dst, ns) in &self.frontiers {
             write!(f, " N{dst}@{ns}")?;
+        }
+        for (node, events) in &self.last_events {
+            write!(f, "\n  last events N{node}:")?;
+            if events.is_empty() {
+                write!(f, " (none recorded)")?;
+            }
+            for ev in events {
+                write!(f, "\n    {ev}")?;
+            }
         }
         Ok(())
     }

@@ -40,6 +40,7 @@ pub mod duq;
 pub mod error;
 pub mod msg;
 pub mod object;
+pub mod obs;
 pub mod runtime;
 pub mod segment;
 pub mod stats;
@@ -48,10 +49,11 @@ pub mod sync;
 pub use annotation::{render_table1, Param, ProtocolParams, SharingAnnotation};
 pub use api::{InitCtx, MuninProgram, MuninReport, Shareable, SharedVar, WorkerCtx};
 pub use config::{
-    piggyback_from_env, reliability_from_env, watchdog_from_env, AccessMode, CopysetStrategy,
-    MuninConfig,
+    flight_events_from_env, piggyback_from_env, reliability_from_env, trace_out_from_env,
+    watchdog_from_env, AccessMode, CopysetStrategy, MuninConfig,
 };
 pub use error::{MuninError, Result, StallReport};
 pub use object::{ObjectId, VarId, DEFAULT_PAGE_SIZE};
+pub use obs::{EventKind, LatencyHist, ObsEvent, ObsSnapshot};
 pub use stats::MuninStatsSnapshot;
 pub use sync::{BarrierId, LockId};

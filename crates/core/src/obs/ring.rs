@@ -1,0 +1,137 @@
+//! Fixed-capacity overwrite ring buffer for the flight recorder.
+//!
+//! Push never allocates once the ring is full: the oldest entry is
+//! overwritten in place. The total number of pushes is tracked so snapshots
+//! can report how many events were dropped.
+
+/// A fixed-capacity ring that overwrites its oldest entry when full.
+#[derive(Clone, Debug)]
+pub struct Ring<T> {
+    buf: Vec<T>,
+    /// Index the next push writes to once the ring has wrapped.
+    next: usize,
+    cap: usize,
+    /// Total pushes over the ring's lifetime (≥ `len`).
+    total: u64,
+}
+
+impl<T> Ring<T> {
+    /// Creates a ring holding at most `cap` entries (`cap == 0` ⇒ every push
+    /// is dropped).
+    pub fn new(cap: usize) -> Self {
+        Ring {
+            buf: Vec::with_capacity(cap.min(4096)),
+            next: 0,
+            cap,
+            total: 0,
+        }
+    }
+
+    /// Appends an entry, overwriting the oldest once at capacity.
+    pub fn push(&mut self, item: T) {
+        if self.cap == 0 {
+            self.total += 1;
+            return;
+        }
+        if self.buf.len() < self.cap {
+            self.buf.push(item);
+        } else {
+            self.buf[self.next] = item;
+            self.next = (self.next + 1) % self.cap;
+        }
+        self.total += 1;
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total pushes over the lifetime, including overwritten ones.
+    pub fn total_pushed(&self) -> u64 {
+        self.total
+    }
+
+    /// Entries evicted (or rejected by a zero-capacity ring).
+    pub fn dropped(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// Iterates the held entries oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf[self.next..]
+            .iter()
+            .chain(self.buf[..self.next].iter())
+    }
+
+    /// The most recent `n` entries, oldest → newest.
+    pub fn last_n(&self, n: usize) -> Vec<&T> {
+        let len = self.buf.len();
+        self.iter().skip(len.saturating_sub(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps_preserving_order() {
+        let mut r = Ring::new(4);
+        for i in 0..4 {
+            r.push(i);
+        }
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(r.dropped(), 0);
+        // Two more pushes evict the two oldest.
+        r.push(4);
+        r.push(5);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total_pushed(), 6);
+        assert_eq!(r.dropped(), 2);
+    }
+
+    #[test]
+    fn wraps_repeatedly_without_growing() {
+        let mut r = Ring::new(3);
+        for i in 0..100 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![97, 98, 99]);
+        assert_eq!(r.dropped(), 97);
+    }
+
+    #[test]
+    fn last_n_returns_newest_in_order() {
+        let mut r = Ring::new(5);
+        for i in 0..8 {
+            r.push(i);
+        }
+        assert_eq!(
+            r.last_n(3).into_iter().copied().collect::<Vec<_>>(),
+            vec![5, 6, 7]
+        );
+        // Asking for more than held returns everything held.
+        assert_eq!(
+            r.last_n(99).into_iter().copied().collect::<Vec<_>>(),
+            vec![3, 4, 5, 6, 7]
+        );
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut r = Ring::new(0);
+        r.push(1);
+        r.push(2);
+        assert!(r.is_empty());
+        assert_eq!(r.total_pushed(), 2);
+        assert_eq!(r.dropped(), 2);
+    }
+}

@@ -248,6 +248,23 @@ impl NodeRuntime {
 
     /// Handles a read access fault.
     pub(crate) fn read_fault(self: &Arc<Self>, object: ObjectId) -> Result<()> {
+        use crate::obs::EventKind;
+        let t0 = self.clock.now().as_nanos();
+        self.obs
+            .record(t0, EventKind::ReadFaultBegin, |ev| ev.object = Some(object));
+        let result = self.read_fault_inner(object);
+        let t1 = self.clock.now().as_nanos();
+        let dur = t1.saturating_sub(t0);
+        self.obs.record(t1, EventKind::ReadFaultEnd, |ev| {
+            ev.object = Some(object);
+            ev.dur_ns = dur;
+        });
+        self.obs
+            .record_fault_service(self.annotation_class(object), dur);
+        result
+    }
+
+    fn read_fault_inner(self: &Arc<Self>, object: ObjectId) -> Result<()> {
         bump(&self.stats.read_faults);
         self.charge_sys(self.cost.fault());
         let owner_hint = {
@@ -273,6 +290,30 @@ impl NodeRuntime {
     /// Handles a write access fault, dispatching on the object's protocol
     /// parameters.
     pub(crate) fn write_fault(self: &Arc<Self>, object: ObjectId) -> Result<()> {
+        use crate::obs::EventKind;
+        let t0 = self.clock.now().as_nanos();
+        self.obs.record(t0, EventKind::WriteFaultBegin, |ev| {
+            ev.object = Some(object)
+        });
+        let result = self.write_fault_inner(object);
+        let t1 = self.clock.now().as_nanos();
+        let dur = t1.saturating_sub(t0);
+        self.obs.record(t1, EventKind::WriteFaultEnd, |ev| {
+            ev.object = Some(object);
+            ev.dur_ns = dur;
+        });
+        self.obs
+            .record_fault_service(self.annotation_class(object), dur);
+        result
+    }
+
+    /// The annotation-class keyword of `object` (fault service-time
+    /// histogram key).
+    fn annotation_class(&self, object: ObjectId) -> &'static str {
+        self.dir.lock().entry(object).annotation.keyword()
+    }
+
+    fn write_fault_inner(self: &Arc<Self>, object: ObjectId) -> Result<()> {
         bump(&self.stats.write_faults);
         self.charge_sys(self.cost.fault());
         enum Plan {
@@ -399,6 +440,14 @@ impl NodeRuntime {
         access: FetchKind,
         owner_hint: NodeId,
     ) -> Result<()> {
+        self.obs.record(
+            self.clock.now().as_nanos(),
+            crate::obs::EventKind::FetchSend,
+            |ev| {
+                ev.object = Some(object);
+                ev.peer = Some(owner_hint);
+            },
+        );
         self.send(
             owner_hint,
             DsmMsg::ObjectFetch {

@@ -50,26 +50,20 @@ use crate::sync::SyncDirectory;
 /// dedicated thread.
 const WATCHDOG_SLICE: Duration = Duration::from_millis(50);
 
-/// Whether `MUNIN_PROTO_TRACE=1` protocol tracing is enabled (debugging aid
-/// for protocol races; logs go to stderr with node ids and virtual times).
+/// Whether protocol-trace notes are enabled (the flight recorder's
+/// human-readable dump mode; `MUNIN_PROTO_TRACE=1` is the long-standing
+/// alias for `MUNIN_OBS_DUMP=1`). Logs go to stderr with node ids and
+/// virtual times, and the notes also enter the flight-recorder ring.
 pub(crate) fn proto_trace_enabled() -> bool {
-    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ENABLED.get_or_init(|| {
-        std::env::var("MUNIN_PROTO_TRACE")
-            .map(|v| v == "1")
-            .unwrap_or(false)
-    })
+    crate::obs::dump_enabled()
 }
 
 macro_rules! proto_trace {
     ($self:expr, $($arg:tt)*) => {
-        if crate::runtime::proto_trace_enabled() {
-            eprintln!(
-                "[{:?} t={}ns] {}",
-                $self.node,
-                $self.clock.now().as_nanos(),
-                format!($($arg)*)
-            );
+        if $self.obs.notes_enabled() {
+            $self
+                .obs
+                .note($self.clock.now().as_nanos(), format!($($arg)*));
         }
     };
 }
@@ -228,6 +222,10 @@ pub struct NodeRuntime {
     deferred_gen: std::sync::atomic::AtomicU64,
     /// Statistics.
     stats: Arc<MuninStats>,
+    /// The flight recorder and latency histograms. A pure leaf lock that
+    /// never calls back into the runtime, the clock, or the engine, so
+    /// recording cannot perturb protocol behaviour (see `crate::obs`).
+    obs: crate::obs::Recorder,
     reply_tx: channel::Sender<(Envelope, DsmMsg)>,
     reply_rx: channel::Receiver<(Envelope, DsmMsg)>,
     /// Worker-completion notifications (root only), kept separate from the
@@ -289,6 +287,11 @@ impl NodeRuntime {
                 deferred: Mutex::new(Vec::new()),
                 deferred_gen: std::sync::atomic::AtomicU64::new(0),
                 stats: MuninStats::new(),
+                obs: crate::obs::Recorder::new(
+                    node,
+                    cfg.effective_flight_events(),
+                    crate::obs::dump_enabled(),
+                ),
                 reply_tx,
                 reply_rx,
                 done_tx,
@@ -332,6 +335,11 @@ impl NodeRuntime {
         &self.stats
     }
 
+    /// The node's flight recorder and latency histograms.
+    pub fn obs(&self) -> &crate::obs::Recorder {
+        &self.obs
+    }
+
     /// The node's virtual clock.
     pub fn clock(&self) -> &NodeClock {
         &self.clock
@@ -357,10 +365,24 @@ impl NodeRuntime {
     /// bundle, relayed bundle) to a destination consumes exactly one, in
     /// the order the transmissions are issued.
     pub(crate) fn next_update_seq(&self, dest: NodeId) -> u64 {
-        let mut seqs = self.update_seq_out.lock();
-        let slot = &mut seqs[dest.as_usize()];
-        let seq = *slot;
-        *slot += 1;
+        let seq = {
+            let mut seqs = self.update_seq_out.lock();
+            let slot = &mut seqs[dest.as_usize()];
+            let seq = *slot;
+            *slot += 1;
+            seq
+        };
+        // Every update-bearing transmission allocates exactly one number
+        // here, making this the single flow-arrow source ("s") point for the
+        // trace exporter.
+        self.obs.record(
+            self.clock.now().as_nanos(),
+            crate::obs::EventKind::UpdateSend,
+            |ev| {
+                ev.peer = Some(dest);
+                ev.seq = Some(seq);
+            },
+        );
         seq
     }
 
@@ -427,9 +449,20 @@ impl NodeRuntime {
     /// [`StallReport`](crate::StallReport) instead of hanging.
     pub(crate) fn wait_reply(&self, op: WaitOp) -> Result<(Envelope, DsmMsg)> {
         let start = Instant::now();
+        let entered_virt = self.clock.now().as_nanos();
         loop {
             match self.reply_rx.recv_timeout(WATCHDOG_SLICE) {
-                Ok(reply) => return Ok(reply),
+                Ok(reply) => {
+                    // The virtual wait is measured to the reply's scheduled
+                    // arrival (not the shared clock, which the service thread
+                    // may have advanced past it), so histogram samples are
+                    // deterministic under a fixed engine seed.
+                    self.obs.record_wait(
+                        op.kind(),
+                        reply.0.arrival.as_nanos().saturating_sub(entered_virt),
+                    );
+                    return Ok(reply);
+                }
                 Err(_) => {
                     let waited = start.elapsed();
                     if waited >= self.cfg.watchdog {
@@ -444,9 +477,16 @@ impl NodeRuntime {
     /// under the same watchdog as [`Self::wait_reply`].
     pub(crate) fn wait_worker_done_notification(&self) -> Result<()> {
         let start = Instant::now();
+        let entered_virt = self.clock.now().as_nanos();
         loop {
             match self.done_rx.recv_timeout(WATCHDOG_SLICE) {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    self.obs.record_wait(
+                        WaitOp::WorkerDone.kind(),
+                        self.clock.now().as_nanos().saturating_sub(entered_virt),
+                    );
+                    return Ok(());
+                }
                 Err(_) => {
                     let waited = start.elapsed();
                     if waited >= self.cfg.watchdog {
@@ -461,6 +501,14 @@ impl NodeRuntime {
     /// prints it to stderr (the run is about to die; make the post-mortem
     /// immediate), and returns it as an error.
     fn raise_stall(&self, op: WaitOp, waited: Duration) -> MuninError {
+        self.obs.record(
+            self.clock.now().as_nanos(),
+            crate::obs::EventKind::Stall,
+            |ev| {
+                ev.object = op.object();
+                ev.sync_id = op.sync_id();
+            },
+        );
         let report = StallReport {
             node: self.node,
             op: op.kind(),
@@ -472,6 +520,13 @@ impl NodeRuntime {
             frontiers: (0..self.nodes)
                 .map(|i| (i, self.sender.delivery_frontier(NodeId::new(i))))
                 .collect(),
+            // Only this node's forensics are in hand here; the run driver
+            // (`api::MuninProgram::run`) patches in every node's tail once
+            // all runtimes have stopped.
+            last_events: vec![(
+                self.node.as_usize(),
+                self.obs.tail(crate::obs::STALL_TAIL_EVENTS),
+            )],
         };
         crate::stats::bump(&self.stats.runtime_errors);
         crate::stats::bump(&self.stats.watchdog_stalls);

@@ -252,6 +252,16 @@ impl NodeRuntime {
                 entry.attempts += 1;
                 entry.last_tx = now;
                 stats::bump(&self.stats.retransmits);
+                // Recorder is a pure leaf lock, so taking it under the
+                // reliable lock (like the engine shard) cannot invert.
+                self.obs.record(
+                    self.clock.now().as_nanos(),
+                    crate::obs::EventKind::Retransmit,
+                    |ev| {
+                        ev.peer = Some(dst);
+                        ev.seq = Some(entry.id);
+                    },
+                );
                 let frame = DsmMsg::Reliable {
                     id: entry.id,
                     ack: upto,

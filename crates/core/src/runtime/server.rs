@@ -47,6 +47,11 @@ impl NodeRuntime {
     pub(crate) fn handle_incoming(self: &Arc<Self>, env: Envelope, msg: DsmMsg) -> bool {
         match msg {
             DsmMsg::Tick => {
+                self.obs.record(
+                    env.arrival.as_nanos(),
+                    crate::obs::EventKind::TimerFire,
+                    |_| {},
+                );
                 self.reliability_tick();
                 false
             }
@@ -317,6 +322,16 @@ impl NodeRuntime {
             };
             if blocked {
                 crate::runtime::proto_trace!(self, "defer carrier bundle from {:?}", bundle.from);
+                if !bundle.sync_install {
+                    self.obs.record(
+                        env.arrival.as_nanos(),
+                        crate::obs::EventKind::UpdateDefer,
+                        |ev| {
+                            ev.peer = Some(bundle.from);
+                            ev.seq = Some(bundle.seq);
+                        },
+                    );
+                }
                 waiting.push(bundle);
                 continue;
             }
@@ -337,6 +352,14 @@ impl NodeRuntime {
                         bundle.seq,
                         bundle.items.iter().map(|i| i.object).collect::<Vec<_>>()
                     );
+                    self.obs.record(
+                        env.arrival.as_nanos(),
+                        crate::obs::EventKind::UpdateInstall,
+                        |ev| {
+                            ev.peer = Some(bundle.from);
+                            ev.seq = Some(bundle.seq);
+                        },
+                    );
                     self.apply_update_items(bundle.items, false, env.arrival);
                 }
                 super::SeqCheck::Early => {
@@ -345,6 +368,14 @@ impl NodeRuntime {
                         "defer early carrier bundle from {:?} seq {}",
                         bundle.from,
                         bundle.seq
+                    );
+                    self.obs.record(
+                        env.arrival.as_nanos(),
+                        crate::obs::EventKind::UpdateDefer,
+                        |ev| {
+                            ev.peer = Some(bundle.from);
+                            ev.seq = Some(bundle.seq);
+                        },
                     );
                     waiting.push(bundle);
                 }
@@ -551,6 +582,11 @@ impl NodeRuntime {
                     "serve fetch {object:?} to {requester:?} (ownership={ownership} writable={writable}, arrival={}ns)",
                     env.arrival.as_nanos()
                 );
+                self.obs
+                    .record(now.as_nanos(), crate::obs::EventKind::FetchServe, |ev| {
+                        ev.object = Some(object);
+                        ev.peer = Some(requester);
+                    });
                 // The served bytes are live memory, so any outbox items for
                 // this (requester, object) pair are subsumed — and if the
                 // object is written again before they drain, delivering them
@@ -721,6 +757,11 @@ impl NodeRuntime {
             }) {
                 drop(dir);
                 crate::runtime::proto_trace!(self, "defer update from {requester:?}");
+                self.obs
+                    .record(now.as_nanos(), crate::obs::EventKind::UpdateDefer, |ev| {
+                        ev.peer = Some(requester);
+                        ev.seq = Some(seq);
+                    });
                 self.deferred.lock().push((
                     env,
                     DsmMsg::Update {
@@ -739,12 +780,25 @@ impl NodeRuntime {
         // arrives; a stale one is an injected duplicate and must not be
         // re-applied over newer data.
         match self.check_update_seq(requester, seq) {
-            super::SeqCheck::Apply => {}
+            super::SeqCheck::Apply => {
+                // The flow-arrow sink ("f") matching the sender's
+                // `next_update_seq` allocation.
+                self.obs
+                    .record(now.as_nanos(), crate::obs::EventKind::UpdateInstall, |ev| {
+                        ev.peer = Some(requester);
+                        ev.seq = Some(seq);
+                    });
+            }
             super::SeqCheck::Early => {
                 crate::runtime::proto_trace!(
                     self,
                     "defer early update from {requester:?} seq {seq}"
                 );
+                self.obs
+                    .record(now.as_nanos(), crate::obs::EventKind::UpdateDefer, |ev| {
+                        ev.peer = Some(requester);
+                        ev.seq = Some(seq);
+                    });
                 self.deferred.lock().push((
                     env,
                     DsmMsg::Update {

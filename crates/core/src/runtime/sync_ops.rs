@@ -51,6 +51,12 @@ impl NodeRuntime {
             state.probable_owner
         };
         add(&self.stats.lock_messages, 1);
+        let t0 = self.clock.now().as_nanos();
+        self.obs
+            .record(t0, crate::obs::EventKind::LockRequest, |ev| {
+                ev.sync_id = Some(lock.0);
+                ev.peer = Some(hint);
+            });
         self.send(
             hint,
             DsmMsg::LockAcquire {
@@ -58,7 +64,15 @@ impl NodeRuntime {
                 requester: self.node,
             },
         )?;
-        let (_env, reply) = self.wait_reply(crate::runtime::WaitOp::LockGrant(lock.0))?;
+        let (env, reply) = self.wait_reply(crate::runtime::WaitOp::LockGrant(lock.0))?;
+        self.obs.record(
+            env.arrival.as_nanos(),
+            crate::obs::EventKind::LockGrant,
+            |ev| {
+                ev.sync_id = Some(lock.0);
+                ev.dur_ns = env.arrival.as_nanos().saturating_sub(t0);
+            },
+        );
         match reply {
             DsmMsg::LockGrant { lock: l, queue } if l == lock => {
                 // Any consistency data rode the grant's carrier frame and was
@@ -143,6 +157,12 @@ impl NodeRuntime {
         crate::runtime::proto_trace!(self, "arrive barrier {barrier:?}");
         bump(&self.stats.barrier_waits);
         self.charge_sys(self.cost.sync_op());
+        let t0 = self.clock.now().as_nanos();
+        self.obs
+            .record(t0, crate::obs::EventKind::BarrierArrive, |ev| {
+                ev.sync_id = Some(barrier.0);
+                ev.peer = Some(owner);
+            });
         let arrive = DsmMsg::BarrierArrive {
             barrier,
             from: self.node,
@@ -176,7 +196,15 @@ impl NodeRuntime {
                 },
             )?;
         }
-        let (_env, reply) = self.wait_reply(crate::runtime::WaitOp::BarrierRelease(barrier.0))?;
+        let (env, reply) = self.wait_reply(crate::runtime::WaitOp::BarrierRelease(barrier.0))?;
+        self.obs.record(
+            env.arrival.as_nanos(),
+            crate::obs::EventKind::BarrierRelease,
+            |ev| {
+                ev.sync_id = Some(barrier.0);
+                ev.dur_ns = env.arrival.as_nanos().saturating_sub(t0);
+            },
+        );
         match reply {
             DsmMsg::BarrierRelease { barrier: b } if b == barrier => Ok(()),
             _ => Err(MuninError::ProtocolViolation(

@@ -1,6 +1,7 @@
 //! Minimal, API-compatible `libc` shim for the symbols `munin-vm` uses on
 //! Linux (glibc): `mmap`/`munmap`/`mprotect`, `sigaction`/`signal`,
-//! `sysconf`, and `__errno_location`.
+//! `sysconf`, and `__errno_location` — plus `clock_gettime`, which the
+//! `munin-core` flight recorder uses for cheap coarse wall timestamps.
 //!
 //! The build environment has no access to crates.io, so the real `libc`
 //! crate cannot be vendored. The declarations below bind directly to the C
@@ -56,6 +57,27 @@ pub const SA_NODEFER: c_int = 0x4000_0000;
 
 /// `sysconf` selector for the system page size.
 pub const _SC_PAGESIZE: c_int = 30;
+
+/// C `time_t` (64-bit Linux).
+pub type time_t = i64;
+/// `clockid_t` for `clock_gettime`.
+pub type clockid_t = c_int;
+
+/// Monotonic clock since an unspecified epoch.
+pub const CLOCK_MONOTONIC: clockid_t = 1;
+/// Monotonic clock read from the vDSO without a timer query: a few ns per
+/// read, tick-resolution (typically 1–4 ms) values.
+pub const CLOCK_MONOTONIC_COARSE: clockid_t = 6;
+
+/// `struct timespec` (64-bit Linux layout).
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+pub struct timespec {
+    /// Whole seconds.
+    pub tv_sec: time_t,
+    /// Nanoseconds, `0..1_000_000_000`.
+    pub tv_nsec: c_long,
+}
 
 /// glibc signal set: 1024 bits.
 #[repr(C)]
@@ -128,6 +150,8 @@ extern "C" {
     pub fn sysconf(name: c_int) -> c_long;
     /// glibc's thread-local errno accessor.
     pub fn __errno_location() -> *mut c_int;
+    /// See `clock_gettime(2)`.
+    pub fn clock_gettime(clockid: clockid_t, tp: *mut timespec) -> c_int;
 }
 
 #[cfg(test)]
@@ -143,6 +167,20 @@ mod tests {
         assert_eq!(std::mem::size_of::<sigaction>(), 152);
         // si_addr sits at offset 16 (after three ints and union padding).
         assert_eq!(std::mem::offset_of!(siginfo_t, _si_addr), 16);
+    }
+
+    #[test]
+    fn coarse_clock_advances_and_stays_behind_fine_clock() {
+        unsafe {
+            let mut coarse = timespec::default();
+            let mut fine = timespec::default();
+            assert_eq!(clock_gettime(CLOCK_MONOTONIC_COARSE, &mut coarse), 0);
+            assert_eq!(clock_gettime(CLOCK_MONOTONIC, &mut fine), 0);
+            let ns = |t: timespec| t.tv_sec as i128 * 1_000_000_000 + t.tv_nsec as i128;
+            assert!(ns(coarse) > 0);
+            // The coarse clock lags by at most one tick; it never runs ahead.
+            assert!(ns(coarse) <= ns(fine));
+        }
     }
 
     #[test]

@@ -92,4 +92,10 @@ fn main() {
         on.stats.flushes_coalesced,
         100.0 * (1.0 - on.engine.messages_sent as f64 / off.engine.messages_sent as f64)
     );
+
+    // Unified single-run report for the standard (piggyback-on) run: time
+    // split, per-kind traffic, and the blocking-wait / fault-service latency
+    // percentiles collected by the flight recorder subsystem.
+    println!();
+    print!("{}", on.render_report());
 }

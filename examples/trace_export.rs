@@ -1,0 +1,50 @@
+//! Exports a Perfetto/Chrome trace of an 8-processor SOR run and validates
+//! it against the trace schema (the same check CI runs).
+//!
+//! The resulting JSON loads in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`: one track per node, fault/lock/barrier slices, and
+//! flow arrows tying every update send to its install on the receiver.
+//!
+//! Run with: `cargo run --release --example trace_export [-- <out.json>]`
+
+use munin::apps::sor::{self, SorParams};
+use munin::dsm::obs::perfetto;
+use munin::CostModel;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("MUNIN_TRACE_OUT").ok())
+        .unwrap_or_else(|| "munin_trace.json".to_string());
+    // The config constructors read the trace path from the environment; set
+    // it before the first `MuninConfig` is built so the run driver writes
+    // the file itself (and raises the flight-recorder capacity so the ring
+    // holds the whole run).
+    std::env::set_var("MUNIN_TRACE_OUT", &out);
+
+    let mut params = SorParams::paper(8);
+    params.rows = 256;
+    params.cols = 128;
+    params.iterations = 5;
+    params.engine = munin::sim::EngineConfig::seeded(7);
+    let (run, _grid) = sor::run_munin(params, CostModel::sun_ethernet_1991()).expect("sor run");
+    print!("{}", run.render_report());
+
+    let content = std::fs::read_to_string(&out).expect("run driver wrote the trace file");
+    match perfetto::validate_trace_str(&content) {
+        Ok(check) => {
+            println!(
+                "trace {out}: {} events ({} slices, {} instants) across {} node tracks",
+                check.events, check.slices, check.instants, check.nodes
+            );
+            println!(
+                "flow arrows: {} sends, {} installs, {} matched pairs, {} ring-dropped events",
+                check.flows_started, check.flows_finished, check.flows_matched, check.dropped
+            );
+        }
+        Err(e) => {
+            eprintln!("trace {out}: schema validation FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}

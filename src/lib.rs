@@ -21,7 +21,8 @@ pub use munin_sim as sim;
 pub use munin_vm as vm;
 
 pub use munin_core::{
-    AccessMode, BarrierId, LockId, MuninConfig, MuninError, MuninProgram, MuninReport,
-    MuninStatsSnapshot, SharedVar, SharingAnnotation, StallReport, WorkerCtx,
+    AccessMode, BarrierId, EventKind, LatencyHist, LockId, MuninConfig, MuninError, MuninProgram,
+    MuninReport, MuninStatsSnapshot, ObsEvent, ObsSnapshot, SharedVar, SharingAnnotation,
+    StallReport, WorkerCtx,
 };
 pub use munin_sim::CostModel;

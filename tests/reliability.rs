@@ -279,6 +279,42 @@ fn total_loss_without_retransmission_raises_structured_stall_report() {
                     stall.unacked.is_empty(),
                     "transport is off: no unacked bookkeeping expected"
                 );
+                // Flight-recorder forensics: the run driver extends the
+                // report with every node's event tail, and each node did at
+                // least arrive at the barrier, so no tail can be empty.
+                assert_eq!(
+                    stall.last_events.len(),
+                    2,
+                    "stall forensics must cover every node"
+                );
+                for peer in 0..2 {
+                    let (_, events) = stall
+                        .last_events
+                        .iter()
+                        .find(|(n, _)| *n == peer)
+                        .expect("tail for every node");
+                    assert!(
+                        !events.is_empty(),
+                        "node {peer} recorded no events before the stall"
+                    );
+                    assert!(
+                        events.iter().all(|e| e.starts_with("t=")),
+                        "tails hold rendered events: {events:?}"
+                    );
+                }
+                assert!(
+                    stall
+                        .last_events
+                        .iter()
+                        .find(|(n, _)| *n == node)
+                        .map(|(_, evs)| evs.iter().any(|e| e.contains("stall")))
+                        .unwrap_or(false),
+                    "the stalled node's own tail must include the stall event"
+                );
+                // The rendered report surfaces the forensics section.
+                let rendered = stall.to_string();
+                assert!(rendered.contains("last events N0"));
+                assert!(rendered.contains("last events N1"));
             }
             other => panic!("node {node}: expected a stall report, got {other:?}"),
         }
