@@ -61,6 +61,9 @@ pub struct MatmulParams {
     /// Overrides the flight-recorder ring capacity (`0` disables event
     /// capture); `None` keeps the config default / `MUNIN_FLIGHT_EVENTS`.
     pub flight_events: Option<usize>,
+    /// Overrides the failure-detection window (tests shrink this so crash
+    /// runs confirm deaths quickly); `None` keeps the auto policy.
+    pub detect: Option<std::time::Duration>,
 }
 
 impl MatmulParams {
@@ -79,6 +82,7 @@ impl MatmulParams {
             retransmit_pacing: None,
             watchdog: None,
             flight_events: None,
+            detect: None,
         }
     }
 
@@ -97,6 +101,7 @@ impl MatmulParams {
             retransmit_pacing: None,
             watchdog: None,
             flight_events: None,
+            detect: None,
         }
     }
 }
@@ -160,6 +165,9 @@ pub fn run_munin(
     }
     if let Some(f) = params.flight_events {
         cfg = cfg.with_flight_events(f);
+    }
+    if let Some(d) = params.detect {
+        cfg = cfg.with_detect(d);
     }
     let mut prog = MuninProgram::new(cfg);
     let input1 = prog.declare::<i32>("input1", n * n, SharingAnnotation::ReadOnly);

@@ -66,6 +66,9 @@ pub struct SorParams {
     /// Overrides the flight-recorder ring capacity (`0` disables event
     /// capture); `None` keeps the config default / `MUNIN_FLIGHT_EVENTS`.
     pub flight_events: Option<usize>,
+    /// Overrides the failure-detection window (tests shrink this so crash
+    /// runs confirm deaths quickly); `None` keeps the auto policy.
+    pub detect: Option<std::time::Duration>,
 }
 
 impl SorParams {
@@ -86,6 +89,7 @@ impl SorParams {
             retransmit_pacing: None,
             watchdog: None,
             flight_events: None,
+            detect: None,
         }
     }
 
@@ -106,6 +110,7 @@ impl SorParams {
             retransmit_pacing: None,
             watchdog: None,
             flight_events: None,
+            detect: None,
         }
     }
 }
@@ -204,6 +209,9 @@ pub fn run_munin(
     }
     if let Some(f) = params.flight_events {
         cfg = cfg.with_flight_events(f);
+    }
+    if let Some(d) = params.detect {
+        cfg = cfg.with_detect(d);
     }
     let mut prog = MuninProgram::new(cfg);
     let matrix = prog.declare::<f64>("matrix", rows * cols, SharingAnnotation::ProducerConsumer);

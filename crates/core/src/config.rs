@@ -114,6 +114,14 @@ pub struct MuninConfig {
     /// every node's flight recorder to this path. Defaults to
     /// `MUNIN_TRACE_OUT` from the environment.
     pub trace_out: Option<String>,
+    /// Failure-detection window (wall clock): a peer quiet for more than
+    /// half of it is marked suspect, quiet for the whole of it is confirmed
+    /// dead and degraded-mode recovery runs. `None` (the default) enables
+    /// detection with [`DEFAULT_DETECT`] exactly when the engine's fault
+    /// plan injects a crash, and disables it otherwise — so crash-free runs
+    /// send no heartbeats and their delivery schedules stay byte-identical.
+    /// Defaults to `MUNIN_DETECT` seconds (decimal) from the environment.
+    pub detect: Option<Duration>,
 }
 
 /// Reads `MUNIN_PIGGYBACK` from the environment: anything but `off`/`0`
@@ -136,34 +144,65 @@ pub fn reliability_from_env() -> Option<bool> {
     }
 }
 
-/// Reads `MUNIN_WATCHDOG` (whole seconds) from the environment; unset or
-/// unparsable yields the 60 s default.
+/// Reads `MUNIN_WATCHDOG` (whole seconds) from the environment; unset yields
+/// the 60 s default. A malformed value is a configuration error, not a
+/// silent fallback: a run that asked for a watchdog and got the default would
+/// hang 60 s before reporting a stall the operator expected in 2.
+///
+/// # Panics
+///
+/// Panics when the variable is set but is not a whole number of seconds > 0.
 pub fn watchdog_from_env() -> Duration {
     match std::env::var("MUNIN_WATCHDOG") {
         Ok(v) => match v.parse::<u64>() {
             Ok(secs) if secs > 0 => Duration::from_secs(secs),
-            _ => {
-                eprintln!("munin: ignoring MUNIN_WATCHDOG={v:?} (expected whole seconds > 0)");
-                DEFAULT_WATCHDOG
-            }
+            _ => panic!(
+                "invalid MUNIN_WATCHDOG={v:?}: expected whole seconds > 0 (e.g. MUNIN_WATCHDOG=30)"
+            ),
         },
         Err(_) => DEFAULT_WATCHDOG,
     }
 }
 
 /// Reads `MUNIN_FLIGHT_EVENTS` (per-node flight-recorder capacity) from the
-/// environment; unset yields the 256-event default, unparsable values are
-/// ignored with a warning. `0` disables event capture.
+/// environment; unset yields the 256-event default. `0` disables event
+/// capture.
+///
+/// # Panics
+///
+/// Panics when the variable is set but is not a non-negative event count —
+/// a typo silently shrinking forensics capture defeats the point of asking.
 pub fn flight_events_from_env() -> usize {
     match std::env::var("MUNIN_FLIGHT_EVENTS") {
         Ok(v) => match v.parse::<usize>() {
             Ok(n) => n,
-            Err(_) => {
-                eprintln!("munin: ignoring MUNIN_FLIGHT_EVENTS={v:?} (expected an event count)");
-                DEFAULT_FLIGHT_EVENTS
-            }
+            Err(_) => panic!(
+                "invalid MUNIN_FLIGHT_EVENTS={v:?}: expected an event count \
+                 (e.g. MUNIN_FLIGHT_EVENTS=4096, 0 to disable)"
+            ),
         },
         Err(_) => DEFAULT_FLIGHT_EVENTS,
+    }
+}
+
+/// Reads `MUNIN_DETECT` (failure-detection window in decimal seconds) from
+/// the environment; unset yields `None` (the auto policy: detection runs
+/// with [`DEFAULT_DETECT`] exactly when the fault plan injects a crash).
+///
+/// # Panics
+///
+/// Panics when the variable is set but is not a positive decimal number of
+/// seconds.
+pub fn detect_from_env() -> Option<Duration> {
+    match std::env::var("MUNIN_DETECT") {
+        Ok(v) => match v.parse::<f64>() {
+            Ok(secs) if secs > 0.0 && secs.is_finite() => Some(Duration::from_secs_f64(secs)),
+            _ => panic!(
+                "invalid MUNIN_DETECT={v:?}: expected a positive decimal number of seconds \
+                 (e.g. MUNIN_DETECT=0.5)"
+            ),
+        },
+        Err(_) => None,
     }
 }
 
@@ -189,6 +228,10 @@ pub const TRACE_FLIGHT_EVENTS: usize = 65_536;
 /// Default wall-clock base pacing for reliability-layer retransmissions.
 pub const DEFAULT_RETRANSMIT_PACING: Duration = Duration::from_millis(20);
 
+/// Default failure-detection window, used when the fault plan injects a
+/// crash but no explicit `MUNIN_DETECT`/`with_detect` window was given.
+pub const DEFAULT_DETECT: Duration = Duration::from_secs(2);
+
 impl MuninConfig {
     /// Configuration matching the paper's prototype: 8 KB objects, the
     /// SUN/Ethernet cost model, broadcast copyset determination.
@@ -207,6 +250,7 @@ impl MuninConfig {
             retransmit_pacing: DEFAULT_RETRANSMIT_PACING,
             flight_events: flight_events_from_env(),
             trace_out: trace_out_from_env(),
+            detect: detect_from_env(),
         }
     }
 
@@ -227,6 +271,7 @@ impl MuninConfig {
             retransmit_pacing: DEFAULT_RETRANSMIT_PACING,
             flight_events: flight_events_from_env(),
             trace_out: trace_out_from_env(),
+            detect: detect_from_env(),
         }
     }
 
@@ -303,6 +348,25 @@ impl MuninConfig {
         self
     }
 
+    /// Sets the failure-detection window explicitly (detection then runs
+    /// whether or not the fault plan injects a crash).
+    pub fn with_detect(mut self, detect: Duration) -> Self {
+        self.detect = Some(detect);
+        self
+    }
+
+    /// Effective failure-detection window: the explicit window when one was
+    /// set, else [`DEFAULT_DETECT`] when the engine's fault plan injects a
+    /// crash, else `None` (detection off — no heartbeats, no timers, so
+    /// crash-free schedules stay byte-identical to earlier releases).
+    pub fn detection(&self) -> Option<Duration> {
+        match self.detect {
+            Some(d) => Some(d),
+            None if !self.engine.faults.crash.is_none() => Some(DEFAULT_DETECT),
+            None => None,
+        }
+    }
+
     /// Effective flight-recorder capacity: the configured capacity, raised
     /// to [`TRACE_FLIGHT_EVENTS`] when a trace export is requested.
     pub fn effective_flight_events(&self) -> usize {
@@ -339,6 +403,27 @@ mod tests {
             Some(SharingAnnotation::Conventional)
         );
         assert_eq!(cfg.copyset_strategy, CopysetStrategy::OwnerCollected);
+    }
+
+    #[test]
+    fn detection_follows_the_crash_plan_unless_explicit() {
+        use munin_sim::{CrashSpec, CrashTrigger};
+
+        let cfg = MuninConfig::fast_test(4);
+        assert_eq!(cfg.detection(), None, "no crash plan, no detection");
+
+        let crashy = MuninConfig::fast_test(4).with_engine(EngineConfig {
+            faults: munin_sim::FaultPlan::none().with_crash(CrashSpec {
+                node: 2,
+                trigger: CrashTrigger::VirtTime(1_000),
+                until_ns: 0,
+            }),
+            ..EngineConfig::default()
+        });
+        assert_eq!(crashy.detection(), Some(DEFAULT_DETECT));
+
+        let explicit = MuninConfig::fast_test(4).with_detect(Duration::from_millis(300));
+        assert_eq!(explicit.detection(), Some(Duration::from_millis(300)));
     }
 
     #[test]

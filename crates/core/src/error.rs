@@ -36,6 +36,9 @@ pub struct StallReport {
     pub unacked: Vec<(usize, u64)>,
     /// Requests parked in the service loop's deferred queue.
     pub deferred: usize,
+    /// Peers the failure detector currently holds suspect or dead (empty
+    /// when detection is disabled), as node indexes.
+    pub suspected: Vec<usize>,
     /// Per-destination delivery frontier in nanoseconds of virtual time, as
     /// `(destination index, frontier_ns)` pairs.
     pub frontiers: Vec<(usize, u64)>,
@@ -61,6 +64,12 @@ impl fmt::Display for StallReport {
             write!(f, " (sync id {id})")?;
         }
         write!(f, "; deferred requests: {}", self.deferred)?;
+        if !self.suspected.is_empty() {
+            write!(f, "; suspected peers:")?;
+            for n in &self.suspected {
+                write!(f, " N{n}")?;
+            }
+        }
         if !self.unacked.is_empty() {
             write!(f, "; unacked:")?;
             for (dst, n) in &self.unacked {
@@ -126,6 +135,23 @@ pub enum MuninError {
     /// progress for the configured window. Boxed: the report is large and
     /// stalls are the exceptional path.
     Stalled(Box<StallReport>),
+    /// A peer was confirmed dead and a blocked operation could not be
+    /// recovered: the sole surviving copy of the listed objects died with
+    /// it, or the operation's fixed home (lock home, barrier owner,
+    /// reduction home, the root) was the dead node. `lost_objects` is empty
+    /// when the loss is a sync-object home rather than data.
+    NodeDown {
+        /// The dead node.
+        node: NodeId,
+        /// Objects whose only copy died with the node.
+        lost_objects: Vec<ObjectId>,
+    },
+    /// Internal control-flow signal: the failure detector confirmed a peer
+    /// dead while a protocol operation was blocked. Blocked call sites catch
+    /// it, recompute their expectations against the shrunken cluster, and
+    /// either continue or escalate to [`MuninError::NodeDown`]. Never
+    /// returned from the public API.
+    PeerDied(NodeId),
 }
 
 impl fmt::Display for MuninError {
@@ -164,6 +190,19 @@ impl fmt::Display for MuninError {
             MuninError::Sim(e) => write!(f, "simulation error: {e}"),
             MuninError::ProtocolViolation(what) => write!(f, "protocol violation: {what}"),
             MuninError::Stalled(report) => write!(f, "protocol stall: {report}"),
+            MuninError::NodeDown { node, lost_objects } => {
+                write!(f, "node {:?} is down", node)?;
+                if !lost_objects.is_empty() {
+                    write!(f, "; sole copy of objects lost:")?;
+                    for o in lost_objects {
+                        write!(f, " {o:?}")?;
+                    }
+                }
+                Ok(())
+            }
+            MuninError::PeerDied(node) => {
+                write!(f, "internal: peer {:?} confirmed dead mid-wait", node)
+            }
         }
     }
 }

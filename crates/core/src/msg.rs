@@ -330,6 +330,35 @@ pub enum DsmMsg {
     /// it is the payload of a virtual-time timer event the service loop
     /// schedules for itself.
     Tick,
+    /// The failure detector's periodic self-timer (never on the wire): on
+    /// firing, the node sends [`DsmMsg::Heartbeat`]s and re-arms. Only
+    /// scheduled when failure detection is enabled (see
+    /// `MuninConfig::detect`), so zero-crash runs carry no health traffic.
+    HealthTick,
+    /// An "I am alive" probe. Sent *unreliably* (never wrapped in a
+    /// [`DsmMsg::Reliable`] frame): a heartbeat that needed retransmission
+    /// would defeat its purpose, and a lost one is replaced by the next.
+    Heartbeat,
+    /// Failure-detector gossip: the sender has confirmed `node` dead (no
+    /// traffic for the full detection window, or the retransmit cap fired
+    /// and the suspicion aged out). Receivers mark the peer dead and run
+    /// their local degraded-mode recovery; they do not re-broadcast.
+    PeerDown {
+        /// The dead node.
+        node: NodeId,
+    },
+    /// Degraded-mode orphan re-homing: the sender (a node that lost a fetch
+    /// to a dead owner) asks the receiver — the lowest-id surviving replica
+    /// holder — to adopt ownership of `object` and serve it a copy exactly
+    /// as an owner would serve an [`DsmMsg::ObjectFetch`].
+    Adopt {
+        /// The orphaned object.
+        object: ObjectId,
+        /// Read or write intent of the blocked fault.
+        access: FetchKind,
+        /// Node awaiting the [`DsmMsg::ObjectData`] reply.
+        requester: NodeId,
+    },
 }
 
 /// Fixed modelled header size of every message, in bytes.
@@ -369,6 +398,10 @@ impl DsmMsg {
             DsmMsg::Reliable { inner, .. } => inner.class(),
             DsmMsg::NetAck { .. } => "net_ack",
             DsmMsg::Tick => "tick",
+            DsmMsg::HealthTick => "health_tick",
+            DsmMsg::Heartbeat => "heartbeat",
+            DsmMsg::PeerDown { .. } => "peer_down",
+            DsmMsg::Adopt { .. } => "adopt",
         }
     }
 
@@ -428,8 +461,11 @@ impl DsmMsg {
             // wraps, sharing the wrapped message's header.
             DsmMsg::Reliable { inner, .. } => inner.model_bytes() - HEADER_BYTES + 8,
             DsmMsg::NetAck { .. } => 8,
-            // Never on the wire (timer payload only).
-            DsmMsg::Tick => 0,
+            // Never on the wire (timer payloads only).
+            DsmMsg::Tick | DsmMsg::HealthTick => 0,
+            DsmMsg::Heartbeat => 0,
+            DsmMsg::PeerDown { .. } => 4,
+            DsmMsg::Adopt { .. } => 12,
         };
         HEADER_BYTES + payload
     }

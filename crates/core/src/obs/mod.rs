@@ -123,6 +123,17 @@ pub enum EventKind {
     TimerFire,
     /// The stall watchdog expired on a blocked wait.
     Stall,
+    /// The failure detector marked a peer suspect (`peer` = the suspect).
+    PeerSuspect,
+    /// A peer was confirmed dead (`peer` = the dead node; `dur_ns` = wall
+    /// time from last-heard to confirmation, i.e. the detection latency).
+    PeerDead,
+    /// Degraded-mode recovery re-homed (or adopted) an orphaned object
+    /// (`object` = the orphan, `peer` = the dead former owner).
+    OwnershipRecovered,
+    /// Degraded-mode recovery pruned a dead node from a directory entry's
+    /// copyset (`object` = the entry, `peer` = the pruned node).
+    CopysetPruned,
     /// Free-form protocol-trace note (dump mode only).
     Note,
 }
@@ -147,6 +158,10 @@ impl EventKind {
             EventKind::Retransmit => "retransmit",
             EventKind::TimerFire => "timer_fire",
             EventKind::Stall => "stall",
+            EventKind::PeerSuspect => "peer_suspect",
+            EventKind::PeerDead => "peer_dead",
+            EventKind::OwnershipRecovered => "ownership_recovered",
+            EventKind::CopysetPruned => "copyset_pruned",
             EventKind::Note => "note",
         }
     }

@@ -456,7 +456,24 @@ impl NodeRuntime {
                 requester: self.node,
             },
         )?;
-        let (env, reply) = self.wait_reply(crate::runtime::WaitOp::Fetch(object))?;
+        // Deaths interrupt the wait: the fetch (or its forward, or the
+        // reply) may be sitting in a corpse, so any confirmed death — of
+        // any peer, since the probable-owner chain is unknowable from here
+        // — triggers a recovery round that re-establishes a live owner or
+        // proves the object lost. Already-dead peers are signalled on the
+        // first wait, covering a fetch sent straight to a corpse.
+        let mut handled = 0u64;
+        let (env, reply) = loop {
+            match self.wait_reply_or_dead(crate::runtime::WaitOp::Fetch(object), &mut handled) {
+                Ok(reply) => break reply,
+                Err(MuninError::PeerDied(dead)) => {
+                    if let Some(reply) = self.refetch_orphan(object, access, dead)? {
+                        break reply;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        };
         let DsmMsg::ObjectData {
             object: got,
             data,
@@ -515,8 +532,108 @@ impl NodeRuntime {
         Ok(())
     }
 
+    /// Runs one orphan-recovery round for a fetch interrupted by the death
+    /// of `dead`: broadcasts a `CopysetQuery` for the object to every
+    /// surviving peer, and — if the original `ObjectData` did not surface
+    /// meanwhile — directs an [`DsmMsg::Adopt`] at the lowest-id surviving
+    /// holder, or raises [`MuninError::NodeDown`] when no copy survived.
+    ///
+    /// The reply round always completes (a peer dying mid-round counts as
+    /// an empty reply), so no stray `CopysetReply` can pollute a later
+    /// wait. Returns the stashed `ObjectData` reply if one arrived.
+    fn refetch_orphan(
+        self: &Arc<Self>,
+        object: ObjectId,
+        access: FetchKind,
+        dead: NodeId,
+    ) -> Result<Option<(munin_sim::Envelope, DsmMsg)>> {
+        crate::runtime::proto_trace!(
+            self,
+            "orphan recovery for {object:?} after death of {dead:?}"
+        );
+        let alive = self.dead_bitmap();
+        let mut pending: Vec<NodeId> = (0..self.nodes)
+            .filter(|i| *i != self.node.as_usize() && alive & (1u64 << i) == 0)
+            .map(NodeId::new)
+            .collect();
+        let shared: std::sync::Arc<[ObjectId]> = std::sync::Arc::from(vec![object]);
+        for peer in &pending {
+            add(&self.stats.copyset_query_msgs, 1);
+            self.send(
+                *peer,
+                DsmMsg::CopysetQuery {
+                    objects: std::sync::Arc::clone(&shared),
+                    requester: self.node,
+                },
+            )?;
+        }
+        let mut holders: Vec<NodeId> = Vec::new();
+        let mut data_reply = None;
+        // Deaths already signalled to the caller must not end this round
+        // early, but a peer dying *mid-round* counts as its (empty) reply.
+        let mut handled = self.dead_bitmap();
+        while !pending.is_empty() {
+            match self.wait_reply_or_dead(crate::runtime::WaitOp::Fetch(object), &mut handled) {
+                Ok((env, DsmMsg::CopysetReply { have })) => {
+                    if have.contains(&object) {
+                        holders.push(env.src);
+                    }
+                    pending.retain(|n| *n != env.src);
+                }
+                Ok(reply @ (_, DsmMsg::ObjectData { .. })) => {
+                    // The fetch was alive after all; finish the round so the
+                    // mailbox stays clean, then hand the data back.
+                    data_reply = Some(reply);
+                }
+                Ok(_) => {
+                    return Err(MuninError::ProtocolViolation(
+                        "unexpected reply during orphan recovery",
+                    ))
+                }
+                Err(MuninError::PeerDied(n)) => pending.retain(|p| *p != n),
+                Err(e) => return Err(e),
+            }
+        }
+        if data_reply.is_some() {
+            return Ok(data_reply);
+        }
+        holders.sort();
+        match holders.first() {
+            Some(&adoptee) => {
+                {
+                    let mut dir = self.dir.lock();
+                    dir.entry_mut(object).probable_owner = adoptee;
+                }
+                crate::runtime::proto_trace!(
+                    self,
+                    "asking {adoptee:?} to adopt orphan {object:?}"
+                );
+                self.send(
+                    adoptee,
+                    DsmMsg::Adopt {
+                        object,
+                        access,
+                        requester: self.node,
+                    },
+                )?;
+                Ok(None)
+            }
+            None => {
+                // No surviving copy anywhere: the paper's fail-fast case.
+                bump(&self.stats.runtime_errors);
+                Err(MuninError::NodeDown {
+                    node: dead,
+                    lost_objects: vec![object],
+                })
+            }
+        }
+    }
+
     /// Sends invalidations for `object` to every member of `copyset` (other
-    /// than this node) and waits for the acknowledgements.
+    /// than this node) and waits for the acknowledgements. A member
+    /// confirmed dead counts as acknowledged: its copy is unreachable by
+    /// definition, and recovery already pruned it from the copyset going
+    /// forward.
     pub(crate) fn invalidate_copies(
         self: &Arc<Self>,
         object: ObjectId,
@@ -536,16 +653,28 @@ impl NodeRuntime {
                 },
             )?;
         }
-        let mut acks = 0;
-        while acks < members.len() {
-            let (_env, reply) = self.wait_reply(crate::runtime::WaitOp::InvalidateAcks(object))?;
-            match reply {
-                DsmMsg::InvalidateAck { object: o } if o == object => acks += 1,
-                _ => {
+        let mut acked: Vec<NodeId> = Vec::new();
+        let mut handled = 0u64;
+        while acked.len() < members.len() {
+            match self
+                .wait_reply_or_dead(crate::runtime::WaitOp::InvalidateAcks(object), &mut handled)
+            {
+                Ok((env, DsmMsg::InvalidateAck { object: o })) if o == object => {
+                    if !acked.contains(&env.src) {
+                        acked.push(env.src);
+                    }
+                }
+                Ok(_) => {
                     return Err(MuninError::ProtocolViolation(
                         "unexpected reply while waiting for invalidation acks",
                     ))
                 }
+                Err(MuninError::PeerDied(n)) => {
+                    if members.contains(&n) && !acked.contains(&n) {
+                        acked.push(n);
+                    }
+                }
+                Err(e) => return Err(e),
             }
         }
         Ok(())

@@ -252,11 +252,20 @@ impl NodeRuntime {
         // members the owner reports as missed.
         let mut fanout: HashMap<ObjectId, (UpdatePayload, Vec<NodeId>)> = HashMap::new();
         let mut expected_acks = 0usize;
+        // Outstanding acks per destination: when a destination is confirmed
+        // dead mid-round, its share of `expected_acks` is written off.
+        let mut outstanding: BTreeMap<NodeId, usize> = BTreeMap::new();
         let send_update = |rt: &Arc<Self>,
                            dest: NodeId,
                            items: Vec<UpdateItem>,
-                           expected_acks: &mut usize|
+                           expected_acks: &mut usize,
+                           outstanding: &mut BTreeMap<NodeId, usize>|
          -> Result<()> {
+            if dest != rt.node && rt.is_peer_dead(dest) {
+                // Confirmed dead after the route was computed: recovery has
+                // already pruned it from the copysets; nothing to send.
+                return Ok(());
+            }
             crate::runtime::proto_trace!(
                 rt,
                 "flush -> {dest:?}: {:?}",
@@ -274,6 +283,7 @@ impl NodeRuntime {
                 },
             )?;
             *expected_acks += 1;
+            *outstanding.entry(dest).or_default() += 1;
             Ok(())
         };
         for (entry, pre_route) in entries.into_iter().zip(&routes) {
@@ -311,7 +321,7 @@ impl NodeRuntime {
                 *rem -= 1;
                 if *rem == 0 {
                     if let Some(items) = pending.remove(dest) {
-                        send_update(self, *dest, items, &mut expected_acks)?;
+                        send_update(self, *dest, items, &mut expected_acks, &mut outstanding)?;
                     }
                 }
             }
@@ -322,7 +332,7 @@ impl NodeRuntime {
         // its update here.
         for (dest, items) in std::mem::take(&mut pending) {
             if !items.is_empty() {
-                send_update(self, dest, items, &mut expected_acks)?;
+                send_update(self, dest, items, &mut expected_acks, &mut outstanding)?;
             }
         }
         // Coalesced items go back to the outbox; they are delivered by the
@@ -361,11 +371,28 @@ impl NodeRuntime {
         // travel on this node's own lanes, so they can never overtake (or be
         // overtaken by) this node's later flushes.
         let mut acks = 0usize;
+        let mut handled = 0u64;
         while acks < expected_acks {
-            let (_env, reply) = self.wait_reply(crate::runtime::WaitOp::UpdateAcks)?;
+            let (env, reply) =
+                match self.wait_reply_or_dead(crate::runtime::WaitOp::UpdateAcks, &mut handled) {
+                    Ok(reply) => reply,
+                    Err(MuninError::PeerDied(n)) => {
+                        // A dead destination's acks will never arrive: write
+                        // off everything still outstanding towards it. Its
+                        // copies are unreachable, which is the post-crash
+                        // equivalent of "update performed".
+                        let lost = outstanding.remove(&n).unwrap_or(0);
+                        expected_acks -= lost;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
             match reply {
                 DsmMsg::UpdateAck { owned_copysets, .. } => {
                     acks += 1;
+                    if let Some(o) = outstanding.get_mut(&env.src) {
+                        *o = o.saturating_sub(1);
+                    }
                     // Batch the heals per missed member, preserving the
                     // normal flush path's one-Update-per-destination shape:
                     // an owner reporting k objects that all missed the same
@@ -405,7 +432,7 @@ impl NodeRuntime {
                         }
                     }
                     for (member, items) in heal {
-                        send_update(self, member, items, &mut expected_acks)?;
+                        send_update(self, member, items, &mut expected_acks, &mut outstanding)?;
                     }
                 }
                 other => {
@@ -430,7 +457,11 @@ impl NodeRuntime {
             return Ok(());
         }
         let mut expected_acks = 0usize;
+        let mut outstanding: BTreeMap<NodeId, usize> = BTreeMap::new();
         for (dest, items) in pending {
+            if dest != self.node && self.is_peer_dead(dest) {
+                continue;
+            }
             crate::runtime::proto_trace!(
                 self,
                 "window close -> {dest:?}: {:?}",
@@ -448,19 +479,30 @@ impl NodeRuntime {
                 },
             )?;
             expected_acks += 1;
+            *outstanding.entry(dest).or_default() += 1;
         }
         let mut acks = 0usize;
+        let mut handled = 0u64;
         while acks < expected_acks {
-            let (_env, reply) = self.wait_reply(crate::runtime::WaitOp::WindowAcks)?;
-            match reply {
+            match self.wait_reply_or_dead(crate::runtime::WaitOp::WindowAcks, &mut handled) {
                 // Only owner-flushed items are ever coalesced, so the acks
                 // carry no copysets this node would need to heal against.
-                DsmMsg::UpdateAck { .. } => acks += 1,
-                _ => {
+                Ok((env, DsmMsg::UpdateAck { .. })) => {
+                    acks += 1;
+                    if let Some(o) = outstanding.get_mut(&env.src) {
+                        *o = o.saturating_sub(1);
+                    }
+                }
+                Ok(_) => {
                     return Err(MuninError::ProtocolViolation(
                         "unexpected reply while closing the coalescing window",
                     ))
                 }
+                Err(MuninError::PeerDied(n)) => {
+                    let lost = outstanding.remove(&n).unwrap_or(0);
+                    expected_acks -= lost;
+                }
+                Err(e) => return Err(e),
             }
         }
         Ok(())
@@ -573,20 +615,21 @@ impl NodeRuntime {
         self: &Arc<Self>,
         objects: &[ObjectId],
     ) -> Result<HashMap<ObjectId, CopySet>> {
-        let peers: Vec<NodeId> = (0..self.nodes)
+        let dead = self.dead_bitmap();
+        let mut pending: Vec<NodeId> = (0..self.nodes)
+            .filter(|i| *i != self.node.as_usize() && dead & (1u64 << i) == 0)
             .map(NodeId::new)
-            .filter(|n| *n != self.node)
             .collect();
         let mut result: HashMap<ObjectId, CopySet> =
             objects.iter().map(|o| (*o, CopySet::EMPTY)).collect();
-        if peers.is_empty() {
+        if pending.is_empty() {
             return Ok(result);
         }
         add(&self.stats.copyset_queries, 1);
         // One shared allocation for the whole broadcast: every peer's query
         // message clones the `Arc`, not the object list.
         let shared: Arc<[ObjectId]> = Arc::from(objects);
-        for peer in &peers {
+        for peer in &pending {
             add(&self.stats.copyset_query_msgs, 1);
             self.send(
                 *peer,
@@ -596,23 +639,26 @@ impl NodeRuntime {
                 },
             )?;
         }
-        let mut replies = 0;
-        while replies < peers.len() {
-            let (env, reply) = self.wait_reply(crate::runtime::WaitOp::CopysetReplies)?;
-            match reply {
-                DsmMsg::CopysetReply { have } => {
+        // A peer dying mid-round counts as an empty reply: whatever copies
+        // it held are unreachable and have been pruned by recovery.
+        let mut handled = dead;
+        while !pending.is_empty() {
+            match self.wait_reply_or_dead(crate::runtime::WaitOp::CopysetReplies, &mut handled) {
+                Ok((env, DsmMsg::CopysetReply { have })) => {
                     for o in have {
                         if let Some(cs) = result.get_mut(&o) {
                             cs.insert(env.src);
                         }
                     }
-                    replies += 1;
+                    pending.retain(|n| *n != env.src);
                 }
-                _ => {
+                Ok(_) => {
                     return Err(MuninError::ProtocolViolation(
                         "unexpected reply while determining copysets",
                     ))
                 }
+                Err(MuninError::PeerDied(n)) => pending.retain(|p| *p != n),
+                Err(e) => return Err(e),
             }
         }
         self.charge_sys(self.cost.dir_op());
@@ -641,32 +687,51 @@ impl NodeRuntime {
             }
         }
         add(&self.stats.copyset_queries, 1);
-        let expected = remote.len();
+        let mut pending: BTreeMap<NodeId, Vec<ObjectId>> = BTreeMap::new();
         for (owner, objs) in remote {
+            if owner != self.node && self.is_peer_dead(owner) {
+                // The recorded owner is a corpse: no replicas reachable
+                // through it. Flush nowhere; the objects are re-homed (or
+                // declared lost) by the fetch-side orphan recovery.
+                for o in objs {
+                    result.insert(o, CopySet::EMPTY);
+                }
+                continue;
+            }
             add(&self.stats.copyset_query_msgs, 1);
             self.send(
                 owner,
                 DsmMsg::OwnerCopysetQuery {
-                    objects: objs,
+                    objects: objs.clone(),
                     requester: self.node,
                 },
             )?;
+            pending.insert(owner, objs);
         }
-        let mut replies = 0;
-        while replies < expected {
-            let (_env, reply) = self.wait_reply(crate::runtime::WaitOp::OwnerCopysetReplies)?;
-            match reply {
-                DsmMsg::OwnerCopysetReply { copysets } => {
+        let mut handled = self.dead_bitmap();
+        while !pending.is_empty() {
+            match self
+                .wait_reply_or_dead(crate::runtime::WaitOp::OwnerCopysetReplies, &mut handled)
+            {
+                Ok((env, DsmMsg::OwnerCopysetReply { copysets })) => {
                     for (o, cs) in copysets {
                         result.insert(o, cs);
                     }
-                    replies += 1;
+                    pending.remove(&env.src);
                 }
-                _ => {
+                Ok(_) => {
                     return Err(MuninError::ProtocolViolation(
                         "unexpected reply while collecting owner copysets",
                     ))
                 }
+                Err(MuninError::PeerDied(n)) => {
+                    if let Some(objs) = pending.remove(&n) {
+                        for o in objs {
+                            result.insert(o, CopySet::EMPTY);
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
             }
         }
         self.charge_sys(self.cost.dir_op());

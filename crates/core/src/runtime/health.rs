@@ -1,0 +1,528 @@
+//! The failure detector and degraded-mode recovery.
+//!
+//! Detection is heartbeat-based with traffic piggybacking: every message a
+//! peer sends (protocol traffic, reliability frames, heartbeats alike)
+//! refreshes its *last heard* timestamp, and a periodic `HealthTick` timer
+//! sends explicit [`DsmMsg::Heartbeat`] probes so an idle-but-alive peer is
+//! never mistaken for a dead one. A peer quiet for more than half the
+//! detection window (`MuninConfig::detection`) becomes *suspect* — surfaced
+//! in stall reports — and one quiet for the full window is confirmed *dead*.
+//! The reliability layer's retransmit-attempt cap feeds the same state: a
+//! link that stopped acknowledging marks its peer suspect without waiting
+//! for the window to age out.
+//!
+//! Confirmation is a one-way door. The first thread to confirm a death (the
+//! status transition happens under the health mutex, so exactly one wins)
+//! broadcasts [`DsmMsg::PeerDown`] gossip to the surviving peers and runs
+//! the local recovery walk exactly once:
+//!
+//! * the reliability link to the corpse is purged (nothing it owes will
+//!   ever arrive);
+//! * every directory entry's copyset drops the dead node — the paper's
+//!   update-timeout replica-pruning, applied to a confirmed crash;
+//! * objects whose probable owner died are re-homed to the lowest-id
+//!   surviving replica holder (deterministic: every survivor picks the same
+//!   node without coordination);
+//! * lock tokens last seen heading towards the corpse are regenerated at
+//!   the lock's home, and barriers owned here exclude the dead node from
+//!   their arrival counts, releasing waiters the corpse was holding up.
+//!
+//! Blocked user threads observe deaths through [`NodeRuntime::wait_reply_or_dead`],
+//! which surfaces the internal [`MuninError::PeerDied`] signal; each call
+//! site recomputes its expectations against the shrunken cluster and either
+//! proceeds (a dead node's ack will never come — stop waiting for it) or
+//! escalates to the public [`MuninError::NodeDown`] when the dead node was
+//! load-bearing (sole copy of an object, a lock or barrier home, the root).
+//!
+//! Timers bypass the engine's crash-injection drops, so a crashed node's own
+//! detector keeps running: it watches every peer go quiet, confirms the
+//! whole cluster dead, and its blocked user thread fails fast with a
+//! structured `NodeDown` instead of hanging until the watchdog.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use munin_sim::{Envelope, NodeId, VirtTime};
+
+use crate::config::MuninConfig;
+use crate::error::{MuninError, Result};
+use crate::msg::DsmMsg;
+use crate::object::ObjectId;
+use crate::stats::bump;
+use crate::sync::{BarrierId, LockId};
+
+use super::{NodeRuntime, WaitOp, WATCHDOG_SLICE};
+
+/// Liveness verdict for one peer. Transitions only move rightward
+/// (`Alive → Suspect → Dead`), except that hearing from a suspect peer
+/// clears the suspicion; `Dead` is final.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PeerStatus {
+    Alive,
+    Suspect,
+    Dead,
+}
+
+/// The failure detector's state (one per node, on the runtime).
+pub(crate) struct Health {
+    /// Whether detection runs at all (resolved once at startup: a detection
+    /// window is configured — explicitly or implied by a crash plan — and
+    /// there is more than one node).
+    enabled: bool,
+    /// The detection window: a peer quiet this long is dead.
+    detect: Duration,
+    inner: Mutex<HealthInner>,
+}
+
+struct HealthInner {
+    /// Wall-clock time each peer was last heard from (any message).
+    last_heard: Vec<Instant>,
+    /// Current verdict per peer.
+    status: Vec<PeerStatus>,
+    /// Wall-clock time of the last heartbeat batch this node sent.
+    last_beat: Instant,
+}
+
+/// Virtual-time spacing of `HealthTick` re-arms. Timers fire on wall-clock
+/// idleness but are *ordered* by virtual due time, and the health tick
+/// competes with the reliability layer's retransmit tick (re-armed ~1 ms of
+/// virtual time ahead of a clock that stands still while every thread is
+/// blocked): a tick armed a full heartbeat period of virtual time ahead
+/// would starve behind it forever. So the timer is armed close-in and the
+/// actual heartbeat sends are paced by wall clock in [`NodeRuntime::health_tick`],
+/// matching the wall-clock `last_heard` bookkeeping the verdicts use.
+const HEALTH_TICK_VIRT_NS: u64 = 1_000_000;
+
+impl Health {
+    pub(crate) fn new(cfg: &MuninConfig, nodes: usize) -> Self {
+        let detect = cfg.detection();
+        let enabled = detect.is_some() && nodes > 1;
+        // The dead-peer bitmaps (`dead_bitmap`, `wait_reply_or_dead`'s
+        // handled set) are u64s, like `CopySet::Nodes`.
+        assert!(!enabled || nodes <= 64, "failure detection supports up to 64 nodes");
+        let now = Instant::now();
+        Health {
+            enabled,
+            detect: detect.unwrap_or(Duration::from_secs(2)),
+            inner: Mutex::new(HealthInner {
+                last_heard: vec![now; nodes],
+                status: vec![PeerStatus::Alive; nodes],
+                last_beat: now,
+            }),
+        }
+    }
+}
+
+impl NodeRuntime {
+    /// Whether the failure detector is running on this node.
+    pub(crate) fn health_enabled(&self) -> bool {
+        self.health.enabled
+    }
+
+    /// The heartbeat period: a quarter of the detection window, so several
+    /// probes fit inside it and one lost heartbeat cannot kill a peer.
+    fn heartbeat_every(&self) -> Duration {
+        self.health.detect / 4
+    }
+
+    /// Starts the detector: stamps every peer freshly heard (startup is not
+    /// silence) and schedules the first `HealthTick`. Called from the
+    /// service loop before it starts receiving.
+    pub(crate) fn health_start(&self) {
+        if !self.health.enabled {
+            return;
+        }
+        {
+            let mut h = self.health.inner.lock();
+            let now = Instant::now();
+            for t in h.last_heard.iter_mut() {
+                *t = now;
+            }
+            // Backdate the beat stamp so the first idle moment probes
+            // immediately instead of a full period into the run.
+            h.last_beat = now - self.heartbeat_every();
+        }
+        let due = self.clock.now() + VirtTime::from_nanos(HEALTH_TICK_VIRT_NS);
+        let _ = self.sender.schedule_timer(due, "health", DsmMsg::HealthTick);
+    }
+
+    /// Records traffic from `peer`: refreshes its last-heard stamp and lifts
+    /// an active suspicion (a thawed freeze or recovered link resumes at
+    /// full trust and base retransmit pacing). A confirmed death is final —
+    /// zombie traffic does not resurrect the peer.
+    pub(crate) fn health_heard(&self, peer: NodeId) {
+        if !self.health.enabled || peer == self.node {
+            return;
+        }
+        let cleared = {
+            let mut h = self.health.inner.lock();
+            let i = peer.as_usize();
+            if h.status[i] == PeerStatus::Dead {
+                return;
+            }
+            h.last_heard[i] = Instant::now();
+            if h.status[i] == PeerStatus::Suspect {
+                h.status[i] = PeerStatus::Alive;
+                true
+            } else {
+                false
+            }
+        };
+        if cleared {
+            crate::runtime::proto_trace!(self, "peer {peer:?} heard from again; suspicion cleared");
+            self.reset_retransmit_attempts(peer);
+        }
+    }
+
+    /// Marks `peer` suspect (no-op if already suspect or dead). `reason`
+    /// goes to the trace; the suspicion itself ages into a confirmed death
+    /// only via the quiet-window check in [`Self::health_check`].
+    pub(crate) fn health_suspect(&self, peer: NodeId, reason: &str) {
+        if !self.health.enabled || peer == self.node {
+            return;
+        }
+        {
+            let mut h = self.health.inner.lock();
+            let i = peer.as_usize();
+            if h.status[i] != PeerStatus::Alive {
+                return;
+            }
+            h.status[i] = PeerStatus::Suspect;
+        }
+        bump(&self.stats.peers_suspected);
+        self.obs.record(
+            self.clock.now().as_nanos(),
+            crate::obs::EventKind::PeerSuspect,
+            |ev| ev.peer = Some(peer),
+        );
+        crate::runtime::proto_trace!(self, "peer {peer:?} suspected ({reason})");
+    }
+
+    /// Ages the quiet windows: suspects peers quiet for more than half the
+    /// detection window and confirms dead those quiet for the full window.
+    /// Driven from both the `HealthTick` timer (service thread) and the
+    /// blocked user thread's wait slices, so detection advances even when
+    /// the destination's delivery schedule never goes idle.
+    pub(crate) fn health_check(self: &Arc<Self>) {
+        if !self.health.enabled {
+            return;
+        }
+        let now = Instant::now();
+        let mut to_suspect: Vec<NodeId> = Vec::new();
+        let mut to_confirm: Vec<NodeId> = Vec::new();
+        {
+            let h = self.health.inner.lock();
+            for i in 0..self.nodes {
+                if i == self.node.as_usize() || h.status[i] == PeerStatus::Dead {
+                    continue;
+                }
+                let quiet = now.duration_since(h.last_heard[i]);
+                if quiet >= self.health.detect {
+                    to_confirm.push(NodeId::new(i));
+                } else if quiet >= self.health.detect / 2 && h.status[i] == PeerStatus::Alive {
+                    to_suspect.push(NodeId::new(i));
+                }
+            }
+        }
+        for peer in to_suspect {
+            self.health_suspect(peer, "quiet for half the detection window");
+        }
+        for peer in to_confirm {
+            self.confirm_peer_dead(peer, false);
+        }
+    }
+
+    /// The `HealthTick` handler (service thread): probes every non-dead
+    /// peer when a wall-clock heartbeat period has elapsed, ages the quiet
+    /// windows, and re-arms the timer. The tick fires far more often than it
+    /// probes (see [`HEALTH_TICK_VIRT_NS`]); the wall-clock gate keeps the
+    /// heartbeat rate — and its virtual-time footprint — at the configured
+    /// quarter-window period.
+    pub(crate) fn health_tick(self: &Arc<Self>) {
+        if !self.health.enabled {
+            return;
+        }
+        let probe = {
+            let mut h = self.health.inner.lock();
+            if h.last_beat.elapsed() >= self.heartbeat_every() {
+                h.last_beat = Instant::now();
+                true
+            } else {
+                false
+            }
+        };
+        if probe {
+            let dead = self.dead_bitmap();
+            for i in 0..self.nodes {
+                if i == self.node.as_usize() || dead & (1u64 << i) != 0 {
+                    continue;
+                }
+                bump(&self.stats.heartbeats_sent);
+                let _ = self.send(NodeId::new(i), DsmMsg::Heartbeat);
+            }
+        }
+        self.health_check();
+        let due = self.clock.now() + VirtTime::from_nanos(HEALTH_TICK_VIRT_NS);
+        let _ = self.sender.schedule_timer(due, "health", DsmMsg::HealthTick);
+    }
+
+    /// Confirms `peer` dead and, on the first confirmation (exactly one
+    /// caller wins the status transition under the health mutex), gossips
+    /// `PeerDown` to the survivors and runs the recovery walk. `via_gossip`
+    /// suppresses the re-broadcast — receivers of gossip act locally only,
+    /// so a death costs one broadcast, not a flood.
+    pub(crate) fn confirm_peer_dead(self: &Arc<Self>, peer: NodeId, via_gossip: bool) {
+        if !self.health.enabled || peer == self.node {
+            return;
+        }
+        let detect_latency = {
+            let mut h = self.health.inner.lock();
+            let i = peer.as_usize();
+            if h.status[i] == PeerStatus::Dead {
+                return;
+            }
+            h.status[i] = PeerStatus::Dead;
+            Instant::now().duration_since(h.last_heard[i])
+        };
+        bump(&self.stats.peers_dead);
+        let t_virt = self.clock.now().as_nanos();
+        self.obs
+            .record(t_virt, crate::obs::EventKind::PeerDead, |ev| {
+                ev.peer = Some(peer);
+                ev.dur_ns = detect_latency.as_nanos() as u64;
+            });
+        self.obs
+            .record_wait("peer_detect", detect_latency.as_nanos() as u64);
+        crate::runtime::proto_trace!(
+            self,
+            "peer {peer:?} confirmed dead ({}; quiet {detect_latency:?})",
+            if via_gossip { "gossip" } else { "local detection" }
+        );
+        if !via_gossip {
+            let dead = self.dead_bitmap();
+            for i in 0..self.nodes {
+                if i == self.node.as_usize() || dead & (1u64 << i) != 0 {
+                    continue;
+                }
+                let _ = self.send(NodeId::new(i), DsmMsg::PeerDown { node: peer });
+            }
+        }
+        let t0 = Instant::now();
+        self.recover_from_death(peer);
+        self.obs
+            .record_wait("peer_recovery", t0.elapsed().as_nanos() as u64);
+    }
+
+    /// Bitmap of confirmed-dead peers (bit *i* set ⇒ node *i* is dead).
+    pub(crate) fn dead_bitmap(&self) -> u64 {
+        if !self.health.enabled {
+            return 0;
+        }
+        let h = self.health.inner.lock();
+        let mut bits = 0u64;
+        for (i, s) in h.status.iter().enumerate() {
+            if *s == PeerStatus::Dead {
+                bits |= 1u64 << i;
+            }
+        }
+        bits
+    }
+
+    /// Whether `peer` has been confirmed dead.
+    pub(crate) fn is_peer_dead(&self, peer: NodeId) -> bool {
+        self.dead_bitmap() & (1u64 << peer.as_usize()) != 0
+    }
+
+    /// The lowest-id dead peer whose bit is not yet set in `handled`, if
+    /// any. `handled` is a per-wait-loop cursor so each death is signalled
+    /// to a blocked operation exactly once.
+    fn next_unhandled_dead(&self, handled: u64) -> Option<NodeId> {
+        let fresh = self.dead_bitmap() & !handled;
+        if fresh == 0 {
+            None
+        } else {
+            Some(NodeId::new(fresh.trailing_zeros() as usize))
+        }
+    }
+
+    /// Peers currently suspect or dead, as node indexes (stall forensics).
+    pub(crate) fn suspected_snapshot(&self) -> Vec<usize> {
+        if !self.health.enabled {
+            return Vec::new();
+        }
+        let h = self.health.inner.lock();
+        h.status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s != PeerStatus::Alive)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Like [`NodeRuntime::wait_reply`], but a blocked operation also wakes
+    /// when the failure detector confirms a peer dead, via the internal
+    /// [`MuninError::PeerDied`] signal. `handled` carries the already-
+    /// signalled deaths across one call site's wait loop (start from 0), so
+    /// each death interrupts the operation once — already-dead peers are
+    /// signalled on the first call, which is what a call site that sent a
+    /// request to a corpse needs. The timeout slices double as detection
+    /// drive: a user thread blocked on a corpse ages the quiet windows
+    /// itself instead of depending on the service thread's timer.
+    pub(crate) fn wait_reply_or_dead(
+        self: &Arc<Self>,
+        op: WaitOp,
+        handled: &mut u64,
+    ) -> Result<(Envelope, DsmMsg)> {
+        if !self.health.enabled {
+            return self.wait_reply(op);
+        }
+        let start = Instant::now();
+        let entered_virt = self.clock.now().as_nanos();
+        let done = |reply: (Envelope, DsmMsg)| {
+            self.obs.record_wait(
+                op.kind(),
+                reply.0.arrival.as_nanos().saturating_sub(entered_virt),
+            );
+            Ok(reply)
+        };
+        loop {
+            // A queued real reply beats a death signal: drain genuine
+            // progress first so recovery only runs when the operation is
+            // actually wedged.
+            if let Ok(reply) = self.reply_rx.try_recv() {
+                return done(reply);
+            }
+            if let Some(dead) = self.next_unhandled_dead(*handled) {
+                *handled |= 1u64 << dead.as_usize();
+                return Err(MuninError::PeerDied(dead));
+            }
+            match self.reply_rx.recv_timeout(WATCHDOG_SLICE) {
+                Ok(reply) => return done(reply),
+                Err(_) => {
+                    self.health_check();
+                    let waited = start.elapsed();
+                    if waited >= self.cfg.watchdog {
+                        return Err(self.raise_stall(op, waited));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The degraded-mode recovery walk, run exactly once per dead peer (the
+    /// caller holds the first-confirmation ticket). Everything here acts on
+    /// local state and sends fire-and-forget messages; nothing blocks on a
+    /// reply, so the walk is safe from both threads.
+    fn recover_from_death(self: &Arc<Self>, dead: NodeId) {
+        self.purge_peer_link(dead);
+        let t_virt = self.clock.now().as_nanos();
+        // Directory walk: prune the corpse from every copyset and re-home
+        // orphaned objects to the lowest-id surviving replica holder. Every
+        // survivor prunes the same node and sorts the same copyset, so they
+        // converge on the same new home without coordination.
+        {
+            let mut dir = self.dir.lock();
+            for idx in 0..dir.len() {
+                let e = dir.entry_mut(ObjectId::new(idx as u32));
+                let mat = e.copyset.materialize(self.nodes);
+                if mat.contains(dead) {
+                    let mut pruned = mat;
+                    pruned.remove(dead);
+                    e.copyset = pruned;
+                    bump(&self.stats.copysets_pruned);
+                    self.obs
+                        .record(t_virt, crate::obs::EventKind::CopysetPruned, |ev| {
+                            ev.object = Some(e.object);
+                            ev.peer = Some(dead);
+                        });
+                }
+                if !e.state.owned && e.probable_owner == dead {
+                    let survivors = e.copyset.members(self.nodes, Some(dead));
+                    let self_has_copy = e.state.rights.allows_read();
+                    let heir = if self_has_copy {
+                        // This node's own copy competes for the adoption by id.
+                        Some(
+                            survivors
+                                .first()
+                                .copied()
+                                .map_or(self.node, |n| n.min(self.node)),
+                        )
+                    } else {
+                        survivors.first().copied()
+                    };
+                    match heir {
+                        Some(n) if n == self.node => {
+                            e.state.owned = true;
+                            e.probable_owner = self.node;
+                            bump(&self.stats.objects_rehomed);
+                            self.obs.record(
+                                t_virt,
+                                crate::obs::EventKind::OwnershipRecovered,
+                                |ev| {
+                                    ev.object = Some(e.object);
+                                    ev.peer = Some(dead);
+                                },
+                            );
+                        }
+                        Some(n) => e.probable_owner = n,
+                        None => {
+                            // No known surviving copy. The hint falls back to
+                            // the home node of last resort; if the object is
+                            // truly orphaned the next fetch's recovery round
+                            // (`refetch_orphan`) establishes that and raises
+                            // `NodeDown`.
+                            if e.home != dead {
+                                e.probable_owner = e.home;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Sync walk: lock tokens last seen heading towards the corpse are
+        // regenerated at the lock's home (orphaned waiters re-send their
+        // acquires there); barriers owned here exclude the dead node from
+        // the arrival count, releasing waiters it was holding up. Release
+        // sends happen outside the sync lock.
+        let mut barrier_releases: Vec<(BarrierId, Vec<NodeId>)> = Vec::new();
+        {
+            let mut sync = self.sync.lock();
+            for i in 0..sync.lock_count() {
+                let id = LockId(i as u32);
+                let home = self.lock_homes[i];
+                let l = sync.lock_mut(id);
+                // Capture before pruning: `prune_dead` redirects a hint that
+                // points at the corpse, which would erase the evidence that
+                // the token was last seen there.
+                let token_lost = home == self.node && !l.owned && l.probable_owner == dead;
+                l.prune_dead(dead, home);
+                if token_lost && l.regenerate_token(self.node) {
+                    crate::runtime::proto_trace!(
+                        self,
+                        "lock {i} token orphaned by {dead:?}; regenerated at home"
+                    );
+                }
+            }
+            for i in 0..sync.barrier_count() {
+                let id = BarrierId(i as u32);
+                let b = sync.barrier_mut(id);
+                if b.owner == self.node {
+                    if let Some(waiters) = b.exclude(dead) {
+                        barrier_releases.push((id, waiters));
+                    }
+                }
+            }
+        }
+        let now = self.clock.now();
+        for (id, waiters) in barrier_releases {
+            crate::runtime::proto_trace!(
+                self,
+                "barrier {} opens on exclusion of {dead:?}",
+                id.0
+            );
+            self.release_barrier_waiters(id, waiters, now);
+        }
+    }
+}

@@ -19,6 +19,7 @@
 
 mod fault;
 mod flush;
+mod health;
 mod outbox;
 mod reliable;
 mod server;
@@ -213,6 +214,13 @@ pub struct NodeRuntime {
     /// The reliability layer's link state (leaf lock except for raw engine
     /// sends; see `runtime/reliable.rs`).
     reliable: Mutex<reliable::ReliableState>,
+    /// The failure detector: per-peer last-heard tracking and liveness
+    /// verdicts (leaf lock; see `runtime/health.rs`).
+    health: health::Health,
+    /// Home node of each lock, by lock index. The sync directory keeps only
+    /// probable-owner hints; crash recovery needs the fixed home (token
+    /// regeneration site, fallback for hints pointing at a corpse).
+    lock_homes: Vec<NodeId>,
     /// Requests deferred because their directory entry was busy.
     deferred: Mutex<Vec<(Envelope, DsmMsg)>>,
     /// Bumped whenever a blocking condition clears (busy bit or pin
@@ -230,9 +238,16 @@ pub struct NodeRuntime {
     reply_rx: channel::Receiver<(Envelope, DsmMsg)>,
     /// Worker-completion notifications (root only), kept separate from the
     /// reply mailbox so they cannot interleave with an in-flight protocol
-    /// operation of the root's user thread.
-    done_tx: channel::Sender<()>,
-    done_rx: channel::Receiver<()>,
+    /// operation of the root's user thread. Carries the worker's id so the
+    /// completion wait can reconcile notifications against confirmed deaths.
+    done_tx: channel::Sender<NodeId>,
+    done_rx: channel::Receiver<NodeId>,
+    /// The lock id (+1) the user thread is blocked acquiring, or 0. The
+    /// service loop consumes it (compare-and-swap to 0) when routing a
+    /// `LockGrant`; a grant nobody is waiting for — possible only after a
+    /// crash-recovery re-acquire raced the original grant — is absorbed
+    /// into the sync state instead of poisoning the reply mailbox.
+    waiting_grant: std::sync::atomic::AtomicU32,
 }
 
 impl NodeRuntime {
@@ -284,6 +299,8 @@ impl NodeRuntime {
                 update_seq_out: Mutex::new(vec![0; nodes]),
                 update_seq_in: Mutex::new(vec![0; nodes]),
                 reliable: Mutex::new(reliable::ReliableState::new(&cfg, nodes)),
+                health: health::Health::new(&cfg, nodes),
+                lock_homes,
                 deferred: Mutex::new(Vec::new()),
                 deferred_gen: std::sync::atomic::AtomicU64::new(0),
                 stats: MuninStats::new(),
@@ -296,6 +313,7 @@ impl NodeRuntime {
                 reply_rx,
                 done_tx,
                 done_rx,
+                waiting_grant: std::sync::atomic::AtomicU32::new(0),
                 cfg,
                 table,
                 clock,
@@ -474,20 +492,29 @@ impl NodeRuntime {
     }
 
     /// Blocks until one worker-completion notification arrives (root only),
-    /// under the same watchdog as [`Self::wait_reply`].
-    pub(crate) fn wait_worker_done_notification(&self) -> Result<()> {
+    /// under the same watchdog as [`Self::wait_reply`], returning which
+    /// worker finished — or `None` when the failure detector confirmed a
+    /// new death instead (the timeout slices age the detector, so a root
+    /// blocked on a crashed worker confirms the death itself). The caller
+    /// reconciles notifications against the dead set and re-blocks.
+    pub(crate) fn wait_worker_done_notification(self: &Arc<Self>) -> Result<Option<NodeId>> {
         let start = Instant::now();
         let entered_virt = self.clock.now().as_nanos();
+        let dead_at_entry = self.dead_bitmap();
         loop {
             match self.done_rx.recv_timeout(WATCHDOG_SLICE) {
-                Ok(()) => {
+                Ok(from) => {
                     self.obs.record_wait(
                         WaitOp::WorkerDone.kind(),
                         self.clock.now().as_nanos().saturating_sub(entered_virt),
                     );
-                    return Ok(());
+                    return Ok(Some(from));
                 }
                 Err(_) => {
+                    self.health_check();
+                    if self.dead_bitmap() != dead_at_entry {
+                        return Ok(None);
+                    }
                     let waited = start.elapsed();
                     if waited >= self.cfg.watchdog {
                         return Err(self.raise_stall(WaitOp::WorkerDone, waited));
@@ -517,6 +544,7 @@ impl NodeRuntime {
             waited,
             unacked: self.unacked_snapshot(),
             deferred: self.deferred.lock().len(),
+            suspected: self.suspected_snapshot(),
             frontiers: (0..self.nodes)
                 .map(|i| (i, self.sender.delivery_frontier(NodeId::new(i))))
                 .collect(),
@@ -544,7 +572,40 @@ impl NodeRuntime {
     }
 
     /// Hands a reply to the blocked user thread (called by the service loop).
-    pub(crate) fn route_to_user(&self, env: Envelope, msg: DsmMsg) {
+    pub(crate) fn route_to_user(self: &Arc<Self>, env: Envelope, msg: DsmMsg) {
+        // Under crash recovery an acquire may be re-issued towards the
+        // lock's home while the original request is still making progress;
+        // if both produce grants, the second arrives when nobody is
+        // waiting. Routing it would poison the next wait, so it is absorbed
+        // into the sync state instead: the token parks here (a consistent
+        // outcome — the granter recorded this node as the new owner) and is
+        // handed straight on if waiters rode in with it. The waiting flag
+        // is consumed by compare-and-swap, so of two racing grants exactly
+        // one reaches the user thread.
+        if self.health_enabled() {
+            if let DsmMsg::LockGrant { lock, queue } = msg {
+                use std::sync::atomic::Ordering;
+                let expected = self
+                    .waiting_grant
+                    .compare_exchange(lock.0 + 1, 0, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok();
+                if !expected {
+                    proto_trace!(self, "absorb stray grant for lock {}", lock.0);
+                    let handoff = {
+                        let mut sync = self.sync.lock();
+                        let l = sync.lock_mut(lock);
+                        l.receive_grant(queue, self.node);
+                        l.release()
+                    };
+                    if let Some((next, rest)) = handoff {
+                        self.send_lock_grant(lock, next, rest, Vec::new());
+                    }
+                    return;
+                }
+                let _ = self.reply_tx.send((env, DsmMsg::LockGrant { lock, queue }));
+                return;
+            }
+        }
         // The user thread may already have exited (e.g. after a runtime
         // error); dropping the message is then harmless.
         let _ = self.reply_tx.send((env, msg));

@@ -41,6 +41,13 @@ use super::NodeRuntime;
 /// Cap on the backoff exponent: backoff = pacing × 2^min(attempts, CAP).
 const BACKOFF_EXP_CAP: u32 = 8;
 
+/// Retransmit-attempt cap when failure detection is on: a message unacked
+/// after this many attempts stops being retransmitted and marks the peer
+/// suspect instead of spinning forever. Without detection the sweep stays
+/// unbounded — a plain lossy run with no crash plan should keep converging
+/// (and, if truly wedged, surface a watchdog stall, not a silent give-up).
+const MAX_RETRANSMIT_ATTEMPTS: u32 = 32;
+
 /// One unacknowledged outbound message, held for retransmission.
 #[derive(Debug)]
 struct UnackedEntry {
@@ -106,7 +113,10 @@ impl ReliableState {
     /// `cfg.reliability` wins; otherwise the layer auto-enables exactly when
     /// the engine can lose messages (loss injection in virtual-time mode).
     pub(crate) fn new(cfg: &MuninConfig, nodes: usize) -> Self {
-        let auto = cfg.engine.faults.loss_ppm > 0 && cfg.engine.mode == DeliveryMode::VirtualTime;
+        // Crash plans count as lossy: a frozen node's traffic is dropped for
+        // the freeze window, and only retransmission recovers the gap.
+        let lossy = cfg.engine.faults.loss_ppm > 0 || !cfg.engine.faults.crash.is_none();
+        let auto = lossy && cfg.engine.mode == DeliveryMode::VirtualTime;
         ReliableState {
             enabled: cfg.reliability.unwrap_or(auto),
             peers: (0..nodes).map(|_| PeerState::new()).collect(),
@@ -137,10 +147,19 @@ impl NodeRuntime {
     /// Wraps an outbound protocol message in a `Reliable` frame, assigning
     /// the next per-link id, piggybacking the cumulative ack owed to `dst`,
     /// and recording the message for retransmission. Identity when the layer
-    /// is disabled; transport-internal frames (`NetAck`, `Tick`) pass
-    /// through unchanged.
+    /// is disabled; transport-internal frames (`NetAck`, `Tick`) and the
+    /// failure detector's traffic (`HealthTick`, `Heartbeat`, `PeerDown`)
+    /// pass through unchanged — retransmitting a liveness probe to a node
+    /// suspected dead would defeat both layers.
     pub(crate) fn wrap_outgoing(&self, dst: NodeId, msg: DsmMsg) -> DsmMsg {
-        if matches!(msg, DsmMsg::NetAck { .. } | DsmMsg::Tick) {
+        if matches!(
+            msg,
+            DsmMsg::NetAck { .. }
+                | DsmMsg::Tick
+                | DsmMsg::HealthTick
+                | DsmMsg::Heartbeat
+                | DsmMsg::PeerDown { .. }
+        ) {
             return msg;
         }
         let mut rel = self.reliable.lock();
@@ -233,6 +252,8 @@ impl NodeRuntime {
         }
         let now = Instant::now();
         let pacing = self.cfg.retransmit_pacing;
+        let detecting = self.health_enabled();
+        let mut to_suspect: Vec<NodeId> = Vec::new();
         for (dst, peer) in rel.peers.iter_mut().enumerate() {
             let dst = NodeId::new(dst);
             if peer.acks_owed {
@@ -247,6 +268,12 @@ impl NodeRuntime {
             for entry in peer.unacked.iter_mut() {
                 let backoff = pacing * (1u32 << entry.attempts.min(BACKOFF_EXP_CAP));
                 if now.duration_since(entry.last_tx) < backoff {
+                    continue;
+                }
+                if detecting && entry.attempts >= MAX_RETRANSMIT_ATTEMPTS {
+                    // Retransmission has done its job of surviving loss; a
+                    // link this dead is the failure detector's problem now.
+                    to_suspect.push(dst);
                     continue;
                 }
                 entry.attempts += 1;
@@ -279,6 +306,41 @@ impl NodeRuntime {
         if pending {
             self.ensure_tick(&mut rel);
         }
+        drop(rel);
+        for dst in to_suspect {
+            self.health_suspect(dst, "retransmit cap");
+        }
+    }
+
+    /// Resets the retransmit backoff toward `peer` after hearing from it
+    /// while it was suspect: a thawed freeze (or a recovered network) should
+    /// resume delivery at base pacing, not wait out a maxed-out backoff.
+    pub(crate) fn reset_retransmit_attempts(&self, peer: NodeId) {
+        let mut rel = self.reliable.lock();
+        if !rel.enabled {
+            return;
+        }
+        for entry in rel.peers[peer.as_usize()].unacked.iter_mut() {
+            entry.attempts = 0;
+        }
+        let any = !rel.peers[peer.as_usize()].unacked.is_empty();
+        if any {
+            self.ensure_tick(&mut rel);
+        }
+    }
+
+    /// Drops all link state toward a confirmed-dead peer: unacked messages
+    /// will never be acknowledged and buffered early arrivals will never have
+    /// their gaps filled. Called from the recovery walk.
+    pub(crate) fn purge_peer_link(&self, peer: NodeId) {
+        let mut rel = self.reliable.lock();
+        if !rel.enabled {
+            return;
+        }
+        let p = &mut rel.peers[peer.as_usize()];
+        p.unacked.clear();
+        p.reorder.clear();
+        p.acks_owed = false;
     }
 
     /// Immediately sends every owed cumulative ack as a standalone `NetAck`

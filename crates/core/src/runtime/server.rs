@@ -27,6 +27,7 @@ impl NodeRuntime {
     /// Runs the service loop until a `Shutdown` message arrives. Intended to
     /// run on its own OS thread, with the node's network receiver moved in.
     pub fn server_loop(self: Arc<Self>, receiver: Receiver<DsmMsg>) {
+        self.health_start();
         loop {
             let Ok((env, msg)) = receiver.recv() else {
                 // All senders dropped (or the inbox was closed by the abort
@@ -45,6 +46,19 @@ impl NodeRuntime {
     /// deliverable protocol message. Returns `true` once `Shutdown` has been
     /// dispatched.
     pub(crate) fn handle_incoming(self: &Arc<Self>, env: Envelope, msg: DsmMsg) -> bool {
+        if self.health_enabled() && env.src != self.node {
+            // Confirmed-dead peers are past tense: recovery already pruned
+            // them from every copyset and re-homed their objects, so a
+            // zombie message (a frozen node thawing after the detection
+            // window, or late retransmissions) must not re-enter the
+            // protocol. Liveness traffic from everyone else refreshes the
+            // detector.
+            if self.is_peer_dead(env.src) {
+                crate::runtime::proto_trace!(self, "drop zombie {} from {:?}", msg.class(), env.src);
+                return false;
+            }
+            self.health_heard(env.src);
+        }
         match msg {
             DsmMsg::Tick => {
                 self.obs.record(
@@ -53,6 +67,21 @@ impl NodeRuntime {
                     |_| {},
                 );
                 self.reliability_tick();
+                false
+            }
+            DsmMsg::HealthTick => {
+                self.obs.record(
+                    env.arrival.as_nanos(),
+                    crate::obs::EventKind::TimerFire,
+                    |_| {},
+                );
+                self.health_tick();
+                false
+            }
+            // The last-heard refresh above is the heartbeat's entire job.
+            DsmMsg::Heartbeat => false,
+            DsmMsg::PeerDown { node } => {
+                self.confirm_peer_dead(node, true);
                 false
             }
             DsmMsg::NetAck { upto } => {
@@ -75,11 +104,11 @@ impl NodeRuntime {
     /// `Shutdown`.
     fn dispatch(self: &Arc<Self>, env: Envelope, msg: DsmMsg) -> bool {
         let shutdown = matches!(msg, DsmMsg::Shutdown);
-        if matches!(msg, DsmMsg::WorkerDone { .. }) {
+        if let DsmMsg::WorkerDone { from } = msg {
             // Completion notifications go to a dedicated channel so they
             // cannot interleave with a protocol operation the root's user
             // thread is still performing.
-            let _ = self.done_tx.send(());
+            let _ = self.done_tx.send(from);
         } else if matches!(msg, DsmMsg::Carrier { .. }) {
             // Carriers are unwrapped here — never routed to the user
             // thread directly — so the piggybacked payload is always
@@ -109,6 +138,14 @@ impl NodeRuntime {
         // sender is blocked in its own drain waiting for it, and this node's
         // tick never fires again once the service loop exits.
         self.flush_owed_acks();
+        // Messages to confirmed-dead peers will never be acked; waiting out
+        // the deadline for them would serialize a full second per survivor.
+        for i in 0..self.nodes {
+            let n = NodeId::new(i);
+            if n != self.node && self.is_peer_dead(n) {
+                self.purge_peer_link(n);
+            }
+        }
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(1);
         while self.has_unacked() && std::time::Instant::now() < deadline {
             // A tick is always scheduled while messages are unacked, so this
@@ -178,6 +215,11 @@ impl NodeRuntime {
                 updates,
                 relay,
             } => self.handle_carrier(env, inner, updates, relay),
+            DsmMsg::Adopt {
+                object,
+                access,
+                requester,
+            } => self.handle_adopt(env, object, access, requester),
             // Replies and control messages are routed before we get here.
             other => {
                 debug_assert!(
@@ -272,8 +314,8 @@ impl NodeRuntime {
         }
         let Some(inner) = inner else { return };
         let inner = *inner;
-        if matches!(inner, DsmMsg::WorkerDone { .. }) {
-            let _ = self.done_tx.send(());
+        if let DsmMsg::WorkerDone { from } = inner {
+            let _ = self.done_tx.send(from);
         } else if inner.is_user_reply() {
             self.route_to_user(env, inner);
         } else {
@@ -428,6 +470,59 @@ impl NodeRuntime {
             }
             self.note_unblocked_and_process_deferred();
         }
+    }
+
+    /// Handles an adoption request: the requester's orphan-recovery round
+    /// (see `refetch_orphan`) identified this node as the lowest-id
+    /// surviving holder of an object whose owner died. Claim ownership if
+    /// the local copy is still valid, then serve the blocked fetch exactly
+    /// as an owner would.
+    fn handle_adopt(
+        self: &Arc<Self>,
+        env: Envelope,
+        object: ObjectId,
+        access: FetchKind,
+        requester: NodeId,
+    ) {
+        {
+            let mut dir = self.dir.lock();
+            let entry = dir.entry_mut(object);
+            if entry.state.busy || entry.state.pinned {
+                // Mid-transition: retry once it completes, as a fetch would.
+                drop(dir);
+                self.deferred.lock().push((
+                    env,
+                    DsmMsg::Adopt {
+                        object,
+                        access,
+                        requester,
+                    },
+                ));
+                return;
+            }
+            if !entry.state.owned && entry.state.rights.allows_read() {
+                entry.state.owned = true;
+                entry.probable_owner = self.node;
+                bump(&self.stats.objects_rehomed);
+                self.obs.record(
+                    env.arrival.as_nanos(),
+                    crate::obs::EventKind::OwnershipRecovered,
+                    |ev| {
+                        ev.object = Some(object);
+                        ev.peer = Some(requester);
+                    },
+                );
+                crate::runtime::proto_trace!(
+                    self,
+                    "adopted orphan {object:?} for {requester:?}"
+                );
+            }
+        }
+        // Owned now (or already): the normal fetch path serves it, with the
+        // usual ownership-transfer semantics for write/migratory access. If
+        // the local copy was invalidated since the requester's query round,
+        // this forwards along the (recovery-redirected) hint chain instead.
+        self.handle_object_fetch(env, object, access, requester);
     }
 
     /// Serves (or forwards, or defers) an object fetch.
@@ -1109,6 +1204,18 @@ impl NodeRuntime {
         now: munin_sim::VirtTime,
     ) {
         self.charge_sys(self.cost.sync_op());
+        // A crash-recovery re-acquire can chase its own tail: the waiter
+        // re-sent towards the home, the original request was satisfied
+        // after all, and the duplicate is now being forwarded back to a
+        // requester that already holds the token. Drop it — queueing a
+        // node behind itself would deadlock the queue.
+        if self.health_enabled() && requester == self.node {
+            let owned = self.sync.lock().lock(lock).owned;
+            if owned {
+                crate::runtime::proto_trace!(self, "drop own looped-back acquire for lock {}", lock.0);
+                return;
+            }
+        }
         let action = {
             let mut sync = self.sync.lock();
             sync.lock_mut(lock).handle_remote_acquire(requester)
@@ -1253,40 +1360,55 @@ impl NodeRuntime {
             sync.barrier_mut(barrier).arrive(from)
         };
         if let Some(waiters) = released {
-            // The barrier opens when the last arrival has been processed.
-            // Each release carries the relayed flush bundles stashed for its
-            // destination (and any of this node's own coalesced items), so
-            // the waiter installs every update it is owed before its user
-            // thread resumes.
-            for node in waiters {
-                let mut updates = {
-                    let mut outbox = self.outbox.lock();
-                    outbox.take_relay(barrier, node)
-                };
-                if let Some((pending, seq)) = self.take_pending_with_seq(node) {
-                    add(&self.stats.msgs_piggybacked, 1);
-                    self.note_update_sent(&pending);
-                    updates.push(CarrierUpdate {
-                        from: self.node,
-                        seq,
-                        items: pending,
-                        sync_install: false,
-                    });
-                }
-                let release = DsmMsg::BarrierRelease { barrier };
-                if updates.is_empty() {
-                    let _ = self.send_service(node, release, now + self.cost.sync_op());
-                } else {
-                    let _ = self.send_service(
-                        node,
-                        DsmMsg::Carrier {
-                            inner: Some(Box::new(release)),
-                            updates,
-                            relay: Vec::new(),
-                        },
-                        now + self.cost.sync_op(),
-                    );
-                }
+            self.release_barrier_waiters(barrier, waiters, now);
+        }
+    }
+
+    /// Sends a barrier release to every waiter. Each release carries the
+    /// relayed flush bundles stashed for its destination (and any of this
+    /// node's own coalesced items), so the waiter installs every update it
+    /// is owed before its user thread resumes. Shared by the last-arrival
+    /// path and the crash-recovery exclusion path (a dead node's exclusion
+    /// can open the barrier for everyone still waiting).
+    pub(crate) fn release_barrier_waiters(
+        self: &Arc<Self>,
+        barrier: crate::sync::BarrierId,
+        waiters: Vec<NodeId>,
+        now: munin_sim::VirtTime,
+    ) {
+        for node in waiters {
+            if node != self.node && self.is_peer_dead(node) {
+                // An arrival recorded before its sender died: nothing to
+                // release there.
+                continue;
+            }
+            let mut updates = {
+                let mut outbox = self.outbox.lock();
+                outbox.take_relay(barrier, node)
+            };
+            if let Some((pending, seq)) = self.take_pending_with_seq(node) {
+                add(&self.stats.msgs_piggybacked, 1);
+                self.note_update_sent(&pending);
+                updates.push(CarrierUpdate {
+                    from: self.node,
+                    seq,
+                    items: pending,
+                    sync_install: false,
+                });
+            }
+            let release = DsmMsg::BarrierRelease { barrier };
+            if updates.is_empty() {
+                let _ = self.send_service(node, release, now + self.cost.sync_op());
+            } else {
+                let _ = self.send_service(
+                    node,
+                    DsmMsg::Carrier {
+                        inner: Some(Box::new(release)),
+                        updates,
+                        relay: Vec::new(),
+                    },
+                    now + self.cost.sync_op(),
+                );
             }
         }
     }

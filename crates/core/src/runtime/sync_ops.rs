@@ -57,6 +57,11 @@ impl NodeRuntime {
                 ev.sync_id = Some(lock.0);
                 ev.peer = Some(hint);
             });
+        // Mark the grant as awaited *before* sending: the service thread
+        // consumes this flag when routing the grant, and absorbs any grant
+        // it arrives without (see `route_to_user`).
+        self.waiting_grant
+            .store(lock.0 + 1, std::sync::atomic::Ordering::Release);
         self.send(
             hint,
             DsmMsg::LockAcquire {
@@ -64,7 +69,45 @@ impl NodeRuntime {
                 requester: self.node,
             },
         )?;
-        let (env, reply) = self.wait_reply(crate::runtime::WaitOp::LockGrant(lock.0))?;
+        // A peer death mid-wait may have taken the token (and the request
+        // with it): the home regenerates orphaned tokens, so re-issue the
+        // acquire there. The home's queue deduplicates, so a request that
+        // was *not* actually lost cannot queue this node twice; a grant
+        // produced twice anyway is absorbed by the routing guard above.
+        let mut handled = 0u64;
+        let (env, reply) = loop {
+            match self.wait_reply_or_dead(crate::runtime::WaitOp::LockGrant(lock.0), &mut handled)
+            {
+                Ok(reply) => break reply,
+                Err(MuninError::PeerDied(_)) => {
+                    let home = self.lock_homes[lock.0 as usize];
+                    if self.is_peer_dead(home) {
+                        self.waiting_grant
+                            .store(0, std::sync::atomic::Ordering::Release);
+                        bump(&self.stats.runtime_errors);
+                        return Err(MuninError::NodeDown {
+                            node: home,
+                            lost_objects: Vec::new(),
+                        });
+                    }
+                    add(&self.stats.lock_messages, 1);
+                    self.waiting_grant
+                        .store(lock.0 + 1, std::sync::atomic::Ordering::Release);
+                    self.send(
+                        home,
+                        DsmMsg::LockAcquire {
+                            lock,
+                            requester: self.node,
+                        },
+                    )?;
+                }
+                Err(e) => {
+                    self.waiting_grant
+                        .store(0, std::sync::atomic::Ordering::Release);
+                    return Err(e);
+                }
+            }
+        };
         self.obs.record(
             env.arrival.as_nanos(),
             crate::obs::EventKind::LockGrant,
@@ -196,7 +239,27 @@ impl NodeRuntime {
                 },
             )?;
         }
-        let (env, reply) = self.wait_reply(crate::runtime::WaitOp::BarrierRelease(barrier.0))?;
+        // A participant dying mid-wait is survivable — the owner's recovery
+        // excludes it from the arrival count and releases the rest — but the
+        // owner itself dying takes the barrier state with it.
+        let mut handled = 0u64;
+        let (env, reply) = loop {
+            match self.wait_reply_or_dead(
+                crate::runtime::WaitOp::BarrierRelease(barrier.0),
+                &mut handled,
+            ) {
+                Ok(reply) => break reply,
+                Err(MuninError::PeerDied(dead)) if dead == owner => {
+                    bump(&self.stats.runtime_errors);
+                    return Err(MuninError::NodeDown {
+                        node: owner,
+                        lost_objects: Vec::new(),
+                    });
+                }
+                Err(MuninError::PeerDied(_)) => {}
+                Err(e) => return Err(e),
+            }
+        };
         self.obs.record(
             env.arrival.as_nanos(),
             crate::obs::EventKind::BarrierRelease,
@@ -243,7 +306,23 @@ impl NodeRuntime {
                 requester: self.node,
             },
         )?;
-        let (_env, reply) = self.wait_reply(crate::runtime::WaitOp::Reduce(object))?;
+        // Reduction state lives only at the object's fixed home: its death
+        // is unrecoverable for this object, any other death is irrelevant.
+        let mut handled = 0u64;
+        let (_env, reply) = loop {
+            match self.wait_reply_or_dead(crate::runtime::WaitOp::Reduce(object), &mut handled) {
+                Ok(reply) => break reply,
+                Err(MuninError::PeerDied(dead)) if dead == owner => {
+                    bump(&self.stats.runtime_errors);
+                    return Err(MuninError::NodeDown {
+                        node: owner,
+                        lost_objects: vec![object],
+                    });
+                }
+                Err(MuninError::PeerDied(_)) => {}
+                Err(e) => return Err(e),
+            }
+        };
         match reply {
             DsmMsg::ReduceReply { old } => Ok(old),
             _ => Err(MuninError::ProtocolViolation(
@@ -268,22 +347,42 @@ impl NodeRuntime {
         self.send(NodeId::new(0), DsmMsg::WorkerDone { from: self.node })
     }
 
-    /// Called by the root to wait until every other worker has finished.
+    /// Called by the root to wait until every other worker has finished. A
+    /// worker confirmed dead is struck from the roster — its notification
+    /// will never come, and the root carries on with the survivors'
+    /// results. (A worker that notified *and then* died counts once.)
     pub(crate) fn wait_workers_done(self: &Arc<Self>) -> Result<()> {
-        for _ in 0..self.nodes - 1 {
-            self.wait_worker_done_notification()?;
+        let mut pending: Vec<NodeId> = (1..self.nodes).map(NodeId::new).collect();
+        loop {
+            pending.retain(|&n| !self.is_peer_dead(n));
+            if pending.is_empty() {
+                return Ok(());
+            }
+            if let Some(from) = self.wait_worker_done_notification()? {
+                pending.retain(|&n| n != from);
+            }
         }
-        Ok(())
     }
 
     /// Called by a non-root worker after signalling completion: blocks until
     /// the root broadcasts shutdown (its service thread keeps serving
     /// requests in the meantime, e.g. for the root's `user_done` phase).
+    /// Only the root can end the run, so its death here is terminal.
     pub(crate) fn wait_for_shutdown(self: &Arc<Self>) -> Result<()> {
+        let mut handled = 0u64;
         loop {
-            let (_env, msg) = self.wait_reply(crate::runtime::WaitOp::Shutdown)?;
-            if matches!(msg, DsmMsg::Shutdown) {
-                return Ok(());
+            match self.wait_reply_or_dead(crate::runtime::WaitOp::Shutdown, &mut handled) {
+                Ok((_env, DsmMsg::Shutdown)) => return Ok(()),
+                Ok(_) => {}
+                Err(MuninError::PeerDied(dead)) if dead == NodeId::new(0) => {
+                    bump(&self.stats.runtime_errors);
+                    return Err(MuninError::NodeDown {
+                        node: dead,
+                        lost_objects: Vec::new(),
+                    });
+                }
+                Err(MuninError::PeerDied(_)) => {}
+                Err(e) => return Err(e),
             }
         }
     }
@@ -301,7 +400,13 @@ impl NodeRuntime {
         // no retransmitter, and that worker stalls in `shutdown_wait` until
         // its watchdog fires.
         for i in 1..self.nodes {
-            self.send(NodeId::new(i), DsmMsg::Shutdown)?;
+            let n = NodeId::new(i);
+            // A dead worker's shutdown would sit unacknowledged in the
+            // reliable link forever and hold the drain at its deadline.
+            if self.is_peer_dead(n) {
+                continue;
+            }
+            self.send(n, DsmMsg::Shutdown)?;
         }
         self.send(self.node, DsmMsg::Shutdown)
     }

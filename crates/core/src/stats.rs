@@ -129,6 +129,20 @@ counters! {
         dup_msgs_dropped,
         /// Stall-watchdog reports raised for blocked protocol operations.
         watchdog_stalls,
+        /// Peers the failure detector marked suspect (quiet for more than
+        /// half the detection window, or the retransmit-attempt cap fired).
+        peers_suspected,
+        /// Peers confirmed dead (quiet for the full detection window, or a
+        /// `PeerDown` was received from another detector).
+        peers_dead,
+        /// Directory entries whose copyset had a confirmed-dead node pruned
+        /// (the paper's update-timeout replica-pruning analog).
+        copysets_pruned,
+        /// Orphaned objects deterministically re-homed to (or adopted by)
+        /// the lowest-id surviving replica holder after an owner died.
+        objects_rehomed,
+        /// Heartbeat probes sent by the failure detector.
+        heartbeats_sent,
     }
 }
 

@@ -83,7 +83,10 @@ impl LockState {
 
     /// Handles a remote acquire request arriving at this node.
     ///
-    /// Returns what the runtime must do with it.
+    /// Returns what the runtime must do with it. Queueing is idempotent (a
+    /// requester already waiting is not queued twice): the crash-recovery
+    /// path re-sends an acquire towards the lock home when a peer on the
+    /// forwarding chain dies, and the original request may still be alive.
     pub fn handle_remote_acquire(&mut self, requester: NodeId) -> RemoteAcquireAction {
         if !self.owned {
             return RemoteAcquireAction::Forward(self.probable_owner);
@@ -94,8 +97,36 @@ impl LockState {
             self.probable_owner = requester;
             RemoteAcquireAction::Grant
         } else {
-            self.queue.push_back(requester);
+            if !self.queue.contains(&requester) {
+                self.queue.push_back(requester);
+            }
             RemoteAcquireAction::Queued
+        }
+    }
+
+    /// Crash recovery at the lock's *home* node: the peer last known to hold
+    /// the token died, so the home mints a fresh free token (the distributed
+    /// queue that travelled with the dead token is gone; orphaned waiters
+    /// re-send their acquires towards the home). Returns `true` when a token
+    /// was actually regenerated.
+    pub fn regenerate_token(&mut self, local: NodeId) -> bool {
+        if self.owned {
+            return false;
+        }
+        self.owned = true;
+        self.held = false;
+        self.queue.clear();
+        self.probable_owner = local;
+        true
+    }
+
+    /// Removes a dead node from the waiter queue, and redirects a
+    /// probable-owner hint that points at the dead node to `fallback` (the
+    /// lock home) so later forwards do not chase a corpse.
+    pub fn prune_dead(&mut self, dead: NodeId, fallback: NodeId) {
+        self.queue.retain(|n| *n != dead);
+        if self.probable_owner == dead && !self.owned {
+            self.probable_owner = fallback;
         }
     }
 
@@ -144,6 +175,10 @@ pub struct BarrierState {
     pub arrived: Vec<NodeId>,
     /// How many times the barrier has opened.
     pub generation: u64,
+    /// Bitmap of nodes confirmed dead and excluded from the arrival count
+    /// (crash recovery at the owner; each excluded node lowers the open
+    /// threshold by one).
+    pub excluded: u64,
 }
 
 impl BarrierState {
@@ -154,14 +189,42 @@ impl BarrierState {
             parties,
             arrived: Vec::new(),
             generation: 0,
+            excluded: 0,
         }
+    }
+
+    /// Arrivals required to open, after dead-node exclusions. Never below
+    /// one: a barrier opens on an arrival, not on an exclusion alone.
+    fn effective_parties(&self) -> usize {
+        self.parties
+            .saturating_sub(self.excluded.count_ones() as usize)
+            .max(1)
     }
 
     /// Records an arrival at the owner. Returns the list of nodes to release
     /// when this arrival completes the barrier, or `None` otherwise.
     pub fn arrive(&mut self, from: NodeId) -> Option<Vec<NodeId>> {
         self.arrived.push(from);
-        if self.arrived.len() >= self.parties {
+        if self.arrived.len() >= self.effective_parties() {
+            self.generation += 1;
+            Some(std::mem::take(&mut self.arrived))
+        } else {
+            None
+        }
+    }
+
+    /// Crash recovery at the owner: excludes a dead node from the arrival
+    /// count (dropping any arrival it already recorded this episode — its
+    /// release could not reach it anyway). Returns the waiters to release
+    /// when the exclusion leaves every surviving party already arrived.
+    pub fn exclude(&mut self, node: NodeId) -> Option<Vec<NodeId>> {
+        let bit = 1u64 << (node.as_usize() % 64);
+        if self.excluded & bit != 0 {
+            return None;
+        }
+        self.excluded |= bit;
+        self.arrived.retain(|n| *n != node);
+        if !self.arrived.is_empty() && self.arrived.len() >= self.effective_parties() {
             self.generation += 1;
             Some(std::mem::take(&mut self.arrived))
         } else {
@@ -318,6 +381,85 @@ mod tests {
         assert!(b.arrive(n(1)).is_none());
         assert!(b.arrive(n(0)).is_some());
         assert_eq!(b.generation, 2);
+    }
+
+    #[test]
+    fn excluding_a_dead_node_lowers_the_arrival_threshold() {
+        let mut b = BarrierState::new(n(0), 4);
+        assert!(b.arrive(n(0)).is_none());
+        assert!(b.arrive(n(1)).is_none());
+        // Node 3 dies: threshold drops to 3; the two arrivals are not enough.
+        assert!(b.exclude(n(3)).is_none());
+        let released = b.arrive(n(2)).unwrap();
+        assert_eq!(released, vec![n(0), n(1), n(2)]);
+        // Excluding again is idempotent.
+        assert!(b.exclude(n(3)).is_none());
+        // Next episode still runs at the lowered threshold.
+        assert!(b.arrive(n(0)).is_none());
+        assert!(b.arrive(n(1)).is_none());
+        assert!(b.arrive(n(2)).is_some());
+    }
+
+    #[test]
+    fn exclusion_of_the_last_straggler_releases_waiters() {
+        let mut b = BarrierState::new(n(0), 3);
+        assert!(b.arrive(n(0)).is_none());
+        assert!(b.arrive(n(1)).is_none());
+        // Node 2 dies while everyone else waits: the exclusion itself opens
+        // the barrier.
+        let released = b.exclude(n(2)).unwrap();
+        assert_eq!(released, vec![n(0), n(1)]);
+        assert_eq!(b.generation, 1);
+    }
+
+    #[test]
+    fn excluding_an_already_arrived_node_drops_its_arrival() {
+        let mut b = BarrierState::new(n(0), 3);
+        assert!(b.arrive(n(2)).is_none());
+        assert!(b.exclude(n(2)).is_none());
+        // Threshold is now 2 and node 2's stale arrival is gone.
+        assert!(b.arrive(n(0)).is_none());
+        assert!(b.arrive(n(1)).is_some());
+    }
+
+    #[test]
+    fn duplicate_queue_entries_are_not_created() {
+        let mut lock = LockState::new(n(0), n(0));
+        assert!(lock.try_local_acquire());
+        assert_eq!(
+            lock.handle_remote_acquire(n(1)),
+            RemoteAcquireAction::Queued
+        );
+        // A crash-recovery re-send of the same acquire is a no-op.
+        assert_eq!(
+            lock.handle_remote_acquire(n(1)),
+            RemoteAcquireAction::Queued
+        );
+        assert_eq!(lock.queue, vec![n(1)]);
+    }
+
+    #[test]
+    fn token_regeneration_and_dead_pruning() {
+        let mut lock = LockState::new(n(0), n(0));
+        // Grant the token away; node 2 now holds it.
+        assert_eq!(lock.handle_remote_acquire(n(2)), RemoteAcquireAction::Grant);
+        assert!(!lock.owned);
+        // Node 2 dies: the home regenerates a free local token.
+        assert!(lock.regenerate_token(n(0)));
+        assert!(lock.owned && !lock.held && lock.queue.is_empty());
+        assert_eq!(lock.probable_owner, n(0));
+        // Regenerating an owned token is refused.
+        assert!(!lock.regenerate_token(n(0)));
+        // Pruning removes dead waiters and redirects stale hints.
+        let mut other = LockState::new(n(0), n(1));
+        other.prune_dead(n(0), n(0));
+        assert_eq!(other.probable_owner, n(0));
+        let mut held = LockState::new(n(0), n(0));
+        assert!(held.try_local_acquire());
+        held.handle_remote_acquire(n(2));
+        held.handle_remote_acquire(n(3));
+        held.prune_dead(n(2), n(0));
+        assert_eq!(held.queue, vec![n(3)]);
     }
 
     #[test]

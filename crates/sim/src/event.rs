@@ -61,7 +61,7 @@
 //! (`tests/stress_schedules.rs::sharded_engine_matches_pre_shard_golden_digests`).
 
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 
 use crate::error::SimError;
@@ -84,6 +84,15 @@ pub const MODE_ENV_VAR: &str = "MUNIN_ENGINE_MODE";
 /// Only the virtual-time mode injects faults; passthrough ignores it.
 pub const LOSS_ENV_VAR: &str = "MUNIN_LOSS";
 
+/// Environment variable injecting node crashes and temporary freezes, as a
+/// comma-separated list of `<node>@<trigger>[..<end>]` specs: the trigger is
+/// a virtual time (`40ms`, `5us`, `1s`, bare nanoseconds) or `msg<N>` (after
+/// the node's N-th delivery), and an optional `..<end>` virtual time turns
+/// the crash into a freeze that thaws at `end`. Example:
+/// `MUNIN_CRASH=3@40ms,1@msg200`. Malformed values are a hard configuration
+/// error. Only the virtual-time mode injects crashes.
+pub const CRASH_ENV_VAR: &str = "MUNIN_CRASH";
+
 /// How the engine orders deliveries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum DeliveryMode {
@@ -94,6 +103,156 @@ pub enum DeliveryMode {
     /// Legacy behaviour: per-destination FIFO in real enqueue order, no
     /// clamping, no faults. Kept as an escape hatch for A/B debugging.
     Passthrough,
+}
+
+/// When an injected crash takes effect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashTrigger {
+    /// The node dies at this virtual time (nanoseconds): deliveries arriving
+    /// at or after it are dropped, and messages the node *sent* at or after
+    /// it never existed.
+    VirtTime(u64),
+    /// The node dies after receiving this many deliveries (its `msg#`
+    /// counter, which is deterministic for a given schedule).
+    MsgCount(u64),
+}
+
+/// One injected node crash or temporary freeze.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// The node that crashes.
+    pub node: usize,
+    /// When the crash takes effect.
+    pub trigger: CrashTrigger,
+    /// Virtual-time end of a temporary freeze in nanoseconds; `0` means the
+    /// crash is permanent. While frozen, traffic to and from the node is
+    /// dropped exactly as for a crash; at `until_ns` the node thaws and
+    /// later traffic flows again (a retransmission layer recovers the gap).
+    pub until_ns: u64,
+}
+
+/// Maximum number of crash specs in one plan (a fixed array keeps
+/// [`FaultPlan`] `Copy` and `Eq`).
+pub const MAX_CRASH_SPECS: usize = 4;
+
+/// A seeded plan of node crashes and freezes. Crashes are evaluated at
+/// delivery (pop) time, never at submit time, so a plan that never triggers
+/// leaves the schedule — RNG streams, sequence numbers, lane clamps, traces —
+/// byte-identical to no plan at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct CrashPlan {
+    specs: [Option<CrashSpec>; MAX_CRASH_SPECS],
+}
+
+impl CrashPlan {
+    /// No crashes (the default).
+    pub const fn none() -> Self {
+        CrashPlan {
+            specs: [None; MAX_CRASH_SPECS],
+        }
+    }
+
+    /// Whether the plan contains no specs.
+    pub fn is_none(&self) -> bool {
+        self.specs.iter().all(|s| s.is_none())
+    }
+
+    /// Returns the plan with `spec` added. Panics when the plan is full
+    /// ([`MAX_CRASH_SPECS`]); use [`CrashPlan::parse`] for fallible input.
+    pub fn with(mut self, spec: CrashSpec) -> Self {
+        for slot in self.specs.iter_mut() {
+            if slot.is_none() {
+                *slot = Some(spec);
+                return self;
+            }
+        }
+        panic!("crash plan holds at most {MAX_CRASH_SPECS} specs");
+    }
+
+    /// Iterates the specs in the plan.
+    pub fn iter(&self) -> impl Iterator<Item = &CrashSpec> {
+        self.specs.iter().flatten()
+    }
+
+    /// The nodes named by the plan, in spec order (with duplicates).
+    pub fn nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.iter().map(|s| s.node)
+    }
+
+    /// Parses the [`CRASH_ENV_VAR`] syntax:
+    /// `<node>@<trigger>[..<end>][,<more>]` where the trigger is a virtual
+    /// time (`40ms`, `5us`, `900ns`, `1s`, or bare nanoseconds) or `msg<N>`,
+    /// and `..<end>` is the freeze-thaw virtual time.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut plan = CrashPlan::none();
+        let mut used = 0;
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (node_s, rest) = part
+                .split_once('@')
+                .ok_or_else(|| format!("`{part}`: missing `@` between node and trigger"))?;
+            let node = node_s
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| format!("`{part}`: node must be a decimal node index"))?;
+            let (trig_s, until_s) = match rest.split_once("..") {
+                Some((t, u)) => (t.trim(), Some(u.trim())),
+                None => (rest.trim(), None),
+            };
+            let trigger = if let Some(n) = trig_s.strip_prefix("msg") {
+                CrashTrigger::MsgCount(
+                    n.parse::<u64>()
+                        .map_err(|_| format!("`{part}`: `msg` needs a decimal delivery count"))?,
+                )
+            } else {
+                CrashTrigger::VirtTime(parse_time_ns(trig_s).ok_or_else(|| {
+                    format!("`{part}`: trigger must be `msg<N>` or a time like `40ms`/`5us`/`1s`")
+                })?)
+            };
+            let until_ns = match until_s {
+                Some(u) => {
+                    let ns = parse_time_ns(u).ok_or_else(|| {
+                        format!("`{part}`: freeze end must be a time like `40ms`/`5us`/`1s`")
+                    })?;
+                    if ns == 0 {
+                        return Err(format!("`{part}`: freeze end must be > 0"));
+                    }
+                    ns
+                }
+                None => 0,
+            };
+            if used >= MAX_CRASH_SPECS {
+                return Err(format!("a plan holds at most {MAX_CRASH_SPECS} crash specs"));
+            }
+            plan.specs[used] = Some(CrashSpec {
+                node,
+                trigger,
+                until_ns,
+            });
+            used += 1;
+        }
+        Ok(plan)
+    }
+}
+
+/// Parses a virtual-time literal: a decimal number with an optional `ns`,
+/// `us`, `ms`, or `s` suffix (no suffix means nanoseconds).
+fn parse_time_ns(s: &str) -> Option<u64> {
+    let (num, mult) = if let Some(p) = s.strip_suffix("ns") {
+        (p, 1u64)
+    } else if let Some(p) = s.strip_suffix("us") {
+        (p, 1_000)
+    } else if let Some(p) = s.strip_suffix("ms") {
+        (p, 1_000_000)
+    } else if let Some(p) = s.strip_suffix('s') {
+        (p, 1_000_000_000)
+    } else {
+        (s, 1)
+    };
+    num.trim().parse::<u64>().ok()?.checked_mul(mult)
 }
 
 /// Seeded fault-injection knobs. Probabilities are expressed in parts per
@@ -119,6 +278,9 @@ pub struct FaultPlan {
     /// scheduled. Only protocols with a retransmission layer should enable
     /// this — see the runtime's reliability layer.
     pub loss_ppm: u32,
+    /// Injected node crashes and freezes. Evaluated at delivery time only
+    /// (see [`CrashPlan`]): an empty plan leaves schedules byte-identical.
+    pub crash: CrashPlan,
 }
 
 impl FaultPlan {
@@ -131,6 +293,7 @@ impl FaultPlan {
             reorder_window_ns: 0,
             duplicate_ppm: 0,
             loss_ppm: 0,
+            crash: CrashPlan::none(),
         }
     }
 
@@ -144,6 +307,7 @@ impl FaultPlan {
             reorder_window_ns: window_ns,
             duplicate_ppm: 0,
             loss_ppm: 0,
+            crash: CrashPlan::none(),
         }
     }
 
@@ -153,8 +317,17 @@ impl FaultPlan {
         self
     }
 
+    /// Returns the plan with `spec` added to its crash plan.
+    pub fn with_crash(mut self, spec: CrashSpec) -> Self {
+        self.crash = self.crash.with(spec);
+        self
+    }
+
+    /// Whether any *probabilistic* (submit-time) fault is enabled. Crash
+    /// injection is deliberately excluded: crashes are evaluated at delivery
+    /// time and must not perturb the submit path's RNG stream.
     fn is_none(&self) -> bool {
-        *self == FaultPlan::none()
+        self.delay_ppm == 0 && self.duplicate_ppm == 0 && self.loss_ppm == 0 && self.reorder_ppm == 0
     }
 }
 
@@ -227,10 +400,21 @@ impl EngineConfig {
                     Ok(rate) if (0.0..=1.0).contains(&rate) => {
                         cfg.faults.loss_ppm = (rate * 1_000_000.0).round() as u32;
                     }
-                    // A present-but-invalid loss rate must be loud, or a CI
-                    // loss run could silently test the lossless default.
-                    _ => eprintln!(
-                        "warning: ignoring unparsable {LOSS_ENV_VAR}={v:?} (expected a rate in 0..=1)"
+                    // A present-but-invalid loss rate is a hard error: a CI
+                    // loss run must never silently test the lossless default.
+                    _ => panic!(
+                        "invalid {LOSS_ENV_VAR}={v:?}: expected a loss rate in 0..=1 \
+                         (e.g. {LOSS_ENV_VAR}=0.02)"
+                    ),
+                }
+            }
+            if let Ok(v) = std::env::var(CRASH_ENV_VAR) {
+                match CrashPlan::parse(&v) {
+                    Ok(plan) => cfg.faults.crash = plan,
+                    Err(e) => panic!(
+                        "invalid {CRASH_ENV_VAR}={v:?}: {e}; expected \
+                         `<node>@<trigger>[..<end>][,<more>]` where the trigger is \
+                         `msg<N>` or a time like `40ms`/`5us`/`1s`"
                     ),
                 }
             }
@@ -454,6 +638,15 @@ pub struct EventEngine<M> {
     /// Number of live `Sender` handles; receives fail once it reaches zero
     /// and the receiver's queue is empty.
     senders: AtomicUsize,
+    /// Per-crash-spec virtual time (ns) at which the node went down, for
+    /// spec slots whose trigger is [`CrashTrigger::MsgCount`]: the count is
+    /// destination-shard state, but the *source*-side drop ("a dead node
+    /// sends nothing") is evaluated in other shards. `u64::MAX` until the
+    /// destination side first triggers; set with a relaxed `fetch_min` —
+    /// post-crash cross-shard propagation is best-effort by design (only the
+    /// zero-crash schedule carries a byte-identity contract). `VirtTime`
+    /// triggers never consult this: their down time is in the config.
+    crashed_at: [AtomicU64; MAX_CRASH_SPECS],
 }
 
 impl<M> EventEngine<M> {
@@ -484,6 +677,7 @@ impl<M> EventEngine<M> {
                 })
                 .collect(),
             senders: AtomicUsize::new(0),
+            crashed_at: std::array::from_fn(|_| AtomicU64::new(u64::MAX)),
         }
     }
 
@@ -678,28 +872,71 @@ impl<M> EventEngine<M> {
 
     /// Pops the earliest deliverable message from a destination shard,
     /// applying the delivery-frontier clamp and recording the trace.
+    ///
+    /// Crash-dropped entries are discarded here without any schedule side
+    /// effect — no frontier advance, no `delivered` increment, no trace
+    /// entry — so an empty crash plan is bit-for-bit the old behaviour and a
+    /// triggered one only ever removes deliveries from the tail.
     fn pop(&self, st: &mut DestState<M>) -> Option<(Envelope, M)> {
-        let sched = st.heap.pop()?;
-        let mut env = sched.env;
-        if self.cfg.mode == DeliveryMode::VirtualTime {
-            // Per-destination monotonicity: a message computed to arrive in
-            // the destination's past is delivered at the frontier.
-            let eff = env.arrival.as_nanos().max(st.frontier_ns);
-            st.frontier_ns = eff;
-            env.arrival = VirtTime::from_nanos(eff);
+        loop {
+            let sched = st.heap.pop()?;
+            let mut env = sched.env;
+            if self.cfg.mode == DeliveryMode::VirtualTime {
+                // Per-destination monotonicity: a message computed to arrive
+                // in the destination's past is delivered at the frontier.
+                let eff = env.arrival.as_nanos().max(st.frontier_ns);
+                if !self.cfg.faults.crash.is_none() && self.crash_drops(&env, eff, st.delivered) {
+                    st.dropped += 1;
+                    continue;
+                }
+                st.frontier_ns = eff;
+                env.arrival = VirtTime::from_nanos(eff);
+            }
+            let seq_at_dst = st.delivered;
+            st.delivered += 1;
+            if self.cfg.record_trace {
+                st.trace.push(TraceEntry {
+                    dst: env.dst,
+                    seq_at_dst,
+                    src: env.src,
+                    class: env.class,
+                    deliver_at: env.arrival,
+                });
+            }
+            return Some((env, sched.payload));
         }
-        let seq_at_dst = st.delivered;
-        st.delivered += 1;
-        if self.cfg.record_trace {
-            st.trace.push(TraceEntry {
-                dst: env.dst,
-                seq_at_dst,
-                src: env.src,
-                class: env.class,
-                deliver_at: env.arrival,
-            });
+    }
+
+    /// Whether the crash plan drops this delivery: the destination is down
+    /// at the effective arrival time (a dead node receives nothing), or the
+    /// source was down when it sent (a dead node sends nothing).
+    fn crash_drops(&self, env: &Envelope, arrival_ns: u64, delivered: u64) -> bool {
+        for (slot, spec) in self.cfg.faults.crash.iter().enumerate() {
+            let thawed = |t_ns: u64| spec.until_ns != 0 && t_ns >= spec.until_ns;
+            if spec.node == env.dst.as_usize() {
+                let down = match spec.trigger {
+                    CrashTrigger::VirtTime(t) => arrival_ns >= t,
+                    CrashTrigger::MsgCount(n) => delivered >= n,
+                };
+                if down && !thawed(arrival_ns) {
+                    if matches!(spec.trigger, CrashTrigger::MsgCount(_)) {
+                        self.crashed_at[slot].fetch_min(arrival_ns, Ordering::Relaxed);
+                    }
+                    return true;
+                }
+            }
+            if spec.node == env.src.as_usize() {
+                let down_at = match spec.trigger {
+                    CrashTrigger::VirtTime(t) => t,
+                    CrashTrigger::MsgCount(_) => self.crashed_at[slot].load(Ordering::Relaxed),
+                };
+                let sent = env.sent_at.as_nanos();
+                if sent >= down_at && !thawed(sent) {
+                    return true;
+                }
+            }
         }
-        Some((env, sched.payload))
+        false
     }
 
     /// Schedules a self-addressed virtual-time timer event for `node`. The
@@ -1140,6 +1377,138 @@ mod tests {
         let e = engine(1, EngineConfig::seeded(1));
         e.submit_timer(0, VirtTime::ZERO, "tick", 1).unwrap();
         assert!(e.try_recv(0).unwrap().is_none());
+    }
+
+    #[test]
+    fn crashed_destination_drops_all_later_deliveries() {
+        let faults = FaultPlan::none().with_crash(CrashSpec {
+            node: 1,
+            trigger: CrashTrigger::VirtTime(500),
+            until_ns: 0,
+        });
+        let e = engine(2, EngineConfig::seeded(1).with_faults(faults));
+        for (arrival, v) in [(100, 1u64), (400, 2), (600, 3), (700, 4)] {
+            e.submit(env(0, 1, arrival), v).unwrap();
+        }
+        let mut got = Vec::new();
+        while let Ok(Some((_, v))) = e.try_recv(1) {
+            got.push(v);
+        }
+        assert_eq!(got, vec![1, 2]);
+        let stats = e.stats();
+        assert_eq!(stats.messages_dropped, 2);
+        // Other destinations are unaffected.
+        e.submit(env(1, 0, 900), 9).unwrap();
+        assert_eq!(e.recv(0).unwrap().1, 9);
+    }
+
+    #[test]
+    fn msg_count_trigger_kills_after_nth_delivery() {
+        let faults = FaultPlan::none().with_crash(CrashSpec {
+            node: 1,
+            trigger: CrashTrigger::MsgCount(2),
+            until_ns: 0,
+        });
+        let e = engine(2, EngineConfig::seeded(1).with_faults(faults));
+        for i in 0..5u64 {
+            e.submit(env(0, 1, 100 * (i + 1)), i).unwrap();
+        }
+        let mut got = Vec::new();
+        while let Ok(Some((_, v))) = e.try_recv(1) {
+            got.push(v);
+        }
+        assert_eq!(got, vec![0, 1]);
+        assert_eq!(e.stats().messages_dropped, 3);
+    }
+
+    #[test]
+    fn crashed_source_sends_nothing_after_the_trigger() {
+        let faults = FaultPlan::none().with_crash(CrashSpec {
+            node: 0,
+            trigger: CrashTrigger::VirtTime(500),
+            until_ns: 0,
+        });
+        let e = engine(2, EngineConfig::seeded(1).with_faults(faults));
+        let mut before = env(0, 1, 400);
+        before.sent_at = VirtTime::from_nanos(300);
+        let mut after = env(0, 1, 800);
+        after.sent_at = VirtTime::from_nanos(600);
+        e.submit(before, 1).unwrap();
+        e.submit(after, 2).unwrap();
+        assert_eq!(e.recv(1).unwrap().1, 1);
+        assert!(e.try_recv(1).unwrap().is_none());
+        assert_eq!(e.stats().messages_dropped, 1);
+    }
+
+    #[test]
+    fn freeze_drops_inside_the_window_then_thaws() {
+        let faults = FaultPlan::none().with_crash(CrashSpec {
+            node: 1,
+            trigger: CrashTrigger::VirtTime(200),
+            until_ns: 500,
+        });
+        let e = engine(2, EngineConfig::seeded(1).with_faults(faults));
+        for (arrival, v) in [(100, 1u64), (300, 2), (600, 3)] {
+            e.submit(env(0, 1, arrival), v).unwrap();
+        }
+        let mut got = Vec::new();
+        while let Ok(Some((_, v))) = e.try_recv(1) {
+            got.push(v);
+        }
+        assert_eq!(got, vec![1, 3]);
+        assert_eq!(e.stats().messages_dropped, 1);
+    }
+
+    #[test]
+    fn untriggered_crash_plan_leaves_the_schedule_byte_identical() {
+        let run = |faults: FaultPlan| -> (Vec<TraceEntry>, u64) {
+            let e = engine(3, EngineConfig::seeded(9).with_faults(faults).with_trace());
+            for i in 0..32u64 {
+                e.submit(env((i % 2) as usize, 2, 50 * i), i).unwrap();
+            }
+            while e.try_recv(2).unwrap().is_some() {}
+            (e.trace_snapshot(), e.trace_digest())
+        };
+        // A jittery + lossy plan consumes lane RNG; adding a crash spec that
+        // never triggers must not move a single draw or delivery.
+        let base = FaultPlan::jittery(300_000, 5_000).with_loss(100_000);
+        let with_idle_crash = base.with_crash(CrashSpec {
+            node: 2,
+            trigger: CrashTrigger::VirtTime(u64::MAX),
+            until_ns: 0,
+        });
+        assert_eq!(run(base), run(with_idle_crash));
+    }
+
+    #[test]
+    fn crash_plan_parses_the_env_syntax() {
+        let plan = CrashPlan::parse("3@40ms, 1@msg200, 2@5us..9us").unwrap();
+        let specs: Vec<_> = plan.iter().copied().collect();
+        assert_eq!(
+            specs,
+            vec![
+                CrashSpec {
+                    node: 3,
+                    trigger: CrashTrigger::VirtTime(40_000_000),
+                    until_ns: 0,
+                },
+                CrashSpec {
+                    node: 1,
+                    trigger: CrashTrigger::MsgCount(200),
+                    until_ns: 0,
+                },
+                CrashSpec {
+                    node: 2,
+                    trigger: CrashTrigger::VirtTime(5_000),
+                    until_ns: 9_000,
+                },
+            ]
+        );
+        assert!(CrashPlan::parse("").unwrap().is_none());
+        assert!(CrashPlan::parse("1@1s").unwrap().iter().next().is_some());
+        for bad in ["nope", "1", "@40ms", "x@40ms", "1@msg", "1@40parsecs", "1@40ms..x", "1@2ms..0ns"] {
+            assert!(CrashPlan::parse(bad).is_err(), "{bad:?} must not parse");
+        }
     }
 
     #[test]

@@ -137,15 +137,22 @@ proptest! {
     }
 
     /// The distributed lock hands ownership to every requester exactly once
-    /// and in FIFO order, regardless of when the requests arrive.
+    /// and in FIFO order, regardless of when the requests arrive. Queueing
+    /// is idempotent: a duplicate acquire (the crash-recovery re-send) must
+    /// not queue its sender twice.
     #[test]
     fn lock_queue_is_fifo(requests in proptest::collection::vec(1usize..8, 1..12)) {
         let mut lock = LockState::new(NodeId::new(0), NodeId::new(0));
         prop_assert!(lock.try_local_acquire());
-        let mut queued = Vec::new();
+        let mut queued: Vec<NodeId> = Vec::new();
         for r in &requests {
-            match lock.handle_remote_acquire(NodeId::new(*r)) {
-                RemoteAcquireAction::Queued => queued.push(NodeId::new(*r)),
+            let node = NodeId::new(*r);
+            match lock.handle_remote_acquire(node) {
+                RemoteAcquireAction::Queued => {
+                    if !queued.contains(&node) {
+                        queued.push(node);
+                    }
+                }
                 other => prop_assert!(false, "unexpected action {other:?}"),
             }
         }

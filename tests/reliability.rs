@@ -22,7 +22,7 @@ use std::time::Duration;
 
 use munin::apps::{matmul, sor};
 use munin::sim::{CostModel, EngineConfig, FaultPlan, Network, NodeClock, NodeId};
-use munin::{MuninConfig, MuninError, MuninProgram, SharingAnnotation};
+use munin::{AccessMode, MuninConfig, MuninError, MuninProgram, SharingAnnotation};
 
 const LOSS_1PCT: u32 = 10_000;
 const LOSS_5PCT: u32 = 50_000;
@@ -111,11 +111,24 @@ fn lossy_delivery_replays_byte_identical_traces() {
 /// demands bit-identical grids and a stall-free lossy run, and returns the
 /// lossy run's `(messages_dropped, retransmits)`.
 fn sor_loss_vs_clean(seed: u64, loss_ppm: u32, procs: usize) -> (u64, u64) {
+    sor_loss_vs_clean_mode(seed, loss_ppm, procs, AccessMode::Explicit)
+}
+
+/// [`sor_loss_vs_clean`] with a selectable access-detection mode, so the
+/// loss-recovery contract is also proven over real `mprotect`/`SIGSEGV`
+/// write traps.
+fn sor_loss_vs_clean_mode(
+    seed: u64,
+    loss_ppm: u32,
+    procs: usize,
+    mode: AccessMode,
+) -> (u64, u64) {
     let (rows, cols, iters) = (32, 12, 3);
     let run = |ppm: u32| {
         let mut p = sor::SorParams::small(rows, cols, iters, procs);
         p.engine = EngineConfig::seeded(seed).with_faults(FaultPlan::none().with_loss(ppm));
         p.retransmit_pacing = Some(FAST_PACING);
+        p.access_mode = mode;
         sor::run_munin(p, CostModel::fast_test()).unwrap()
     };
     let (clean_m, clean_grid) = run(0);
@@ -143,11 +156,22 @@ fn sor_loss_vs_clean(seed: u64, loss_ppm: u32, procs: usize) -> (u64, u64) {
 
 /// Matmul analogue of [`sor_loss_vs_clean`].
 fn matmul_loss_vs_clean(seed: u64, loss_ppm: u32, procs: usize) -> (u64, u64) {
+    matmul_loss_vs_clean_mode(seed, loss_ppm, procs, AccessMode::Explicit)
+}
+
+/// [`matmul_loss_vs_clean`] with a selectable access-detection mode.
+fn matmul_loss_vs_clean_mode(
+    seed: u64,
+    loss_ppm: u32,
+    procs: usize,
+    mode: AccessMode,
+) -> (u64, u64) {
     let n = 16;
     let run = |ppm: u32| {
         let mut p = matmul::MatmulParams::small(n, procs);
         p.engine = EngineConfig::seeded(seed).with_faults(FaultPlan::none().with_loss(ppm));
         p.retransmit_pacing = Some(FAST_PACING);
+        p.access_mode = mode;
         matmul::run_munin(p, CostModel::fast_test()).unwrap()
     };
     let (clean_m, clean_c) = run(0);
@@ -231,6 +255,49 @@ fn matmul_bit_identical_under_5pct_loss_16_nodes() {
         totals = (totals.0 + d, totals.1 + r);
     }
     assert_sweep_exercised("matmul 5% x16", totals);
+}
+
+// ---------------------------------------------------------------------------
+// VM-trap mode: the same loss-recovery contract over real SIGSEGV write
+// traps. Retransmission delivers duplicate data messages, and under VM traps
+// applying a redundant update walks the mprotect/trap machinery — the
+// recovery path must stay bit-identical there too.
+// ---------------------------------------------------------------------------
+
+/// Skip guard for the VM-trap subset: clean no-op off Linux/x86_64.
+fn vm_available() -> bool {
+    if AccessMode::vm_supported() {
+        true
+    } else {
+        eprintln!("skipping: AccessMode::VmTraps requires 64-bit Linux on x86_64");
+        false
+    }
+}
+
+#[test]
+fn sor_vm_mode_bit_identical_under_loss() {
+    if !vm_available() {
+        return;
+    }
+    let mut totals = (0, 0);
+    for seed in 0..8u64 {
+        let (d, r) = sor_loss_vs_clean_mode(seed, LOSS_1PCT, 8, AccessMode::VmTraps);
+        totals = (totals.0 + d, totals.1 + r);
+    }
+    assert_sweep_exercised("sor vm 1% x8", totals);
+}
+
+#[test]
+fn matmul_vm_mode_bit_identical_under_loss() {
+    if !vm_available() {
+        return;
+    }
+    let mut totals = (0, 0);
+    for seed in 0..8u64 {
+        let (d, r) = matmul_loss_vs_clean_mode(seed, LOSS_5PCT, 8, AccessMode::VmTraps);
+        totals = (totals.0 + d, totals.1 + r);
+    }
+    assert_sweep_exercised("matmul vm 5% x8", totals);
 }
 
 // ---------------------------------------------------------------------------
