@@ -69,6 +69,9 @@ pub struct SorParams {
     /// Overrides the failure-detection window (tests shrink this so crash
     /// runs confirm deaths quickly); `None` keeps the auto policy.
     pub detect: Option<std::time::Duration>,
+    /// Overrides the adaptive-relay size threshold
+    /// (`MUNIN_RELAY_MAX_BYTES`); `None` keeps the config default / env.
+    pub relay_max_bytes: Option<u64>,
 }
 
 impl SorParams {
@@ -90,6 +93,7 @@ impl SorParams {
             watchdog: None,
             flight_events: None,
             detect: None,
+            relay_max_bytes: None,
         }
     }
 
@@ -111,6 +115,7 @@ impl SorParams {
             watchdog: None,
             flight_events: None,
             detect: None,
+            relay_max_bytes: None,
         }
     }
 }
@@ -212,6 +217,9 @@ pub fn run_munin(
     }
     if let Some(d) = params.detect {
         cfg = cfg.with_detect(d);
+    }
+    if let Some(t) = params.relay_max_bytes {
+        cfg = cfg.with_relay_max_bytes(t);
     }
     let mut prog = MuninProgram::new(cfg);
     let matrix = prog.declare::<f64>("matrix", rows * cols, SharingAnnotation::ProducerConsumer);

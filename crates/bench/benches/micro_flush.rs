@@ -23,17 +23,23 @@ use std::time::Duration;
 /// A page-aligned SOR instance (each worker's band is exactly one 512-byte
 /// page), so every flushed page is owner-flushed and the relay path is
 /// exercised — the same shape as the paper's 1024x512-over-8KB-pages runs.
-fn params(nodes: usize, iterations: usize, piggyback: bool) -> SorParams {
+/// `relay_max` overrides the adaptive-relay size threshold
+/// (`MUNIN_RELAY_MAX_BYTES`); `None` keeps the tuned default.
+fn params(nodes: usize, iterations: usize, piggyback: bool, relay_max: Option<u64>) -> SorParams {
     let mut p = SorParams::small(nodes * 4, 16, iterations, nodes);
     p.engine = EngineConfig::seeded(7);
     p.piggyback = piggyback;
+    p.relay_max_bytes = relay_max;
     p
 }
 
 /// One counted run: (total messages, total bytes, releases performed).
-fn count_run(nodes: usize, piggyback: bool) -> (u64, u64, u64) {
-    let (m, _grid) =
-        sor::run_munin(params(nodes, 12, piggyback), CostModel::fast_test()).expect("SOR run");
+fn count_run(nodes: usize, piggyback: bool, relay_max: Option<u64>) -> (u64, u64, u64) {
+    let (m, _grid) = sor::run_munin(
+        params(nodes, 12, piggyback, relay_max),
+        CostModel::fast_test(),
+    )
+    .expect("SOR run");
     (
         m.engine.messages_sent,
         m.engine.bytes_sent,
@@ -48,8 +54,8 @@ fn report_message_economy() {
         "nodes", "mode", "messages", "msgs/rel", "bytes", "bytes/rel", "drop"
     );
     for nodes in [2usize, 8, 16] {
-        let (on_msgs, on_bytes, on_rel) = count_run(nodes, true);
-        let (off_msgs, off_bytes, off_rel) = count_run(nodes, false);
+        let (on_msgs, on_bytes, on_rel) = count_run(nodes, true, None);
+        let (off_msgs, off_bytes, off_rel) = count_run(nodes, false, None);
         for (label, msgs, bytes, rel, drop) in [
             ("off", off_msgs, off_bytes, off_rel, 0.0),
             (
@@ -67,6 +73,38 @@ fn report_message_economy() {
             );
         }
     }
+    report_threshold_sweep();
+}
+
+/// The adaptive-relay threshold sweep behind the `MUNIN_RELAY_MAX_BYTES`
+/// default: 16-node instance, piggyback on, message drop and byte ratio vs
+/// piggyback off per threshold. `t=0` sends every payload direct (relay
+/// bypassed entirely); `t=max` relays every payload (the pre-threshold
+/// behaviour, ~1.4x bytes).
+fn report_threshold_sweep() {
+    let (off_msgs, off_bytes, _) = count_run(16, false, None);
+    eprintln!("micro_flush relay threshold sweep (16 nodes, piggyback on vs off):");
+    eprintln!(
+        "{:>10} {:>12} {:>9} {:>12} {:>9}",
+        "threshold", "messages", "drop", "bytes", "ratio"
+    );
+    eprintln!(
+        "{:>10} {off_msgs:>12} {:>9} {off_bytes:>12} {:>9}",
+        "(off)", "-", "-"
+    );
+    for t in [0u64, 128, 256, 384, 512, 640, 768, u64::MAX] {
+        let (msgs, bytes, _) = count_run(16, true, Some(t));
+        let label = if t == u64::MAX {
+            "max".to_string()
+        } else {
+            t.to_string()
+        };
+        eprintln!(
+            "{label:>10} {msgs:>12} {:>8.1}% {bytes:>12} {:>8.3}x",
+            100.0 * (1.0 - msgs as f64 / off_msgs as f64),
+            bytes as f64 / off_bytes as f64,
+        );
+    }
 }
 
 fn bench_flush(c: &mut Criterion) {
@@ -80,7 +118,7 @@ fn bench_flush(c: &mut Criterion) {
         group.bench_function(format!("sor_8node/{label}"), |b| {
             b.iter(|| {
                 let (m, grid) =
-                    sor::run_munin(params(8, 4, piggyback), CostModel::fast_test()).unwrap();
+                    sor::run_munin(params(8, 4, piggyback, None), CostModel::fast_test()).unwrap();
                 criterion::black_box((m.elapsed, grid))
             });
         });

@@ -46,13 +46,39 @@ impl AccessMode {
     }
 
     /// Reads `MUNIN_ACCESS_MODE` from the environment: `vm` (or `traps`)
-    /// selects [`AccessMode::VmTraps`] where supported; anything else — or an
-    /// unsupported platform — yields [`AccessMode::Explicit`], so a suite run
-    /// with `MUNIN_ACCESS_MODE=vm` skips cleanly off Linux/x86_64.
+    /// selects [`AccessMode::VmTraps`] where supported, `explicit` (or the
+    /// variable being unset) selects [`AccessMode::Explicit`]. An unsupported
+    /// platform downgrades `vm` to `Explicit`, so a suite run with
+    /// `MUNIN_ACCESS_MODE=vm` still skips cleanly off Linux/x86_64.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable is set to anything other than
+    /// `vm`/`traps`/`explicit` — a typo like `vmm` silently running the
+    /// explicit checks would defeat a differential VM-mode run.
     pub fn from_env() -> Self {
-        match std::env::var("MUNIN_ACCESS_MODE") {
-            Ok(v) if (v == "vm" || v == "traps") && Self::vm_supported() => AccessMode::VmTraps,
-            _ => AccessMode::Explicit,
+        Self::parse(
+            std::env::var("MUNIN_ACCESS_MODE").ok().as_deref(),
+            Self::vm_supported(),
+        )
+    }
+
+    /// Pure parsing core of [`Self::from_env`], split out so malformed-value
+    /// behaviour is unit-testable without mutating the process environment
+    /// (tests run in parallel threads that also read these variables).
+    fn parse(v: Option<&str>, vm_supported: bool) -> Self {
+        match v {
+            Some("vm") | Some("traps") => {
+                if vm_supported {
+                    AccessMode::VmTraps
+                } else {
+                    AccessMode::Explicit
+                }
+            }
+            Some("explicit") | None => AccessMode::Explicit,
+            Some(v) => panic!(
+                "invalid MUNIN_ACCESS_MODE={v:?}: expected \"vm\", \"traps\", or \"explicit\""
+            ),
         }
     }
 }
@@ -122,25 +148,86 @@ pub struct MuninConfig {
     /// send no heartbeats and their delivery schedules stay byte-identical.
     /// Defaults to `MUNIN_DETECT` seconds (decimal) from the environment.
     pub detect: Option<Duration>,
+    /// Largest update payload (modelled bytes) that may ride a barrier-relay
+    /// carrier through the barrier owner. Relayed payloads transit the wire
+    /// twice (flusher → owner → destination), so big payloads above this
+    /// threshold are dispatched direct-to-destination as ordinary sequenced
+    /// updates instead. Defaults to `MUNIN_RELAY_MAX_BYTES` from the
+    /// environment, else [`DEFAULT_RELAY_MAX_BYTES`]; `0` sends every
+    /// payload direct, `u64::MAX` restores the unconditional relay.
+    pub relay_max_bytes: u64,
 }
 
-/// Reads `MUNIN_PIGGYBACK` from the environment: anything but `off`/`0`
-/// (including the variable being unset) enables the carrier layer.
+/// Reads `MUNIN_PIGGYBACK` from the environment: `on`/`1` (or the variable
+/// being unset) enables the carrier layer, `off`/`0` disables it.
+///
+/// # Panics
+///
+/// Panics on any other value. The historical parser treated everything but
+/// `off`/`0` as on, so `MUNIN_PIGGYBACK=offf` silently enabled the layer a
+/// differential run meant to disable.
 pub fn piggyback_from_env() -> bool {
-    match std::env::var("MUNIN_PIGGYBACK") {
-        Ok(v) => !(v == "off" || v == "0"),
-        Err(_) => true,
+    parse_piggyback(std::env::var("MUNIN_PIGGYBACK").ok().as_deref())
+}
+
+/// Pure parsing core of [`piggyback_from_env`] (unit-testable without
+/// mutating the shared process environment).
+fn parse_piggyback(v: Option<&str>) -> bool {
+    match v {
+        Some("on") | Some("1") | None => true,
+        Some("off") | Some("0") => false,
+        Some(v) => panic!("invalid MUNIN_PIGGYBACK={v:?}: expected \"on\"/\"1\" or \"off\"/\"0\""),
     }
 }
 
 /// Reads `MUNIN_RELIABILITY` from the environment: `on`/`1` forces the
-/// reliability layer, `off`/`0` disables it, unset (or anything else) leaves
-/// the auto policy (enabled exactly when the engine injects loss).
+/// reliability layer, `off`/`0` disables it, unset leaves the auto policy
+/// (enabled exactly when the engine injects loss).
+///
+/// # Panics
+///
+/// Panics on any other value — a misspelt `off` would silently re-enter the
+/// auto policy instead of disabling the transport.
 pub fn reliability_from_env() -> Option<bool> {
-    match std::env::var("MUNIN_RELIABILITY") {
-        Ok(v) if v == "on" || v == "1" => Some(true),
-        Ok(v) if v == "off" || v == "0" => Some(false),
-        _ => None,
+    parse_reliability(std::env::var("MUNIN_RELIABILITY").ok().as_deref())
+}
+
+/// Pure parsing core of [`reliability_from_env`].
+fn parse_reliability(v: Option<&str>) -> Option<bool> {
+    match v {
+        Some("on") | Some("1") => Some(true),
+        Some("off") | Some("0") => Some(false),
+        None => None,
+        Some(v) => {
+            panic!("invalid MUNIN_RELIABILITY={v:?}: expected \"on\"/\"1\" or \"off\"/\"0\"")
+        }
+    }
+}
+
+/// Reads `MUNIN_RELAY_MAX_BYTES` (largest update payload, in modelled bytes,
+/// that may ride a barrier-relay carrier through the owner) from the
+/// environment; unset yields [`DEFAULT_RELAY_MAX_BYTES`]. Payloads above the
+/// threshold are sent direct-to-destination as ordinary sequenced updates, so
+/// they transit the wire once instead of twice.
+///
+/// # Panics
+///
+/// Panics when the variable is set but is not a non-negative byte count.
+pub fn relay_max_bytes_from_env() -> u64 {
+    parse_relay_max_bytes(std::env::var("MUNIN_RELAY_MAX_BYTES").ok().as_deref())
+}
+
+/// Pure parsing core of [`relay_max_bytes_from_env`].
+fn parse_relay_max_bytes(v: Option<&str>) -> u64 {
+    match v {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => panic!(
+                "invalid MUNIN_RELAY_MAX_BYTES={v:?}: expected a byte count \
+                 (e.g. MUNIN_RELAY_MAX_BYTES=128, 0 to send every payload direct)"
+            ),
+        },
+        None => DEFAULT_RELAY_MAX_BYTES,
     }
 }
 
@@ -232,6 +319,16 @@ pub const DEFAULT_RETRANSMIT_PACING: Duration = Duration::from_millis(20);
 /// crash but no explicit `MUNIN_DETECT`/`with_detect` window was given.
 pub const DEFAULT_DETECT: Duration = Duration::from_secs(2);
 
+/// Default relay size threshold (modelled payload bytes). Tuned from the
+/// `micro_flush`/16-node SOR threshold sweep (`BENCH_msg.json`): at 512
+/// bytes the 16-node page-aligned SOR sheds 44% of its messages while
+/// total bytes stay within 1.1× of piggyback-off (1.03×) — sub-page diffs
+/// ride the relay carriers, page-scale payloads go direct and transit the
+/// wire once. Raising the threshold past the page size trades bytes for
+/// messages (~62% fewer at 1.44× bytes); lowering it toward 0 keeps bytes
+/// at 0.90× but forfeits the relay's share of the message savings.
+pub const DEFAULT_RELAY_MAX_BYTES: u64 = 512;
+
 impl MuninConfig {
     /// Configuration matching the paper's prototype: 8 KB objects, the
     /// SUN/Ethernet cost model, broadcast copyset determination.
@@ -251,6 +348,7 @@ impl MuninConfig {
             flight_events: flight_events_from_env(),
             trace_out: trace_out_from_env(),
             detect: detect_from_env(),
+            relay_max_bytes: relay_max_bytes_from_env(),
         }
     }
 
@@ -272,6 +370,7 @@ impl MuninConfig {
             flight_events: flight_events_from_env(),
             trace_out: trace_out_from_env(),
             detect: detect_from_env(),
+            relay_max_bytes: relay_max_bytes_from_env(),
         }
     }
 
@@ -355,6 +454,13 @@ impl MuninConfig {
         self
     }
 
+    /// Sets the relay size threshold (`0` sends every payload direct,
+    /// `u64::MAX` restores the unconditional relay).
+    pub fn with_relay_max_bytes(mut self, relay_max_bytes: u64) -> Self {
+        self.relay_max_bytes = relay_max_bytes;
+        self
+    }
+
     /// Effective failure-detection window: the explicit window when one was
     /// set, else [`DEFAULT_DETECT`] when the engine's fault plan injects a
     /// crash, else `None` (detection off — no heartbeats, no timers, so
@@ -424,6 +530,71 @@ mod tests {
 
         let explicit = MuninConfig::fast_test(4).with_detect(Duration::from_millis(300));
         assert_eq!(explicit.detection(), Some(Duration::from_millis(300)));
+    }
+
+    #[test]
+    fn piggyback_parses_strictly() {
+        assert!(parse_piggyback(None));
+        assert!(parse_piggyback(Some("on")));
+        assert!(parse_piggyback(Some("1")));
+        assert!(!parse_piggyback(Some("off")));
+        assert!(!parse_piggyback(Some("0")));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid MUNIN_PIGGYBACK=\"offf\"")]
+    fn piggyback_rejects_typos_instead_of_enabling() {
+        // The historical parser mapped every non-off value to on, so this
+        // typo silently enabled the layer a differential run meant to kill.
+        parse_piggyback(Some("offf"));
+    }
+
+    #[test]
+    fn reliability_parses_strictly() {
+        assert_eq!(parse_reliability(None), None);
+        assert_eq!(parse_reliability(Some("on")), Some(true));
+        assert_eq!(parse_reliability(Some("1")), Some(true));
+        assert_eq!(parse_reliability(Some("off")), Some(false));
+        assert_eq!(parse_reliability(Some("0")), Some(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid MUNIN_RELIABILITY=\"auto\"")]
+    fn reliability_rejects_unknown_values() {
+        parse_reliability(Some("auto"));
+    }
+
+    #[test]
+    fn access_mode_parses_strictly_and_downgrades_cleanly() {
+        assert_eq!(AccessMode::parse(None, true), AccessMode::Explicit);
+        assert_eq!(
+            AccessMode::parse(Some("explicit"), true),
+            AccessMode::Explicit
+        );
+        assert_eq!(AccessMode::parse(Some("vm"), true), AccessMode::VmTraps);
+        assert_eq!(AccessMode::parse(Some("traps"), true), AccessMode::VmTraps);
+        // `vm` on an unsupported platform still skips cleanly to the
+        // explicit checks rather than erroring the whole suite.
+        assert_eq!(AccessMode::parse(Some("vm"), false), AccessMode::Explicit);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid MUNIN_ACCESS_MODE=\"hardware\"")]
+    fn access_mode_rejects_unknown_values() {
+        AccessMode::parse(Some("hardware"), true);
+    }
+
+    #[test]
+    fn relay_max_bytes_parses_strictly() {
+        assert_eq!(parse_relay_max_bytes(None), DEFAULT_RELAY_MAX_BYTES);
+        assert_eq!(parse_relay_max_bytes(Some("0")), 0);
+        assert_eq!(parse_relay_max_bytes(Some("4096")), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid MUNIN_RELAY_MAX_BYTES=\"4k\"")]
+    fn relay_max_bytes_rejects_non_numeric_values() {
+        parse_relay_max_bytes(Some("4k"));
     }
 
     #[test]

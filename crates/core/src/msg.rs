@@ -186,6 +186,55 @@ pub enum DsmMsg {
         /// the releaser wait until its updates have been performed).
         needs_ack: bool,
     },
+    /// Owner-cooperative fan-out: a flusher's non-owned fan-out bundle,
+    /// sent to the objects' (probable) owner instead of being distributed
+    /// by the flusher itself. The owner installs its own share, re-fans the
+    /// updates to its authoritative recorded copyset
+    /// ([`DsmMsg::RelayForward`]), and replies with a
+    /// [`DsmMsg::RelayFanoutAck`] — so the flusher skips both the
+    /// copyset-determination round and the ack-heal round that the legacy
+    /// path needed to compensate for its stale view of the copyset.
+    RelayFanout {
+        /// Changes, one entry per object, in application order.
+        items: Vec<UpdateItem>,
+        /// The flushing node: receives the fan-out ack and every re-fan
+        /// destination's [`DsmMsg::UpdateAck`].
+        origin: NodeId,
+        /// Position in the origin → receiver update sequence stream (see
+        /// [`DsmMsg::Update::seq`]).
+        seq: u64,
+    },
+    /// The owner's reply to a [`DsmMsg::RelayFanout`]: which destinations
+    /// the bundle was re-fanned to (each will acknowledge the origin
+    /// directly), and which objects the receiver turned out not to own
+    /// (stale owner hint — the origin re-distributes those itself).
+    RelayFanoutAck {
+        /// Re-fan destinations; the origin waits for one `UpdateAck` from
+        /// each before its release completes.
+        refanned: Vec<NodeId>,
+        /// Objects the receiver does not own: neither installed nor
+        /// distributed.
+        rejected: Vec<ObjectId>,
+    },
+    /// An owner's re-fan of a [`DsmMsg::RelayFanout`] bundle to one copyset
+    /// member. Unlike [`DsmMsg::Update`], forwards carry no update-stream
+    /// slot and are exempt from the receiver's sequence check: they travel
+    /// the owner→receiver link directly (FIFO, no carrier detour), and the
+    /// re-fanning service thread may run while the owner's user thread has
+    /// relay bundles holding earlier stream slots parked at a barrier owner
+    /// (see `handle_relay_forward` for the full argument). The
+    /// acknowledgement still goes to `origin`, whose release is what the
+    /// update belongs to.
+    RelayForward {
+        /// Changes, one entry per object, in application order.
+        items: Vec<UpdateItem>,
+        /// The node whose flush originated the updates; the receiver's
+        /// [`DsmMsg::UpdateAck`] goes here, not to the wire sender.
+        origin: NodeId,
+        /// The originating fan-out's sequence number (origin → owner
+        /// stream), carried for trace correlation only.
+        seq: u64,
+    },
     /// Acknowledgement of an [`DsmMsg::Update`].
     UpdateAck {
         /// Number of objects that were applied.
@@ -373,6 +422,9 @@ impl DsmMsg {
             DsmMsg::Invalidate { .. } => "invalidate",
             DsmMsg::InvalidateAck { .. } => "invalidate_ack",
             DsmMsg::Update { .. } => "update",
+            DsmMsg::RelayFanout { .. } => "relay_fanout",
+            DsmMsg::RelayFanoutAck { .. } => "relay_fanout_ack",
+            DsmMsg::RelayForward { .. } => "relay_forward",
             DsmMsg::UpdateAck { .. } => "update_ack",
             DsmMsg::CopysetQuery { .. } => "copyset_query",
             DsmMsg::CopysetReply { .. } => "copyset_reply",
@@ -412,6 +464,17 @@ impl DsmMsg {
             DsmMsg::ObjectData { data, .. } => data.len() as u64 + 16,
             DsmMsg::Invalidate { .. } | DsmMsg::InvalidateAck { .. } => 8,
             DsmMsg::Update { items, .. } => items.iter().map(|i| 8 + i.payload.model_bytes()).sum(),
+            // The relay messages carry an origin + stream slot on top of an
+            // `Update`-shaped item list.
+            DsmMsg::RelayFanout { items, .. } | DsmMsg::RelayForward { items, .. } => {
+                8 + items
+                    .iter()
+                    .map(|i| 8 + i.payload.model_bytes())
+                    .sum::<u64>()
+            }
+            DsmMsg::RelayFanoutAck { refanned, rejected } => {
+                8 + 4 * (refanned.len() + rejected.len()) as u64
+            }
             DsmMsg::UpdateAck { owned_copysets, .. } => 8 + 12 * owned_copysets.len() as u64,
             DsmMsg::CopysetQuery { objects, .. } => 4 * objects.len() as u64,
             DsmMsg::CopysetReply { have } => 4 * have.len() as u64,
@@ -481,6 +544,7 @@ impl DsmMsg {
             DsmMsg::ObjectData { .. }
                 | DsmMsg::InvalidateAck { .. }
                 | DsmMsg::UpdateAck { .. }
+                | DsmMsg::RelayFanoutAck { .. }
                 | DsmMsg::CopysetReply { .. }
                 | DsmMsg::OwnerCopysetReply { .. }
                 | DsmMsg::ReduceReply { .. }
@@ -641,6 +705,104 @@ mod tests {
         };
         assert_eq!(bare.class(), "carrier");
         assert_eq!(bare.model_bytes(), HEADER_BYTES);
+    }
+
+    /// Satellite audit of the relay byte accounting: a barrier-relayed
+    /// payload transits the wire twice (flusher → barrier owner on the
+    /// arrive carrier, owner → destination on the release carrier) and must
+    /// be charged on *both* hops — once per wire transit, not once per
+    /// logical update. The exact per-hop increments are pinned so the
+    /// `tests/piggyback.rs` byte-ratio assertion measures reality.
+    #[test]
+    fn relayed_payload_is_charged_once_per_wire_transit() {
+        let payload_bytes = 64u64;
+        let items = vec![UpdateItem {
+            object: ObjectId::new(0),
+            payload: UpdatePayload::Full(vec![0; payload_bytes as usize]),
+        }];
+        // Hop 1: the bundle rides the BarrierArrive carrier as a RelayUpdate
+        // (12 bytes of dest/from/seq framing + 8 per item + the payload).
+        let arrive = DsmMsg::BarrierArrive {
+            barrier: BarrierId(0),
+            from: NodeId::new(1),
+        };
+        let hop1 = DsmMsg::Carrier {
+            inner: Some(Box::new(arrive.clone())),
+            updates: vec![],
+            relay: vec![RelayUpdate {
+                dest: NodeId::new(2),
+                from: NodeId::new(1),
+                seq: 0,
+                items: items.clone(),
+            }],
+        };
+        assert_eq!(
+            hop1.model_bytes() - arrive.model_bytes(),
+            12 + 8 + payload_bytes
+        );
+        // Hop 2: the owner re-attaches the bundle to the BarrierRelease as a
+        // CarrierUpdate (8 bytes of from/seq framing + 8 per item + payload).
+        let release = DsmMsg::BarrierRelease {
+            barrier: BarrierId(0),
+        };
+        let hop2 = DsmMsg::Carrier {
+            inner: Some(Box::new(release.clone())),
+            updates: vec![CarrierUpdate {
+                from: NodeId::new(1),
+                seq: 0,
+                items: items.clone(),
+                sync_install: false,
+            }],
+            relay: vec![],
+        };
+        assert_eq!(
+            hop2.model_bytes() - release.model_bytes(),
+            8 + 8 + payload_bytes
+        );
+        // The payload itself is paid twice across the two transits; a
+        // size-thresholded direct send pays it once (plus the ack round).
+        let relayed_total = hop1.model_bytes() + hop2.model_bytes();
+        let direct = DsmMsg::Update {
+            items,
+            requester: NodeId::new(1),
+            seq: 0,
+            needs_ack: true,
+        };
+        assert!(relayed_total - arrive.model_bytes() - release.model_bytes() >= 2 * payload_bytes);
+        assert_eq!(direct.model_bytes(), HEADER_BYTES + 8 + payload_bytes);
+    }
+
+    #[test]
+    fn relay_fanout_messages_have_pinned_sizes_and_routing() {
+        let items = vec![UpdateItem {
+            object: ObjectId::new(3),
+            payload: UpdatePayload::Full(vec![0; 64]),
+        }];
+        let fanout = DsmMsg::RelayFanout {
+            items: items.clone(),
+            origin: NodeId::new(1),
+            seq: 4,
+        };
+        let forward = DsmMsg::RelayForward {
+            items,
+            origin: NodeId::new(1),
+            seq: 0,
+        };
+        let ack = DsmMsg::RelayFanoutAck {
+            refanned: vec![NodeId::new(2), NodeId::new(3)],
+            rejected: vec![ObjectId::new(3)],
+        };
+        assert_eq!(fanout.model_bytes(), HEADER_BYTES + 8 + 8 + 64);
+        assert_eq!(forward.model_bytes(), fanout.model_bytes());
+        assert_eq!(ack.model_bytes(), HEADER_BYTES + 8 + 4 * 3);
+        // The fan-out and re-fan are service-loop requests; only the ack is
+        // routed to the origin's blocked user thread.
+        assert!(!fanout.is_user_reply());
+        assert!(!forward.is_user_reply());
+        assert!(ack.is_user_reply());
+        assert_eq!(fanout.class(), "relay_fanout");
+        assert_eq!(forward.class(), "relay_forward");
+        assert_eq!(ack.class(), "relay_fanout_ack");
     }
 
     #[test]

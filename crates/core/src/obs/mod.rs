@@ -109,6 +109,16 @@ pub enum EventKind {
     UpdateInstall,
     /// An update transmission arrived out of sequence and was deferred.
     UpdateDefer,
+    /// The adaptive relay sent a payload direct-to-destination instead of
+    /// through the barrier-relay carrier because it exceeded the
+    /// `MUNIN_RELAY_MAX_BYTES` threshold (`peer` = destination, `seq` = the
+    /// payload's modelled byte size — the *why* of the routing decision).
+    RelayBypass,
+    /// This node, as the receiving owner of an owner-cooperative relay
+    /// bundle, re-fanned the updates to another copyset member
+    /// (`peer` = the re-fan destination, `object` = the bundle's first
+    /// object).
+    OwnerRefan,
     /// A lock acquire began waiting (local queue or remote request).
     LockRequest,
     /// The lock was granted (`dur_ns` = virtual acquisition wait).
@@ -151,6 +161,8 @@ impl EventKind {
             EventKind::UpdateSend => "update_send",
             EventKind::UpdateInstall => "update_install",
             EventKind::UpdateDefer => "update_defer",
+            EventKind::RelayBypass => "relay_bypass",
+            EventKind::OwnerRefan => "owner_refan",
             EventKind::LockRequest => "lock_request",
             EventKind::LockGrant => "lock_grant",
             EventKind::BarrierArrive => "barrier_arrive",

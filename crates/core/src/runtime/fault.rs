@@ -604,10 +604,7 @@ impl NodeRuntime {
                     let mut dir = self.dir.lock();
                     dir.entry_mut(object).probable_owner = adoptee;
                 }
-                crate::runtime::proto_trace!(
-                    self,
-                    "asking {adoptee:?} to adopt orphan {object:?}"
-                );
+                crate::runtime::proto_trace!(self, "asking {adoptee:?} to adopt orphan {object:?}");
                 self.send(
                     adoptee,
                     DsmMsg::Adopt {

@@ -16,7 +16,7 @@
 //! `result` objects are not sent to their copyset: their changes are flushed
 //! only to the owner and the local copy is invalidated (the `Fl` parameter).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use munin_sim::NodeId;
@@ -41,6 +41,13 @@ use super::NodeRuntime;
 pub(crate) struct FlushRoute {
     pub(crate) fans_out: bool,
     pub(crate) owned: bool,
+    /// `Some(owner)` when the bundle takes the owner-cooperative path: the
+    /// whole bundle ships to the object's (probable) owner as a
+    /// `RelayFanout`, which installs it and re-fans to the members of its
+    /// authoritative copyset. Set for non-owned fan-out entries under
+    /// piggybacking whose copyset is not fixed; such entries skip copyset
+    /// determination entirely and ignore `destinations`.
+    pub(crate) coop_owner: Option<NodeId>,
     pub(crate) destinations: Vec<NodeId>,
 }
 
@@ -91,9 +98,14 @@ fn route_with(route: FlushRoute, destinations: Vec<NodeId>) -> FlushRoute {
 }
 
 fn classify(mode: FlushMode, route: &FlushRoute, dest: NodeId) -> Dispatch {
+    debug_assert!(
+        route.coop_owner.is_none(),
+        "owner-cooperative routes are dispatched whole, never per-destination"
+    );
     if route.fans_out {
         if !route.owned {
-            // Non-owned fan-out updates keep the acknowledged path: the
+            // Non-owned fan-out updates outside the cooperative path (fixed
+            // copysets, piggybacking off) keep the acknowledged path: the
             // owner's ack carries its recorded copyset, which the heal
             // logic needs (see the ack round below).
             return Dispatch::Immediate;
@@ -154,13 +166,53 @@ impl NodeRuntime {
         // their owner and need none; stable objects whose copyset is already
         // fixed reuse it.
         let needs_determination: Vec<ObjectId> = {
-            let dir = self.dir.lock();
+            let mut dir = self.dir.lock();
             entries
                 .iter()
                 .map(|e| e.object)
                 .filter(|o| {
-                    let entry = dir.entry(*o);
-                    !entry.params.flushes_to_owner() && !entry.state.copyset_fixed
+                    let entry = dir.entry_mut(*o);
+                    if entry.params.flushes_to_owner() || entry.state.copyset_fixed {
+                        return false;
+                    }
+                    if !self.cfg.piggyback {
+                        return true;
+                    }
+                    // Owner-cooperative entries (non-owned fan-out under
+                    // piggybacking; see `FlushRoute::coop_owner`) skip
+                    // determination: the owner re-fans from its
+                    // authoritative copyset, so asking first would be a
+                    // wasted round.
+                    if !entry.state.owned {
+                        return false;
+                    }
+                    // Owner-authoritative elision, the flusher-side twin of
+                    // the cooperative path: when the flusher itself owns an
+                    // update-based object, the replicas recorded while
+                    // serving fetches *are* the copyset — every remote copy
+                    // of such an object originates from a fetch this node
+                    // served, and update-based annotations never drop copies
+                    // silently (no invalidations). The broadcast round could
+                    // only re-discover that same set (its result is merged
+                    // with the recorded replicas anyway), so under
+                    // piggybacking it is elided. A fetch racing this flush
+                    // stays safe for the same reason as in the merge path:
+                    // the owner serves fetches from its own live copy, which
+                    // already contains the changes being flushed.
+                    // Invalidate-based annotations keep the query round —
+                    // invalidations and ownership transfers clear recorded
+                    // copysets, so "recorded" is not authoritative for them.
+                    if !entry.params.uses_invalidate() {
+                        crate::runtime::proto_trace!(
+                            self,
+                            "elide determination of {o:?}: owner copyset is authoritative"
+                        );
+                        if entry.params.is_stable() {
+                            entry.state.copyset_fixed = true;
+                        }
+                        return false;
+                    }
+                    true
                 })
                 .collect()
         };
@@ -222,6 +274,9 @@ impl NodeRuntime {
         };
         let mut remaining: BTreeMap<NodeId, usize> = BTreeMap::new();
         for route in &routes {
+            if route.coop_owner.is_some() {
+                continue;
+            }
             for dest in &route.destinations {
                 if classify(mode, route, *dest) == Dispatch::Immediate {
                     *remaining.entry(*dest).or_default() += 1;
@@ -235,16 +290,48 @@ impl NodeRuntime {
         let mut pending: BTreeMap<NodeId, Vec<UpdateItem>> = BTreeMap::new();
         let mut relay: BTreeMap<NodeId, Vec<UpdateItem>> = BTreeMap::new();
         let mut buffered: BTreeMap<NodeId, Vec<UpdateItem>> = BTreeMap::new();
-        for (dest, items) in coalesced {
-            let relayed = match mode {
-                FlushMode::BarrierRelay { .. } => true,
-                FlushMode::LockRelay { grantee } => dest == grantee,
-                _ => false,
+        // Owner-cooperative bundles, keyed by the owner they ship to.
+        let mut coop: BTreeMap<NodeId, Vec<UpdateItem>> = BTreeMap::new();
+        // Adaptive relay: a barrier-relayed payload bound for anyone but the
+        // barrier owner transits the wire twice (flusher → owner →
+        // destination). At or above the configured size threshold the byte
+        // doubling outweighs the saved message, so the payload goes direct
+        // as an ordinary sequenced update instead. Owner-bound bundles and
+        // lock-relay bundles ride single-transit and are never bypassed.
+        // Charges the bypass stats as a side effect, so call it only at a
+        // real dispatch decision.
+        let bypass = |rt: &Arc<Self>, dest: NodeId, bytes: u64| -> bool {
+            let FlushMode::BarrierRelay { owner } = mode else {
+                return false;
             };
-            if relayed {
-                relay.entry(dest).or_default().extend(items);
-            } else {
-                pending.entry(dest).or_default().extend(items);
+            if dest == owner || bytes < rt.cfg.relay_max_bytes {
+                return false;
+            }
+            add(&rt.stats.relay_bypassed_bytes, bytes);
+            rt.obs.record(
+                rt.clock.now().as_nanos(),
+                crate::obs::EventKind::RelayBypass,
+                |ev| {
+                    ev.peer = Some(dest);
+                    ev.seq = Some(bytes);
+                },
+            );
+            true
+        };
+        for (dest, items) in coalesced {
+            for item in items {
+                let relayed = match mode {
+                    FlushMode::BarrierRelay { .. } => {
+                        !bypass(self, dest, item.payload.model_bytes())
+                    }
+                    FlushMode::LockRelay { grantee } => dest == grantee,
+                    _ => false,
+                };
+                if relayed {
+                    relay.entry(dest).or_default().push(item);
+                } else {
+                    pending.entry(dest).or_default().push(item);
+                }
             }
         }
         // Fan-out payloads are retained (cheap: the buffers are `Arc`-shared)
@@ -255,6 +342,12 @@ impl NodeRuntime {
         // Outstanding acks per destination: when a destination is confirmed
         // dead mid-round, its share of `expected_acks` is written off.
         let mut outstanding: BTreeMap<NodeId, usize> = BTreeMap::new();
+        // Outstanding owner-cooperative fan-out acks, with the bundle
+        // retained so a bounced item or a dead owner can fall back to the
+        // degraded broadcast. The ack loop must not exit while any entry
+        // remains: the fan-out ack names the re-fan destinations whose own
+        // acks this release still has to count.
+        let mut coop_pending: BTreeMap<NodeId, Vec<UpdateItem>> = BTreeMap::new();
         let send_update = |rt: &Arc<Self>,
                            dest: NodeId,
                            items: Vec<UpdateItem>,
@@ -286,31 +379,72 @@ impl NodeRuntime {
             *outstanding.entry(dest).or_default() += 1;
             Ok(())
         };
+        // Degraded fallback when a cooperative owner is dead or bounced the
+        // bundle: every live peer gets it as an ordinary acknowledged update.
+        // Peers without a copy discard it on apply — the cost of not running
+        // a determination round inside the ack loop, whose wait may only
+        // observe update acks.
+        let broadcast_degraded = |rt: &Arc<Self>,
+                                  items: Vec<UpdateItem>,
+                                  expected_acks: &mut usize,
+                                  outstanding: &mut BTreeMap<NodeId, usize>|
+         -> Result<()> {
+            let dead = rt.dead_bitmap();
+            for i in 0..rt.nodes {
+                let peer = NodeId::new(i);
+                if peer == rt.node || dead & (1u64 << i) != 0 {
+                    continue;
+                }
+                send_update(rt, peer, items.clone(), expected_acks, outstanding)?;
+            }
+            Ok(())
+        };
         for (entry, pre_route) in entries.into_iter().zip(&routes) {
             let object = entry.object;
             let (payload, route) = self.encode_entry(entry)?;
             if let Some(payload) = &payload {
-                let mut any_immediate = false;
-                for dest in &route.destinations {
-                    let item = UpdateItem {
+                if let Some(owner) = route.coop_owner {
+                    coop.entry(owner).or_default().push(UpdateItem {
                         object,
                         payload: payload.clone(),
-                    };
-                    match classify(mode, &route, *dest) {
-                        Dispatch::Immediate => {
-                            any_immediate = true;
-                            pending.entry(*dest).or_default().push(item);
+                    });
+                } else {
+                    let mut any_immediate = false;
+                    for dest in &route.destinations {
+                        let item = UpdateItem {
+                            object,
+                            payload: payload.clone(),
+                        };
+                        match classify(mode, &route, *dest) {
+                            Dispatch::Immediate => {
+                                any_immediate = true;
+                                pending.entry(*dest).or_default().push(item);
+                            }
+                            Dispatch::Relay => {
+                                if bypass(self, *dest, item.payload.model_bytes()) {
+                                    // Too big to pay the double transit:
+                                    // sent directly (via the catch-all
+                                    // below), acknowledged like any other
+                                    // sequenced update.
+                                    any_immediate = true;
+                                    pending.entry(*dest).or_default().push(item);
+                                } else {
+                                    relay.entry(*dest).or_default().push(item);
+                                }
+                            }
+                            Dispatch::Buffer => buffered.entry(*dest).or_default().push(item),
                         }
-                        Dispatch::Relay => relay.entry(*dest).or_default().push(item),
-                        Dispatch::Buffer => buffered.entry(*dest).or_default().push(item),
                     }
-                }
-                if route.fans_out && any_immediate {
-                    fanout.insert(object, (payload.clone(), route.destinations.clone()));
+                    if route.fans_out && any_immediate {
+                        fanout.insert(object, (payload.clone(), route.destinations.clone()));
+                    }
                 }
             }
             // Drain the pre-pass counts with the *pre-pass* route, so a
             // directory change between the two reads cannot strand a count.
+            if pre_route.coop_owner.is_some() {
+                continue;
+            }
             for dest in &pre_route.destinations {
                 if classify(mode, pre_route, *dest) != Dispatch::Immediate {
                     continue;
@@ -334,6 +468,36 @@ impl NodeRuntime {
             if !items.is_empty() {
                 send_update(self, dest, items, &mut expected_acks, &mut outstanding)?;
             }
+        }
+        // Owner-cooperative fan-out: each non-owned bundle ships whole to
+        // its owner, which installs it and re-fans to the members of its
+        // authoritative copyset — no determination round, no heal round.
+        // The origin counts one `RelayFanoutAck` per bundle plus one
+        // `UpdateAck` per re-fan destination the owner reports.
+        for (owner, items) in coop {
+            debug_assert_ne!(owner, self.node, "coop routes never point home");
+            if self.is_peer_dead(owner) {
+                broadcast_degraded(self, items, &mut expected_acks, &mut outstanding)?;
+                continue;
+            }
+            crate::runtime::proto_trace!(
+                self,
+                "coop relay -> {owner:?}: {:?}",
+                items.iter().map(|i| i.object).collect::<Vec<_>>()
+            );
+            self.note_update_sent(&items);
+            let seq = self.next_update_seq(owner);
+            self.send(
+                owner,
+                DsmMsg::RelayFanout {
+                    items: items.clone(),
+                    origin: self.node,
+                    seq,
+                },
+            )?;
+            expected_acks += 1;
+            *outstanding.entry(owner).or_default() += 1;
+            coop_pending.insert(owner, items);
         }
         // Coalesced items go back to the outbox; they are delivered by the
         // next transmission to their destination or at the window close.
@@ -372,7 +536,7 @@ impl NodeRuntime {
         // overtaken by) this node's later flushes.
         let mut acks = 0usize;
         let mut handled = 0u64;
-        while acks < expected_acks {
+        while acks < expected_acks || !coop_pending.is_empty() {
             let (env, reply) =
                 match self.wait_reply_or_dead(crate::runtime::WaitOp::UpdateAcks, &mut handled) {
                     Ok(reply) => reply,
@@ -383,11 +547,69 @@ impl NodeRuntime {
                         // equivalent of "update performed".
                         let lost = outstanding.remove(&n).unwrap_or(0);
                         expected_acks -= lost;
+                        if let Some(items) = coop_pending.remove(&n) {
+                            // A cooperative owner died before acking. It may
+                            // or may not have re-fanned already; the degraded
+                            // broadcast re-sends on this node's own lanes, so
+                            // every receiver's stream check drops whichever
+                            // copy arrives second. (Re-fan acks already in
+                            // flight from before the crash are absorbed by
+                            // this loop's count — death confirmation takes a
+                            // full detection window, far longer than any
+                            // delivery.)
+                            broadcast_degraded(self, items, &mut expected_acks, &mut outstanding)?;
+                        }
                         continue;
                     }
                     Err(e) => return Err(e),
                 };
             match reply {
+                DsmMsg::RelayFanoutAck { refanned, rejected } => {
+                    acks += 1;
+                    if let Some(o) = outstanding.get_mut(&env.src) {
+                        *o = o.saturating_sub(1);
+                    }
+                    let Some(items) = coop_pending.remove(&env.src) else {
+                        // Duplicate ack for an already-settled bundle (the
+                        // stale-sequence path at the owner); counted like a
+                        // duplicate update ack.
+                        continue;
+                    };
+                    // Each re-fan destination acknowledges this node
+                    // directly; their acks join this release's count.
+                    expected_acks += refanned.len();
+                    for dest in &refanned {
+                        *outstanding.entry(*dest).or_default() += 1;
+                    }
+                    if !rejected.is_empty() {
+                        // The ownership hint was stale: point it back at the
+                        // home node (first link of the probable-owner chain)
+                        // and fall back to the degraded broadcast for the
+                        // bounced objects.
+                        let rejected: BTreeSet<ObjectId> = rejected.into_iter().collect();
+                        {
+                            let mut dir = self.dir.lock();
+                            for o in &rejected {
+                                let e = dir.entry_mut(*o);
+                                if !e.state.owned {
+                                    e.probable_owner = e.home;
+                                }
+                            }
+                        }
+                        let bounced: Vec<UpdateItem> = items
+                            .into_iter()
+                            .filter(|i| rejected.contains(&i.object))
+                            .collect();
+                        if !bounced.is_empty() {
+                            broadcast_degraded(
+                                self,
+                                bounced,
+                                &mut expected_acks,
+                                &mut outstanding,
+                            )?;
+                        }
+                    }
+                }
                 DsmMsg::UpdateAck { owned_copysets, .. } => {
                     acks += 1;
                     if let Some(o) = outstanding.get_mut(&env.src) {
@@ -518,6 +740,7 @@ impl NodeRuntime {
             FlushRoute {
                 fans_out: false,
                 owned: e.state.owned,
+                coop_owner: None,
                 destinations: if e.home == self.node {
                     Vec::new()
                 } else {
@@ -525,9 +748,27 @@ impl NodeRuntime {
                 },
             }
         } else {
+            let owned = e.state.owned;
+            // Owner-cooperative relay: non-owned fan-out bundles ship whole
+            // to the owner, which re-fans from its authoritative copyset. A
+            // hint that degenerates to ourselves is repaired toward home;
+            // liveness is checked at send time, not here — the failure
+            // detector takes its own lock and this runs under the directory
+            // lock.
+            let coop_owner = if self.cfg.piggyback && !owned && !e.state.copyset_fixed {
+                let hint = if e.probable_owner == self.node {
+                    e.home
+                } else {
+                    e.probable_owner
+                };
+                (hint != self.node).then_some(hint)
+            } else {
+                None
+            };
             FlushRoute {
                 fans_out: true,
-                owned: e.state.owned,
+                owned,
+                coop_owner,
                 destinations: e.copyset.members(self.nodes, Some(self.node)),
             }
         }
@@ -593,7 +834,7 @@ impl NodeRuntime {
             return Ok((payload, route));
         }
 
-        if route.destinations.is_empty() && stable {
+        if route.coop_owner.is_none() && route.destinations.is_empty() && stable {
             // "Any pages that have an empty Copyset and are therefore private
             // are made locally writable, their twins are deleted, and they do
             // not generate further access faults."
@@ -603,6 +844,13 @@ impl NodeRuntime {
         // Write-shared / producer-consumer: keep the copy, re-write-protect so
         // the next write makes a fresh twin.
         self.set_entry_rights(e, AccessRights::Read);
+        if route.coop_owner.is_some() {
+            // Owner-cooperative entries ignore the (stale, never-determined)
+            // local copyset — the owner decides the fan-out — so neither
+            // empty-destination shortcut applies: an empty local copyset
+            // proves nothing about remote copies.
+            return Ok((payload, route));
+        }
         if route.destinations.is_empty() {
             return Ok((None, route));
         }
@@ -710,8 +958,7 @@ impl NodeRuntime {
         }
         let mut handled = self.dead_bitmap();
         while !pending.is_empty() {
-            match self
-                .wait_reply_or_dead(crate::runtime::WaitOp::OwnerCopysetReplies, &mut handled)
+            match self.wait_reply_or_dead(crate::runtime::WaitOp::OwnerCopysetReplies, &mut handled)
             {
                 Ok((env, DsmMsg::OwnerCopysetReply { copysets })) => {
                     for (o, cs) in copysets {
@@ -1288,5 +1535,172 @@ mod tests {
         rt.flush_duq().unwrap();
         assert_eq!(rt.duq.lock().pooled_twins(), 1);
         assert_eq!(rt.diff_scratch.lock().capacity(), scratch_cap);
+    }
+
+    /// Builds the three-node manual harness used by the owner-cooperative
+    /// flush tests: node 0 runs a real runtime (with piggybacking on and a
+    /// non-owned `ws` whose owner hint points at N1), nodes 1 and 2 are
+    /// driven by hand.
+    #[allow(clippy::type_complexity)]
+    fn coop_harness() -> (
+        Arc<NodeRuntime>,
+        Network<DsmMsg>,
+        munin_sim::net::Sender<DsmMsg>,
+        munin_sim::net::Receiver<DsmMsg>,
+        munin_sim::net::Sender<DsmMsg>,
+        munin_sim::net::Receiver<DsmMsg>,
+        munin_sim::net::Receiver<DsmMsg>,
+        ObjectId,
+    ) {
+        let mut table = SharedDataTable::new(64);
+        table.declare("ws", SharingAnnotation::WriteShared, 4, 8, false);
+        let table = Arc::new(table);
+        let cfg = Arc::new(MuninConfig::fast_test(3).with_piggyback(true));
+        let clock = NodeClock::new();
+        let mut net: Network<DsmMsg> = Network::new(3, CostModel::fast_test());
+        let (tx0, rx0) = net.endpoint(0, clock.clone()).unwrap();
+        let (tx1, rx1) = net.endpoint(1, NodeClock::new()).unwrap();
+        let (tx2, rx2) = net.endpoint(2, NodeClock::new()).unwrap();
+        let rt = NodeRuntime::new(
+            NodeId::new(0),
+            3,
+            cfg,
+            table,
+            vec![],
+            vec![],
+            clock,
+            Arc::new(CostModel::fast_test()),
+            tx0,
+        );
+        let touched: HashSet<_> = rt.table().objects().iter().map(|o| o.id).collect();
+        rt.finish_root_init(&touched);
+        let ws = rt.table().var_by_name("ws").unwrap().objects[0];
+        rt.write_fault(ws).unwrap();
+        rt.install_object_bytes(ws, &[7u8; 32]);
+        {
+            // Not owned here, owner hint at N1, copyset never determined:
+            // exactly the shape that takes the cooperative route.
+            let mut dir = rt.dir.lock();
+            let e = dir.entry_mut(ws);
+            e.state.owned = false;
+            e.probable_owner = NodeId::new(1);
+            assert!(!e.state.copyset_fixed);
+        }
+        // rx0 is consumed by the caller's server loop; return it alongside.
+        (rt, net, tx1, rx1, tx2, rx2, rx0, ws)
+    }
+
+    /// The owner-cooperative path end-to-end from the flusher's side: a
+    /// non-owned fan-out bundle ships whole to the owner hint as a
+    /// `RelayFanout` (no copyset-determination round), and the release
+    /// completes once the owner's fan-out ack plus one `UpdateAck` per
+    /// reported re-fan destination have arrived.
+    #[test]
+    fn flush_ships_non_owned_bundle_to_cooperative_owner() {
+        let (rt, net, tx1, rx1, tx2, _rx2, rx0, ws) = coop_harness();
+        let server_rt = Arc::clone(&rt);
+        let server = std::thread::spawn(move || server_rt.server_loop(rx0));
+        let flusher_rt = Arc::clone(&rt);
+        let flusher = std::thread::spawn(move || flusher_rt.flush_duq());
+        // The whole bundle arrives at the owner hint, not at copyset members.
+        let (_env, msg) = rx1.recv().unwrap();
+        let DsmMsg::RelayFanout { items, origin, seq } = msg else {
+            panic!("expected a cooperative fan-out at N1, got {msg:?}");
+        };
+        assert_eq!(origin, NodeId::new(0));
+        assert_eq!(seq, 0, "first slot of the 0->1 update stream");
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].object, ws);
+        // The owner re-fanned to N2; N2's ack goes straight to the origin.
+        tx1.send(
+            NodeId::new(0),
+            "relay_fanout_ack",
+            24,
+            DsmMsg::RelayFanoutAck {
+                refanned: vec![NodeId::new(2)],
+                rejected: vec![],
+            },
+        )
+        .unwrap();
+        tx2.send(
+            NodeId::new(0),
+            "update_ack",
+            40,
+            DsmMsg::UpdateAck {
+                count: 1,
+                owned_copysets: vec![],
+            },
+        )
+        .unwrap();
+        flusher.join().unwrap().unwrap();
+        let snap = rt.stats().snapshot();
+        assert_eq!(snap.copyset_queries, 0, "coop entries skip determination");
+        assert_eq!(snap.updates_sent, 1, "one bundle, shipped once");
+        tx1.send(NodeId::new(0), "shutdown", 8, DsmMsg::Shutdown)
+            .unwrap();
+        server.join().unwrap();
+        drop(net);
+    }
+
+    /// A stale owner hint: the cooperative owner bounces the bundle, the
+    /// flusher repairs the hint back to the home node and falls back to the
+    /// degraded acknowledged broadcast, so the release still completes with
+    /// every live peer having seen the update.
+    #[test]
+    fn flush_repairs_hint_and_broadcasts_bundle_bounced_by_coop_owner() {
+        let (rt, net, tx1, rx1, tx2, rx2, rx0, ws) = coop_harness();
+        let server_rt = Arc::clone(&rt);
+        let server = std::thread::spawn(move || server_rt.server_loop(rx0));
+        let flusher_rt = Arc::clone(&rt);
+        let flusher = std::thread::spawn(move || flusher_rt.flush_duq());
+        let (_env, msg) = rx1.recv().unwrap();
+        let DsmMsg::RelayFanout { .. } = msg else {
+            panic!("expected a cooperative fan-out at N1, got {msg:?}");
+        };
+        // N1 does not own `ws` after all: bounce the whole bundle.
+        tx1.send(
+            NodeId::new(0),
+            "relay_fanout_ack",
+            24,
+            DsmMsg::RelayFanoutAck {
+                refanned: vec![],
+                rejected: vec![ws],
+            },
+        )
+        .unwrap();
+        // Degraded fallback: both peers get an ordinary acknowledged update.
+        for (tx, rx) in [(&tx1, &rx1), (&tx2, &rx2)] {
+            let (_env, msg) = rx.recv().unwrap();
+            let DsmMsg::Update {
+                items, needs_ack, ..
+            } = msg
+            else {
+                panic!("expected a degraded broadcast update, got {msg:?}");
+            };
+            assert!(needs_ack);
+            assert_eq!(items[0].object, ws);
+            tx.send(
+                NodeId::new(0),
+                "update_ack",
+                40,
+                DsmMsg::UpdateAck {
+                    count: 1,
+                    owned_copysets: vec![],
+                },
+            )
+            .unwrap();
+        }
+        flusher.join().unwrap().unwrap();
+        // The stale hint now points back at the home node, the first link of
+        // the probable-owner chain.
+        {
+            let dir = rt.dir.lock();
+            let e = dir.entry(ws);
+            assert_eq!(e.probable_owner, e.home);
+        }
+        tx1.send(NodeId::new(0), "shutdown", 8, DsmMsg::Shutdown)
+            .unwrap();
+        server.join().unwrap();
+        drop(net);
     }
 }

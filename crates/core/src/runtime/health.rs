@@ -101,7 +101,10 @@ impl Health {
         let enabled = detect.is_some() && nodes > 1;
         // The dead-peer bitmaps (`dead_bitmap`, `wait_reply_or_dead`'s
         // handled set) are u64s, like `CopySet::Nodes`.
-        assert!(!enabled || nodes <= 64, "failure detection supports up to 64 nodes");
+        assert!(
+            !enabled || nodes <= 64,
+            "failure detection supports up to 64 nodes"
+        );
         let now = Instant::now();
         Health {
             enabled,
@@ -145,7 +148,9 @@ impl NodeRuntime {
             h.last_beat = now - self.heartbeat_every();
         }
         let due = self.clock.now() + VirtTime::from_nanos(HEALTH_TICK_VIRT_NS);
-        let _ = self.sender.schedule_timer(due, "health", DsmMsg::HealthTick);
+        let _ = self
+            .sender
+            .schedule_timer(due, "health", DsmMsg::HealthTick);
     }
 
     /// Records traffic from `peer`: refreshes its last-heard stamp and lifts
@@ -265,7 +270,9 @@ impl NodeRuntime {
         }
         self.health_check();
         let due = self.clock.now() + VirtTime::from_nanos(HEALTH_TICK_VIRT_NS);
-        let _ = self.sender.schedule_timer(due, "health", DsmMsg::HealthTick);
+        let _ = self
+            .sender
+            .schedule_timer(due, "health", DsmMsg::HealthTick);
     }
 
     /// Confirms `peer` dead and, on the first confirmation (exactly one
@@ -298,7 +305,11 @@ impl NodeRuntime {
         crate::runtime::proto_trace!(
             self,
             "peer {peer:?} confirmed dead ({}; quiet {detect_latency:?})",
-            if via_gossip { "gossip" } else { "local detection" }
+            if via_gossip {
+                "gossip"
+            } else {
+                "local detection"
+            }
         );
         if !via_gossip {
             let dead = self.dead_bitmap();
@@ -517,11 +528,7 @@ impl NodeRuntime {
         }
         let now = self.clock.now();
         for (id, waiters) in barrier_releases {
-            crate::runtime::proto_trace!(
-                self,
-                "barrier {} opens on exclusion of {dead:?}",
-                id.0
-            );
+            crate::runtime::proto_trace!(self, "barrier {} opens on exclusion of {dead:?}", id.0);
             self.release_barrier_waiters(id, waiters, now);
         }
     }

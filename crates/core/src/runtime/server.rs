@@ -54,7 +54,12 @@ impl NodeRuntime {
             // protocol. Liveness traffic from everyone else refreshes the
             // detector.
             if self.is_peer_dead(env.src) {
-                crate::runtime::proto_trace!(self, "drop zombie {} from {:?}", msg.class(), env.src);
+                crate::runtime::proto_trace!(
+                    self,
+                    "drop zombie {} from {:?}",
+                    msg.class(),
+                    env.src
+                );
                 return false;
             }
             self.health_heard(env.src);
@@ -192,6 +197,12 @@ impl NodeRuntime {
                 seq,
                 needs_ack,
             } => self.handle_update(env, items, requester, seq, needs_ack, now),
+            DsmMsg::RelayFanout { items, origin, seq } => {
+                self.handle_relay_fanout(env, items, origin, seq, now)
+            }
+            DsmMsg::RelayForward { items, origin, seq } => {
+                self.handle_relay_forward(env, items, origin, seq, now)
+            }
             DsmMsg::CopysetQuery { objects, requester } => {
                 self.handle_copyset_query(env, objects, requester)
             }
@@ -512,10 +523,7 @@ impl NodeRuntime {
                         ev.peer = Some(requester);
                     },
                 );
-                crate::runtime::proto_trace!(
-                    self,
-                    "adopted orphan {object:?} for {requester:?}"
-                );
+                crate::runtime::proto_trace!(self, "adopted orphan {object:?} for {requester:?}");
             }
         }
         // Owned now (or already): the normal fetch path serves it, with the
@@ -942,6 +950,203 @@ impl NodeRuntime {
         }
     }
 
+    /// Handles an owner-cooperative fan-out bundle: installs the items this
+    /// node owns, then re-fans them to the other members of its
+    /// *authoritative* copyset (the union of every determined set with the
+    /// replicas recorded while serving fetches) — the flusher never runs a
+    /// determination round or heals stragglers for these objects. Items this
+    /// node does not own (the origin's ownership hint was stale) are bounced
+    /// back in the ack as `rejected`, neither installed nor distributed; the
+    /// origin repairs its hint and falls back to a direct broadcast.
+    ///
+    /// Defer and sequencing rules mirror `handle_update`: the bundle rides
+    /// the origin→owner update stream, and a stale duplicate is answered
+    /// with an empty ack so the origin's per-message accounting stays whole.
+    fn handle_relay_fanout(
+        self: &Arc<Self>,
+        env: Envelope,
+        items: Vec<UpdateItem>,
+        origin: NodeId,
+        seq: u64,
+        now: munin_sim::VirtTime,
+    ) {
+        {
+            let dir = self.dir.lock();
+            if items.iter().any(|i| {
+                let st = dir.entry(i.object).state;
+                st.busy || st.pinned
+            }) {
+                drop(dir);
+                crate::runtime::proto_trace!(self, "defer relay fanout from {origin:?}");
+                self.obs
+                    .record(now.as_nanos(), crate::obs::EventKind::UpdateDefer, |ev| {
+                        ev.peer = Some(origin);
+                        ev.seq = Some(seq);
+                    });
+                self.deferred
+                    .lock()
+                    .push((env, DsmMsg::RelayFanout { items, origin, seq }));
+                return;
+            }
+        }
+        match self.check_update_seq(origin, seq) {
+            super::SeqCheck::Apply => {
+                self.obs
+                    .record(now.as_nanos(), crate::obs::EventKind::UpdateInstall, |ev| {
+                        ev.peer = Some(origin);
+                        ev.seq = Some(seq);
+                    });
+            }
+            super::SeqCheck::Early => {
+                crate::runtime::proto_trace!(
+                    self,
+                    "defer early relay fanout from {origin:?} seq {seq}"
+                );
+                self.obs
+                    .record(now.as_nanos(), crate::obs::EventKind::UpdateDefer, |ev| {
+                        ev.peer = Some(origin);
+                        ev.seq = Some(seq);
+                    });
+                self.deferred
+                    .lock()
+                    .push((env, DsmMsg::RelayFanout { items, origin, seq }));
+                return;
+            }
+            super::SeqCheck::Stale => {
+                crate::runtime::proto_trace!(
+                    self,
+                    "drop stale relay fanout from {origin:?} seq {seq}"
+                );
+                let _ = self.send_service(
+                    origin,
+                    DsmMsg::RelayFanoutAck {
+                        refanned: Vec::new(),
+                        rejected: Vec::new(),
+                    },
+                    now,
+                );
+                return;
+            }
+        }
+        // Partition on ownership and snapshot the authoritative copysets in
+        // one directory-lock scope; liveness is checked afterwards because
+        // the failure detector takes its own lock.
+        let mut owned_items = Vec::new();
+        let mut rejected = Vec::new();
+        let mut per_dest: std::collections::BTreeMap<NodeId, Vec<UpdateItem>> =
+            std::collections::BTreeMap::new();
+        {
+            let dir = self.dir.lock();
+            for item in items {
+                let e = dir.entry(item.object);
+                if !e.state.owned {
+                    rejected.push(item.object);
+                    continue;
+                }
+                for dest in e.copyset.members(self.nodes, Some(self.node)) {
+                    if dest == origin {
+                        continue;
+                    }
+                    per_dest.entry(dest).or_default().push(item.clone());
+                }
+                owned_items.push(item);
+            }
+        }
+        per_dest.retain(|dest, _| !self.is_peer_dead(*dest));
+        // Install before any re-fan leaves: the owner must never distribute
+        // data it has not itself made visible (the same anchor as the
+        // carrier layer's install-before-dispatch).
+        let (_, service, _) = self.apply_update_items(owned_items, false, now);
+        let mut refanned = Vec::new();
+        for (dest, dest_items) in per_dest {
+            self.note_update_sent(&dest_items);
+            bump(&self.stats.owner_refans);
+            self.obs
+                .record(now.as_nanos(), crate::obs::EventKind::OwnerRefan, |ev| {
+                    ev.peer = Some(dest);
+                    ev.object = dest_items.first().map(|i| i.object);
+                    ev.seq = Some(seq);
+                });
+            // The forward carries the *origin's* fan-out seq for trace
+            // correlation but deliberately does NOT draw a slot from this
+            // node's own update stream to `dest`: this service thread may
+            // run while the user thread has relay bundles (holding earlier
+            // stream slots) parked at a barrier owner until the release, and
+            // a fresh slot here would open a gap `dest` can only close after
+            // a release that transitively waits on this forward's ack.
+            let _ = self.send_service(
+                dest,
+                DsmMsg::RelayForward {
+                    items: dest_items,
+                    origin,
+                    seq,
+                },
+                now + service,
+            );
+            refanned.push(dest);
+        }
+        self.send_service_with_pending(
+            origin,
+            DsmMsg::RelayFanoutAck { refanned, rejected },
+            now + service,
+        );
+    }
+
+    /// Handles a bundle re-fanned by an owner on the origin's behalf, acking
+    /// `origin`, whose flush is blocked counting acks.
+    ///
+    /// Forwards are exempt from the per-stream sequence check: they travel
+    /// the owner→here link directly (FIFO, no carrier detour), and they
+    /// deliberately carry no slot of the owner's update stream — the
+    /// re-fanning service thread may run while the owner's user thread has
+    /// relay bundles holding earlier slots parked at a barrier owner (see
+    /// `handle_relay_fanout`). Interleaving with those stashed bundles is
+    /// order-insensitive: concurrent-interval diffs from distinct writers
+    /// touch disjoint words in data-race-free programs — the same assumption
+    /// the legacy multi-link fan-out already makes.
+    fn handle_relay_forward(
+        self: &Arc<Self>,
+        env: Envelope,
+        items: Vec<UpdateItem>,
+        origin: NodeId,
+        seq: u64,
+        now: munin_sim::VirtTime,
+    ) {
+        {
+            let dir = self.dir.lock();
+            if items.iter().any(|i| {
+                let st = dir.entry(i.object).state;
+                st.busy || st.pinned
+            }) {
+                drop(dir);
+                crate::runtime::proto_trace!(self, "defer relay forward from {:?}", env.src);
+                self.obs
+                    .record(now.as_nanos(), crate::obs::EventKind::UpdateDefer, |ev| {
+                        ev.peer = Some(env.src);
+                        ev.seq = Some(seq);
+                    });
+                self.deferred
+                    .lock()
+                    .push((env, DsmMsg::RelayForward { items, origin, seq }));
+                return;
+            }
+        }
+        self.obs
+            .record(now.as_nanos(), crate::obs::EventKind::UpdateInstall, |ev| {
+                ev.peer = Some(env.src);
+                ev.seq = Some(seq);
+            });
+        let (applied, service, _) = self.apply_update_items(items, false, now);
+        self.send_service_with_pending(
+            origin,
+            DsmMsg::UpdateAck {
+                count: applied,
+                owned_copysets: Vec::new(),
+            },
+            now + service,
+        );
+    }
+
     /// Applies a list of update items to the local copies. The single apply
     /// path shared by standalone `Update` messages and piggybacked carrier
     /// bundles. Returns the number applied, the service time charged, and —
@@ -1212,7 +1417,11 @@ impl NodeRuntime {
         if self.health_enabled() && requester == self.node {
             let owned = self.sync.lock().lock(lock).owned;
             if owned {
-                crate::runtime::proto_trace!(self, "drop own looped-back acquire for lock {}", lock.0);
+                crate::runtime::proto_trace!(
+                    self,
+                    "drop own looped-back acquire for lock {}",
+                    lock.0
+                );
                 return;
             }
         }
@@ -2315,5 +2524,196 @@ mod tests {
         assert!(h.rt.has_unacked());
         h.rt.handle_incoming(rel_env(), DsmMsg::NetAck { upto: 2 });
         assert!(!h.rt.has_unacked());
+    }
+
+    /// Three-node variant of the harness: node 0 hosts the runtime, nodes 1
+    /// and 2 are driven manually — enough fan-out to watch an owner re-fan a
+    /// cooperative bundle to a copyset member that is not the origin.
+    struct Harness3 {
+        rt: Arc<NodeRuntime>,
+        tx1: munin_sim::Sender<DsmMsg>,
+        rx1: munin_sim::Receiver<DsmMsg>,
+        rx2: munin_sim::Receiver<DsmMsg>,
+        rt_rx: munin_sim::Receiver<DsmMsg>,
+    }
+
+    fn harness3() -> Harness3 {
+        let mut table = SharedDataTable::new(64);
+        table.declare("ws", SharingAnnotation::WriteShared, 4, 8, false);
+        let table = Arc::new(table);
+        let cfg = Arc::new(MuninConfig::fast_test(3).with_piggyback(true));
+        let clock0 = NodeClock::new();
+        let mut net: Network<DsmMsg> = Network::new(3, CostModel::fast_test());
+        let (tx0, rx0) = net.endpoint(0, clock0.clone()).unwrap();
+        let (tx1, rx1) = net.endpoint(1, NodeClock::new()).unwrap();
+        let (_tx2, rx2) = net.endpoint(2, NodeClock::new()).unwrap();
+        let rt = NodeRuntime::new(
+            NodeId::new(0),
+            3,
+            cfg,
+            table,
+            vec![NodeId::new(0)],
+            vec![(NodeId::new(0), 3)],
+            clock0,
+            Arc::new(CostModel::fast_test()),
+            tx0,
+        );
+        let touched: HashSet<_> = rt.table().objects().iter().map(|o| o.id).collect();
+        rt.finish_root_init(&touched);
+        Harness3 {
+            rt,
+            tx1,
+            rx1,
+            rx2,
+            rt_rx: rx0,
+        }
+    }
+
+    impl Harness3 {
+        fn obj(&self, name: &str) -> ObjectId {
+            self.rt.table().var_by_name(name).unwrap().objects[0]
+        }
+
+        fn pump(&self) {
+            let (env, msg) = self.rt_rx.recv().unwrap();
+            self.rt.handle_request(env, msg);
+        }
+    }
+
+    /// The owner side of the cooperative relay: a `RelayFanout` bundle from
+    /// the origin is installed locally, re-fanned to the authoritative
+    /// copyset members (excluding the origin), and acknowledged with the
+    /// re-fan destination list.
+    #[test]
+    fn relay_fanout_installs_refans_and_acks_origin() {
+        let h = harness3();
+        let ws = h.obj("ws");
+        h.rt.install_object_bytes(ws, &[0u8; 32]);
+        // The owner's recorded copyset: the origin (1) and a bystander (2).
+        {
+            let mut dir = h.rt.dir.lock();
+            let e = dir.entry_mut(ws);
+            e.copyset.insert(NodeId::new(1));
+            e.copyset.insert(NodeId::new(2));
+        }
+        let d = diff::encode(&[4u8; 32], &[0u8; 32]);
+        h.tx1
+            .send(
+                NodeId::new(0),
+                "relay_fanout",
+                64,
+                DsmMsg::RelayFanout {
+                    items: vec![UpdateItem {
+                        object: ws,
+                        payload: UpdatePayload::Diff(d),
+                    }],
+                    origin: NodeId::new(1),
+                    seq: 0,
+                },
+            )
+            .unwrap();
+        h.pump();
+        // Install-before-dispatch: the owner's copy carries the diff.
+        assert_eq!(h.rt.object_bytes(ws), vec![4u8; 32]);
+        // Node 2 got the forward (and only node 2: the origin is excluded).
+        match h.rx2.recv().unwrap().1 {
+            DsmMsg::RelayForward { items, origin, seq } => {
+                assert_eq!(items.len(), 1);
+                assert_eq!(items[0].object, ws);
+                assert_eq!(origin, NodeId::new(1));
+                assert_eq!(seq, 0);
+            }
+            other => panic!("expected RelayForward at N2, got {other:?}"),
+        }
+        // The origin got the ack naming the re-fan destination.
+        match h.rx1.recv().unwrap().1 {
+            DsmMsg::RelayFanoutAck { refanned, rejected } => {
+                assert_eq!(refanned, vec![NodeId::new(2)]);
+                assert!(rejected.is_empty());
+            }
+            other => panic!("expected RelayFanoutAck at origin, got {other:?}"),
+        }
+        assert_eq!(h.rt.stats().snapshot().owner_refans, 1);
+    }
+
+    /// A stale ownership hint: the fanout target does not own the object, so
+    /// the bundle is bounced back untouched — not installed, not re-fanned —
+    /// and the origin's ack names the rejected object.
+    #[test]
+    fn relay_fanout_bounces_unowned_objects() {
+        let h = harness3();
+        let ws = h.obj("ws");
+        h.rt.install_object_bytes(ws, &[0u8; 32]);
+        {
+            let mut dir = h.rt.dir.lock();
+            let e = dir.entry_mut(ws);
+            e.state.owned = false;
+            e.probable_owner = NodeId::new(2);
+            e.copyset.insert(NodeId::new(2));
+        }
+        let d = diff::encode(&[9u8; 32], &[0u8; 32]);
+        h.tx1
+            .send(
+                NodeId::new(0),
+                "relay_fanout",
+                64,
+                DsmMsg::RelayFanout {
+                    items: vec![UpdateItem {
+                        object: ws,
+                        payload: UpdatePayload::Diff(d),
+                    }],
+                    origin: NodeId::new(1),
+                    seq: 0,
+                },
+            )
+            .unwrap();
+        h.pump();
+        match h.rx1.recv().unwrap().1 {
+            DsmMsg::RelayFanoutAck { refanned, rejected } => {
+                assert!(refanned.is_empty());
+                assert_eq!(rejected, vec![ws]);
+            }
+            other => panic!("expected RelayFanoutAck, got {other:?}"),
+        }
+        // Neither installed nor counted as a re-fan.
+        assert_eq!(h.rt.object_bytes(ws), vec![0u8; 32]);
+        assert_eq!(h.rt.stats().snapshot().owner_refans, 0);
+    }
+
+    /// The destination side of the cooperative relay: a `RelayForward`
+    /// applies immediately — exempt from the per-stream sequence check, since
+    /// it carries no slot of the forwarding owner's update stream — and the
+    /// ack goes to the *origin*, whose flush is counting it, not back to the
+    /// forwarding owner.
+    #[test]
+    fn relay_forward_applies_without_seq_check_and_acks_origin() {
+        let h = harness3();
+        let ws = h.obj("ws");
+        h.rt.install_object_bytes(ws, &[0u8; 32]);
+        let d = diff::encode(&[6u8; 32], &[0u8; 32]);
+        // seq 7 on a stream that has seen nothing: an ordinary Update would
+        // be deferred as early; the forward must apply at once.
+        h.tx1
+            .send(
+                NodeId::new(0),
+                "relay_forward",
+                64,
+                DsmMsg::RelayForward {
+                    items: vec![UpdateItem {
+                        object: ws,
+                        payload: UpdatePayload::Diff(d),
+                    }],
+                    origin: NodeId::new(2),
+                    seq: 7,
+                },
+            )
+            .unwrap();
+        h.pump();
+        assert!(h.rt.deferred.lock().is_empty(), "forwards are not deferred");
+        assert_eq!(h.rt.object_bytes(ws), vec![6u8; 32]);
+        match h.rx2.recv().unwrap().1 {
+            DsmMsg::UpdateAck { count, .. } => assert_eq!(count, 1),
+            other => panic!("expected UpdateAck at the origin, got {other:?}"),
+        }
     }
 }

@@ -76,8 +76,7 @@ impl NodeRuntime {
         // produced twice anyway is absorbed by the routing guard above.
         let mut handled = 0u64;
         let (env, reply) = loop {
-            match self.wait_reply_or_dead(crate::runtime::WaitOp::LockGrant(lock.0), &mut handled)
-            {
+            match self.wait_reply_or_dead(crate::runtime::WaitOp::LockGrant(lock.0), &mut handled) {
                 Ok(reply) => break reply,
                 Err(MuninError::PeerDied(_)) => {
                     let home = self.lock_homes[lock.0 as usize];

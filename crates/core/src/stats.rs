@@ -107,6 +107,15 @@ counters! {
         /// immediately (cross-release coalescing; the window closes at the
         /// next acquire).
         flushes_coalesced,
+        /// Payload bytes the adaptive relay sent direct-to-destination
+        /// instead of through a barrier-relay carrier because they exceeded
+        /// `MuninConfig::relay_max_bytes` — each byte counted here transited
+        /// the wire once instead of twice.
+        relay_bypassed_bytes,
+        /// Update bundles this node re-fanned to other copyset members as
+        /// the receiving owner of an owner-cooperative relay
+        /// (`DsmMsg::RelayFanout`).
+        owner_refans,
         /// Lock acquires performed by the local user thread.
         lock_acquires,
         /// Lock acquires satisfied locally without any message.

@@ -225,7 +225,9 @@ impl CrashPlan {
                 None => 0,
             };
             if used >= MAX_CRASH_SPECS {
-                return Err(format!("a plan holds at most {MAX_CRASH_SPECS} crash specs"));
+                return Err(format!(
+                    "a plan holds at most {MAX_CRASH_SPECS} crash specs"
+                ));
             }
             plan.specs[used] = Some(CrashSpec {
                 node,
@@ -327,7 +329,10 @@ impl FaultPlan {
     /// injection is deliberately excluded: crashes are evaluated at delivery
     /// time and must not perturb the submit path's RNG stream.
     fn is_none(&self) -> bool {
-        self.delay_ppm == 0 && self.duplicate_ppm == 0 && self.loss_ppm == 0 && self.reorder_ppm == 0
+        self.delay_ppm == 0
+            && self.duplicate_ppm == 0
+            && self.loss_ppm == 0
+            && self.reorder_ppm == 0
     }
 }
 
@@ -386,14 +391,7 @@ impl EngineConfig {
                 }
             }
             if let Ok(v) = std::env::var(MODE_ENV_VAR) {
-                let mode = v.trim();
-                if mode.eq_ignore_ascii_case("passthrough") {
-                    cfg.mode = DeliveryMode::Passthrough;
-                } else if !mode.eq_ignore_ascii_case("virtual_time") && !mode.is_empty() {
-                    eprintln!(
-                        "warning: ignoring unknown {MODE_ENV_VAR}={v:?} (expected \"passthrough\" or \"virtual_time\")"
-                    );
-                }
+                cfg.mode = parse_delivery_mode(&v);
             }
             if let Ok(v) = std::env::var(LOSS_ENV_VAR) {
                 match v.trim().parse::<f64>() {
@@ -438,6 +436,26 @@ impl EngineConfig {
     pub fn with_mode(mut self, mode: DeliveryMode) -> Self {
         self.mode = mode;
         self
+    }
+}
+
+/// Parses a `MUNIN_ENGINE_MODE` value. A malformed mode is a hard
+/// configuration error: CI's passthrough tier exists to test the second
+/// delivery schedule, and a typo that silently ran the virtual-time default
+/// would defeat it.
+///
+/// # Panics
+///
+/// Panics when the value is neither `passthrough` nor `virtual_time`
+/// (case-insensitive; an empty value selects the default).
+fn parse_delivery_mode(v: &str) -> DeliveryMode {
+    let mode = v.trim();
+    if mode.eq_ignore_ascii_case("passthrough") {
+        DeliveryMode::Passthrough
+    } else if mode.eq_ignore_ascii_case("virtual_time") || mode.is_empty() {
+        DeliveryMode::VirtualTime
+    } else {
+        panic!("invalid {MODE_ENV_VAR}={v:?}: expected \"passthrough\" or \"virtual_time\"")
     }
 }
 
@@ -1150,6 +1168,29 @@ mod tests {
     }
 
     #[test]
+    fn delivery_mode_parses_strictly() {
+        assert_eq!(
+            parse_delivery_mode("passthrough"),
+            DeliveryMode::Passthrough
+        );
+        assert_eq!(
+            parse_delivery_mode("PASSTHROUGH"),
+            DeliveryMode::Passthrough
+        );
+        assert_eq!(
+            parse_delivery_mode("virtual_time"),
+            DeliveryMode::VirtualTime
+        );
+        assert_eq!(parse_delivery_mode(""), DeliveryMode::VirtualTime);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid MUNIN_ENGINE_MODE=\"passthru\"")]
+    fn delivery_mode_rejects_unknown_values() {
+        parse_delivery_mode("passthru");
+    }
+
+    #[test]
     fn passthrough_preserves_submit_order() {
         let e = engine(
             2,
@@ -1506,7 +1547,16 @@ mod tests {
         );
         assert!(CrashPlan::parse("").unwrap().is_none());
         assert!(CrashPlan::parse("1@1s").unwrap().iter().next().is_some());
-        for bad in ["nope", "1", "@40ms", "x@40ms", "1@msg", "1@40parsecs", "1@40ms..x", "1@2ms..0ns"] {
+        for bad in [
+            "nope",
+            "1",
+            "@40ms",
+            "x@40ms",
+            "1@msg",
+            "1@40parsecs",
+            "1@40ms..x",
+            "1@2ms..0ns",
+        ] {
             assert!(CrashPlan::parse(bad).is_err(), "{bad:?} must not parse");
         }
     }

@@ -65,8 +65,7 @@ fn sor_crash_case(nodes: usize, seed: u64, trigger: CrashTrigger) {
     let (rows, cols, iters) = (20, 12, 3);
     let reference = sor::serial(rows, cols, iters);
     let mut params = sor::SorParams::small(rows, cols, iters, nodes);
-    params.engine =
-        EngineConfig::seeded(seed).with_faults(crash(victim(nodes, seed), trigger));
+    params.engine = EngineConfig::seeded(seed).with_faults(crash(victim(nodes, seed), trigger));
     params.detect = Some(DETECT);
     params.retransmit_pacing = Some(PACING);
     params.watchdog = Some(WATCHDOG);
@@ -112,8 +111,7 @@ fn matmul_crash_case(nodes: usize, seed: u64, trigger: CrashTrigger) {
     let n = 16;
     let reference = matmul::serial(n);
     let mut params = matmul::MatmulParams::small(n, nodes);
-    params.engine =
-        EngineConfig::seeded(seed).with_faults(crash(victim(nodes, seed), trigger));
+    params.engine = EngineConfig::seeded(seed).with_faults(crash(victim(nodes, seed), trigger));
     params.detect = Some(DETECT);
     params.retransmit_pacing = Some(PACING);
     params.watchdog = Some(WATCHDOG);

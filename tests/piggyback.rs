@@ -6,9 +6,11 @@
 //! Seeds include adversarial delay/reorder injection, the load that exposed
 //! every protocol race the earlier PRs fixed.
 
+use std::time::{Duration, Instant};
+
 use munin::apps::{matmul, sor, tsp};
-use munin::sim::{CostModel, EngineConfig, FaultPlan};
-use munin::AccessMode;
+use munin::sim::{CostModel, CrashSpec, CrashTrigger, EngineConfig, FaultPlan};
+use munin::{AccessMode, MuninError};
 
 /// Same adversarial plan as the stress suite: 20% of messages get up to
 /// 20 µs of extra virtual latency or jitter.
@@ -33,10 +35,11 @@ fn sor_piggyback_is_bit_identical_and_strictly_cheaper_across_16_seeds() {
             off.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             "SOR grids diverged between piggyback on/off under seed {seed}"
         );
-        // Messages drop strictly. (Bytes are *not* asserted: a relayed
-        // bundle's payload transits twice — flusher to barrier owner, owner
-        // to destination — so the byte total can rise while the message
-        // count falls; see DESIGN.md "Carrier layer" for the trade-off.)
+        // Messages drop strictly. Bytes are asserted only on the 16-node
+        // page-aligned instance below: at this small scale the per-seed
+        // payload mix is too noisy for a tight ratio, but the adaptive
+        // relay threshold (`MUNIN_RELAY_MAX_BYTES`) bounds the double-transit
+        // cost there to <= 1.1x piggyback-off.
         assert!(
             on_msgs < off_msgs,
             "piggybacking must strictly reduce SOR messages (seed {seed}: {on_msgs} vs {off_msgs})"
@@ -108,25 +111,53 @@ fn tsp_piggyback_is_result_identical_across_16_seeds() {
 }
 
 /// The headline acceptance criterion: at 16 nodes, SOR's total protocol
-/// message count drops by at least 20% with piggybacking on, with
-/// bit-identical results — in both access-detection modes.
+/// message count drops by at least 20% with piggybacking on AND total bytes
+/// stay within 1.1x of piggyback-off, with bit-identical results — in both
+/// access-detection modes. The byte bound is what the adaptive relay
+/// threshold buys back: before it, the relay's double transit (flusher →
+/// barrier owner → destination) cost ~1.5x bytes for the message savings.
 fn assert_16_node_sor_saving(access_mode: AccessMode) {
-    let (on, on_msgs, _) = sor_run_16(true, access_mode);
-    let (off, off_msgs, _) = sor_run_16(false, access_mode);
+    let (on, on_m) = sor_run_16(true, access_mode);
+    let (off, off_m) = sor_run_16(false, access_mode);
     assert_eq!(
         on.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
         off.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
         "16-node SOR grids diverged between piggyback on/off"
     );
+    let (on_msgs, off_msgs) = (on_m.engine.messages_sent, off_m.engine.messages_sent);
     let drop = 1.0 - on_msgs as f64 / off_msgs as f64;
     assert!(
         drop >= 0.20,
         "16-node SOR must shed >= 20% of its messages ({on_msgs} vs {off_msgs}, drop {:.1}%)",
         drop * 100.0
     );
+    let ratio = on_m.engine.bytes_sent as f64 / off_m.engine.bytes_sent as f64;
+    assert!(
+        ratio <= 1.1,
+        "16-node SOR bytes must stay within 1.1x of piggyback-off ({} vs {}, ratio {ratio:.3})",
+        on_m.engine.bytes_sent,
+        off_m.engine.bytes_sent
+    );
+    // The threshold mechanism is live: page-scale payloads were bypassed
+    // direct-to-destination instead of riding the relay twice...
+    assert!(
+        on_m.stats.relay_bypassed_bytes > 0,
+        "page-scale SOR payloads should trip the relay size threshold"
+    );
+    // ...and owner-authoritative copyset elision retired broadcast
+    // determination rounds for the flusher-owned boundary pages.
+    assert!(
+        on_m.net.class("copyset_query").msgs < off_m.net.class("copyset_query").msgs,
+        "piggybacking must elide owned-object determination broadcasts ({} vs {})",
+        on_m.net.class("copyset_query").msgs,
+        off_m.net.class("copyset_query").msgs
+    );
 }
 
-fn sor_run_16(piggyback: bool, access_mode: AccessMode) -> (Vec<f64>, u64, u64) {
+fn sor_run_16(
+    piggyback: bool,
+    access_mode: AccessMode,
+) -> (Vec<f64>, munin::apps::measure::RunMeasurement) {
     // Page-aligned sections like the paper's instance (1024x512 over 8 KB
     // pages): each worker's band is exactly one 512-byte page (4 rows x
     // 16 cols x 8 bytes), so every flushed page has a single writer that
@@ -138,7 +169,7 @@ fn sor_run_16(piggyback: bool, access_mode: AccessMode) -> (Vec<f64>, u64, u64) 
     params.piggyback = piggyback;
     params.access_mode = access_mode;
     let (m, grid) = sor::run_munin(params, CostModel::fast_test()).unwrap();
-    (grid, m.engine.messages_sent, m.engine.bytes_sent)
+    (grid, m)
 }
 
 #[test]
@@ -187,4 +218,90 @@ fn per_class_engine_counts_reflect_the_carrier_framing() {
     // The kind breakdown sums to the total.
     let sum: u64 = on.engine.per_class.values().map(|v| v.msgs).sum();
     assert_eq!(sum, on.engine.messages_sent);
+}
+
+/// The carrier layer under a lossy wire: with 1% seeded message loss and the
+/// reliability transport on, piggyback on/off must still produce
+/// bit-identical grids across 16 seeds, with zero watchdog stalls — lost
+/// carriers (and the relay bundles riding them) are retransmitted like any
+/// other frame, and a dropped `RelayFanout`/`RelayForward` must not wedge
+/// the origin's ack loop.
+#[test]
+fn sor_piggyback_survives_one_percent_loss_across_16_seeds() {
+    let lossy = |seed: u64, piggyback: bool| {
+        let mut params = sor::SorParams::small(20, 12, 3, 4);
+        params.engine = EngineConfig::seeded(seed).with_faults(STRESS_FAULTS.with_loss(10_000));
+        params.piggyback = piggyback;
+        params.reliability = Some(true);
+        params.retransmit_pacing = Some(Duration::from_millis(1));
+        params.watchdog = Some(Duration::from_secs(25));
+        let (m, grid) = sor::run_munin(params, CostModel::fast_test()).unwrap();
+        assert_eq!(
+            m.stats.watchdog_stalls, 0,
+            "lossy run stalled (seed {seed}, piggyback {piggyback})"
+        );
+        grid
+    };
+    for seed in 0..16u64 {
+        let on = lossy(seed, true);
+        let off = lossy(seed, false);
+        assert_eq!(
+            on.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            off.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "lossy SOR grids diverged between piggyback on/off under seed {seed}"
+        );
+    }
+}
+
+/// Crash during a barrier relay: the barrier owner dies while it may still
+/// be holding relay bundles stashed for re-attachment to releases (and, as
+/// the root, it homes every object). The terminate-correct-or-NodeDown
+/// contract of `tests/crash.rs` must hold with piggybacking on: the run
+/// either completes with exact results (crash landed after the protocol
+/// finished) or fails fast with a structured `NodeDown` — never a hang or a
+/// watchdog stall.
+#[test]
+fn crash_during_barrier_relay_terminates_or_fails_fast() {
+    let (rows, cols, iters, nodes) = (20, 12, 3, 8);
+    let reference = sor::serial(rows, cols, iters);
+    for trigger in [CrashTrigger::VirtTime(600_000), CrashTrigger::MsgCount(120)] {
+        let mut params = sor::SorParams::small(rows, cols, iters, nodes);
+        params.engine =
+            EngineConfig::seeded(3).with_faults(FaultPlan::none().with_crash(CrashSpec {
+                node: 0, // the barrier owner, holding undistributed bundles
+                trigger,
+                until_ns: 0,
+            }));
+        params.piggyback = true;
+        params.detect = Some(Duration::from_millis(300));
+        params.retransmit_pacing = Some(Duration::from_millis(1));
+        params.watchdog = Some(Duration::from_secs(25));
+        let start = Instant::now();
+        let outcome = sor::run_munin(params, CostModel::fast_test());
+        let wall = start.elapsed();
+        assert!(
+            wall < Duration::from_secs(20),
+            "{trigger:?}: crash-during-relay run took {wall:?} — must resolve \
+             via detection, not a watchdog crawl"
+        );
+        match outcome {
+            Ok((_m, grid)) => {
+                let max_err = grid
+                    .iter()
+                    .zip(&reference)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                assert!(
+                    max_err < 1e-12,
+                    "{trigger:?}: run completed but diverged (max error {max_err})"
+                );
+            }
+            Err(MuninError::NodeDown { node, .. }) => {
+                assert!(node.as_usize() < nodes, "NodeDown blames nonexistent node");
+            }
+            Err(other) => {
+                panic!("{trigger:?}: expected completion or NodeDown, got {other:?}")
+            }
+        }
+    }
 }

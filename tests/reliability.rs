@@ -117,12 +117,7 @@ fn sor_loss_vs_clean(seed: u64, loss_ppm: u32, procs: usize) -> (u64, u64) {
 /// [`sor_loss_vs_clean`] with a selectable access-detection mode, so the
 /// loss-recovery contract is also proven over real `mprotect`/`SIGSEGV`
 /// write traps.
-fn sor_loss_vs_clean_mode(
-    seed: u64,
-    loss_ppm: u32,
-    procs: usize,
-    mode: AccessMode,
-) -> (u64, u64) {
+fn sor_loss_vs_clean_mode(seed: u64, loss_ppm: u32, procs: usize, mode: AccessMode) -> (u64, u64) {
     let (rows, cols, iters) = (32, 12, 3);
     let run = |ppm: u32| {
         let mut p = sor::SorParams::small(rows, cols, iters, procs);
