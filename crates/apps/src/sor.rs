@@ -72,6 +72,11 @@ pub struct SorParams {
     /// Overrides the adaptive-relay size threshold
     /// (`MUNIN_RELAY_MAX_BYTES`); `None` keeps the config default / env.
     pub relay_max_bytes: Option<u64>,
+    /// Overrides the barrier combining-tree fan-in
+    /// (`MUNIN_BARRIER_FANOUT`): `Some(k)` forces a k-ary tree,
+    /// `Some(usize::MAX)` forces flat, `None` keeps the auto policy (tree
+    /// at 32 nodes and up).
+    pub barrier_fanout: Option<usize>,
 }
 
 impl SorParams {
@@ -94,6 +99,7 @@ impl SorParams {
             flight_events: None,
             detect: None,
             relay_max_bytes: None,
+            barrier_fanout: None,
         }
     }
 
@@ -116,6 +122,7 @@ impl SorParams {
             flight_events: None,
             detect: None,
             relay_max_bytes: None,
+            barrier_fanout: None,
         }
     }
 }
@@ -220,6 +227,9 @@ pub fn run_munin(
     }
     if let Some(t) = params.relay_max_bytes {
         cfg = cfg.with_relay_max_bytes(t);
+    }
+    if let Some(k) = params.barrier_fanout {
+        cfg = cfg.with_barrier_fanout(k);
     }
     let mut prog = MuninProgram::new(cfg);
     let matrix = prog.declare::<f64>("matrix", rows * cols, SharingAnnotation::ProducerConsumer);

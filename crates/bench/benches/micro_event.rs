@@ -1,11 +1,14 @@
 //! Criterion microbenchmarks of the discrete-event delivery engine: wall
 //! clock per message through the virtual-time scheduler, compared against the
 //! legacy passthrough (raw FIFO) mode, the pure submit/drain heap cost, and a
-//! scaling story: contended all-to-all submit/drain and concurrent ping-pong
-//! pairs at 2/8/16/32 nodes. The scaling benches are the ones that expose
-//! engine-level lock contention — with a single global engine lock every send
-//! and receive in the cluster serializes; with per-destination shards only
-//! same-destination traffic does.
+//! scaling story: contended all-to-all submit/drain at 2–128 nodes and
+//! concurrent ping-pong pairs at 8–256 nodes. The scaling benches are the
+//! ones that expose engine-level lock contention — with a single global
+//! engine lock every send and receive in the cluster serializes; with
+//! per-destination shards only same-destination traffic does. The 64+ sizes
+//! oversubscribe the 1-core measurement host on purpose: they measure the
+//! engine's behaviour under heavy thread multiplexing, which is exactly what
+//! a 256-node simulated cluster does to it.
 //!
 //! Refresh the committed baseline with:
 //! `BENCH_JSON_OUT=BENCH_sim.json cargo bench -p munin-bench --bench micro_event`
@@ -260,10 +263,10 @@ fn bench_event(c: &mut Criterion) {
     bench_pingpong(c, DeliveryMode::VirtualTime, "virtual_time");
     bench_pingpong(c, DeliveryMode::Passthrough, "passthrough");
     bench_submit_drain(c);
-    for nodes in [2, 8, 16, 32] {
+    for nodes in [2, 8, 16, 32, 64, 128] {
         bench_alltoall(c, nodes);
     }
-    for nodes in [8, 16, 32] {
+    for nodes in [8, 16, 32, 64, 128, 256] {
         bench_pingpong_contended(c, nodes);
     }
 }

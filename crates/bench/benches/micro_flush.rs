@@ -1,7 +1,7 @@
 //! Microbenchmark of the release-flush path and the carrier/outbox layer's
 //! message economy.
 //!
-//! Two things are measured:
+//! Three things are measured:
 //!
 //! * **Wall clock** of a complete SOR run (criterion groups), with the
 //!   carrier layer on and off — the piggyback path must not cost host time.
@@ -9,15 +9,26 @@
 //!   per release (DUQ flush) at 2/8/16 nodes, piggyback on vs off. These
 //!   counts are printed on every run and are the source of the committed
 //!   `BENCH_msg.json` baseline.
+//! * **Scaling curves** at 64/128/256 nodes: the same message-economy table
+//!   continued into combining-tree territory (the auto policy switches the
+//!   barriers from flat to a k=8 tree at 32 nodes), plus a barrier-latency
+//!   sweep comparing the flat owner-collected path against trees of fan-in
+//!   k ∈ {2, 4, 8, 16}. Message/byte counts, owner ingress, and virtual-time
+//!   spans are the honest metrics here — they are schedule-deterministic per
+//!   seed; wall-clock rows from the 1-core measurement host carry the usual
+//!   caveat. These tables are the source of the committed `BENCH_scale.json`
+//!   baseline.
 //!
-//! Refresh the committed baseline with:
-//! `cargo bench -p munin-bench --bench micro_flush` (copy the printed table).
+//! Refresh the committed baselines with:
+//! `cargo bench -p munin-bench --bench micro_flush` (copy the printed
+//! tables into `BENCH_msg.json` / `BENCH_scale.json`).
 //!
 //! CI runs this bench with `-- --quick` as a smoke test.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use munin_apps::sor::{self, SorParams};
-use munin_sim::{CostModel, EngineConfig};
+use munin_core::copyset::CopySet;
+use munin_sim::{CostModel, EngineConfig, NodeId};
 use std::time::Duration;
 
 /// A page-aligned SOR instance (each worker's band is exactly one 512-byte
@@ -107,8 +118,135 @@ fn report_threshold_sweep() {
     }
 }
 
+/// One wide-cluster run with an explicit barrier fan-out override. Returns
+/// (messages, bytes, owner ingress, virtual elapsed ms). `fanout` follows
+/// `MUNIN_BARRIER_FANOUT` semantics: `Some(usize::MAX)` forces flat,
+/// `Some(k)` forces a k-ary tree, `None` keeps the auto policy (tree, k = 8,
+/// at 32 nodes and up).
+fn scale_run(
+    nodes: usize,
+    iterations: usize,
+    piggyback: bool,
+    fanout: Option<usize>,
+) -> (u64, u64, u64, f64) {
+    let mut p = params(nodes, iterations, piggyback, None);
+    p.barrier_fanout = fanout;
+    let (m, _grid) = sor::run_munin(p, CostModel::fast_test()).expect("SOR run");
+    (
+        m.engine.messages_sent,
+        m.engine.bytes_sent,
+        m.stats.barrier_owner_ingress,
+        m.elapsed.as_millis_f64(),
+    )
+}
+
+/// All-node barrier episodes in one SOR run: the internal start barrier, one
+/// `copied` wait after init, then a `computed` and a `copied` per iteration.
+fn episodes(iterations: usize) -> u64 {
+    2 * iterations as u64 + 2
+}
+
+/// Message-economy scaling curve into combining-tree territory: 64/128/256
+/// nodes under the auto barrier policy (tree, k = 8), piggyback on vs off.
+/// Fewer iterations than the small-cluster table (4 vs 12) keep the
+/// 256-thread runs quick; the per-release columns stay comparable.
+fn report_scaling() {
+    const ITERS: usize = 4;
+    eprintln!(
+        "micro_flush scaling curve (SOR, auto barrier policy = tree k=8, {ITERS} iterations):"
+    );
+    eprintln!(
+        "{:>6} {:>10} {:>12} {:>12} {:>10} {:>12}",
+        "nodes", "mode", "messages", "bytes", "drop", "virt_ms"
+    );
+    for nodes in [64usize, 128, 256] {
+        let (off_msgs, off_bytes, _, off_ms) = scale_run(nodes, ITERS, false, None);
+        let (on_msgs, on_bytes, _, on_ms) = scale_run(nodes, ITERS, true, None);
+        for (label, msgs, bytes, ms, drop) in [
+            ("off", off_msgs, off_bytes, off_ms, 0.0),
+            (
+                "on",
+                on_msgs,
+                on_bytes,
+                on_ms,
+                100.0 * (1.0 - on_msgs as f64 / off_msgs as f64),
+            ),
+        ] {
+            eprintln!("{nodes:>6} {label:>10} {msgs:>12} {bytes:>12} {drop:>9.1}% {ms:>12.3}");
+        }
+    }
+}
+
+/// Barrier-latency sweep: flat owner collection vs combining trees of fan-in
+/// k ∈ {2, 4, 8, 16} at 64/128/256 nodes. The owner-ingress column is the
+/// tree's whole point — N arrivals per episode flat, k combines per episode
+/// tree — and the virtual-time span shows what the serialized owner
+/// service cost does to the critical path at scale.
+fn report_barrier_sweep() {
+    const ITERS: usize = 4;
+    eprintln!(
+        "micro_flush barrier sweep (SOR, piggyback on, {ITERS} iterations, {} episodes):",
+        episodes(ITERS)
+    );
+    eprintln!(
+        "{:>6} {:>8} {:>10} {:>14} {:>12} {:>12} {:>12}",
+        "nodes", "barrier", "ingress", "ingress/ep", "messages", "bytes", "virt_ms"
+    );
+    for nodes in [64usize, 128, 256] {
+        for fanout in [usize::MAX, 2, 4, 8, 16] {
+            let (msgs, bytes, ingress, ms) = scale_run(nodes, ITERS, true, Some(fanout));
+            let label = if fanout == usize::MAX {
+                "flat".to_string()
+            } else {
+                format!("k={fanout}")
+            };
+            eprintln!(
+                "{nodes:>6} {label:>8} {ingress:>10} {:>14.1} {msgs:>12} {bytes:>12} {ms:>12.3}",
+                ingress as f64 / episodes(ITERS) as f64,
+            );
+        }
+    }
+}
+
+/// Before/after row for the copyset member walk on wide clusters: the old
+/// call sites collected `members()` into a fresh `Vec<NodeId>` per fan-out;
+/// the audited hot paths drive the allocation-free `iter()` directly.
+fn bench_copyset_iter(c: &mut Criterion) {
+    const NODES: usize = 256;
+    // Every other node holds a copy — a wide (128-member) set where the
+    // per-walk allocation is at its most visible.
+    let set = CopySet::from_nodes((0..NODES).step_by(2).map(NodeId::new));
+    let exclude = Some(NodeId::new(0));
+    let mut group = c.benchmark_group("copyset");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(15);
+    group.bench_function("wide_walk_256/members_alloc", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for n in set.members(NODES, exclude) {
+                acc += n.as_usize();
+            }
+            acc
+        });
+    });
+    group.bench_function("wide_walk_256/iter", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for n in set.iter(NODES, exclude) {
+                acc += n.as_usize();
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
 fn bench_flush(c: &mut Criterion) {
     report_message_economy();
+    report_scaling();
+    report_barrier_sweep();
     let mut group = c.benchmark_group("flush");
     group
         .measurement_time(Duration::from_secs(2))
@@ -123,8 +261,25 @@ fn bench_flush(c: &mut Criterion) {
             });
         });
     }
+    // Wall clock at 128 nodes, flat vs tree. On the 1-core measurement host
+    // this mostly tracks host-level scheduling of 128 worker threads, not
+    // protocol latency — the virtual-time columns above are the honest
+    // scaling metric; this row just guards against the tree path costing
+    // host time.
+    for (label, fanout) in [("flat", usize::MAX), ("tree_k8", 8)] {
+        group.bench_function(format!("sor_128node/{label}"), |b| {
+            b.iter(|| {
+                let mut p = params(128, 2, true, None);
+                p.barrier_fanout = Some(fanout);
+                let (m, grid) = sor::run_munin(p, CostModel::fast_test()).unwrap();
+                criterion::black_box((m.elapsed, grid))
+            });
+        });
+    }
     group.finish();
 }
 
+criterion_group!(copyset_benches, bench_copyset_iter);
+
 criterion_group!(benches, bench_flush);
-criterion_main!(benches);
+criterion_main!(benches, copyset_benches);

@@ -39,6 +39,7 @@ pub mod directory;
 pub mod duq;
 pub mod error;
 pub mod msg;
+pub mod nodeset;
 pub mod object;
 pub mod obs;
 pub mod runtime;
@@ -53,6 +54,7 @@ pub use config::{
     watchdog_from_env, AccessMode, CopysetStrategy, MuninConfig,
 };
 pub use error::{MuninError, Result, StallReport};
+pub use nodeset::NodeSet;
 pub use object::{ObjectId, VarId, DEFAULT_PAGE_SIZE};
 pub use obs::{EventKind, LatencyHist, ObsEvent, ObsSnapshot};
 pub use stats::MuninStatsSnapshot;

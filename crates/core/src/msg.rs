@@ -12,6 +12,7 @@ use munin_sim::NodeId;
 
 use crate::copyset::CopySet;
 use crate::diff::Diff;
+use crate::nodeset::NodeSet;
 use crate::object::ObjectId;
 use crate::sync::{BarrierId, LockId};
 
@@ -325,6 +326,37 @@ pub enum DsmMsg {
         /// The barrier.
         barrier: BarrierId,
     },
+    /// Combining-tree barrier: an interior node's upward report that every
+    /// member of `arrived` has reached the barrier. Sent to the node's
+    /// current tree parent once its own arrival plus all of its live
+    /// children's reports are in. Carries the full arrived set (not a count)
+    /// so re-sends after a re-parent merge idempotently at the new parent.
+    BarrierCombine {
+        /// The barrier.
+        barrier: BarrierId,
+        /// The reporting subtree root.
+        from: NodeId,
+        /// The barrier episode this report belongs to: the sender's
+        /// completed-episode count plus one. A receiver that has already
+        /// finished that episode answers with a direct
+        /// [`DsmMsg::BarrierTreeRelease`] instead of re-counting.
+        gen: u64,
+        /// Every node in the sender's subtree known to have arrived
+        /// (including the sender itself).
+        arrived: NodeSet,
+    },
+    /// Combining-tree barrier: the downward release, forwarded along the
+    /// tree edges from the owner. Each interior node re-forwards to its
+    /// children and then routes a plain [`DsmMsg::BarrierRelease`] to its
+    /// own user thread, so the waiting side is identical for flat and tree
+    /// barriers.
+    BarrierTreeRelease {
+        /// The barrier.
+        barrier: BarrierId,
+        /// The episode being released (matches the triggering combine's
+        /// `gen`); duplicates for already-completed episodes are dropped.
+        gen: u64,
+    },
     /// A worker's user thread finished its work (sent to the root).
     WorkerDone {
         /// The finished node.
@@ -436,6 +468,8 @@ impl DsmMsg {
             DsmMsg::LockGrant { .. } => "lock_grant",
             DsmMsg::BarrierArrive { .. } => "barrier_arrive",
             DsmMsg::BarrierRelease { .. } => "barrier_release",
+            DsmMsg::BarrierCombine { .. } => "barrier_combine",
+            DsmMsg::BarrierTreeRelease { .. } => "barrier_tree_release",
             DsmMsg::WorkerDone { .. } => "worker_done",
             DsmMsg::Shutdown => "shutdown",
             // A carrier is classed as the message it frames, so per-class
@@ -485,6 +519,10 @@ impl DsmMsg {
             DsmMsg::LockAcquire { .. } => 8,
             DsmMsg::LockGrant { queue, .. } => 8 + 4 * queue.len() as u64,
             DsmMsg::BarrierArrive { .. } | DsmMsg::BarrierRelease { .. } => 8,
+            // Barrier id + from + gen, plus the arrived bitmap (only the
+            // words up to the highest set bit travel).
+            DsmMsg::BarrierCombine { arrived, .. } => 16 + 8 * arrived.word_span() as u64,
+            DsmMsg::BarrierTreeRelease { .. } => 12,
             DsmMsg::WorkerDone { .. } | DsmMsg::Shutdown => 4,
             // One header for the whole frame: the inner message and every
             // piggybacked bundle share it — that is the wire saving the
@@ -803,6 +841,41 @@ mod tests {
         assert_eq!(fanout.class(), "relay_fanout");
         assert_eq!(forward.class(), "relay_forward");
         assert_eq!(ack.class(), "relay_fanout_ack");
+    }
+
+    #[test]
+    fn tree_barrier_messages_are_service_requests_with_pinned_sizes() {
+        use crate::nodeset::NodeSet;
+        let combine = DsmMsg::BarrierCombine {
+            barrier: BarrierId(0),
+            from: NodeId::new(9),
+            gen: 1,
+            arrived: NodeSet::from_nodes([NodeId::new(9), NodeId::new(10)]),
+        };
+        // 16 bytes of framing + one 8-byte bitmap word for nodes < 64.
+        assert_eq!(combine.model_bytes(), HEADER_BYTES + 16 + 8);
+        assert_eq!(combine.class(), "barrier_combine");
+        assert!(!combine.is_user_reply());
+
+        // A 256-node subtree report still ships only 4 bitmap words.
+        let wide = DsmMsg::BarrierCombine {
+            barrier: BarrierId(0),
+            from: NodeId::new(0),
+            gen: 1,
+            arrived: NodeSet::full(256),
+        };
+        assert_eq!(wide.model_bytes(), HEADER_BYTES + 16 + 8 * 4);
+
+        let release = DsmMsg::BarrierTreeRelease {
+            barrier: BarrierId(0),
+            gen: 1,
+        };
+        assert_eq!(release.model_bytes(), HEADER_BYTES + 12);
+        assert_eq!(release.class(), "barrier_tree_release");
+        // The tree release is forwarded by the service loop, which routes a
+        // plain BarrierRelease to its own user thread; only that one is a
+        // user reply.
+        assert!(!release.is_user_reply());
     }
 
     #[test]

@@ -351,7 +351,7 @@ impl NodeRuntime {
                 // the remaining replicas and upgrade in place.
                 entry.state.busy = true;
                 Plan::UpgradeInPlace {
-                    copyset: entry.copyset,
+                    copyset: entry.copyset.clone(),
                 }
             } else {
                 entry.state.busy = true;
@@ -462,7 +462,7 @@ impl NodeRuntime {
         // — triggers a recovery round that re-establishes a live owner or
         // proves the object lost. Already-dead peers are signalled on the
         // first wait, covering a fetch sent straight to a corpse.
-        let mut handled = 0u64;
+        let mut handled = crate::nodeset::NodeSet::EMPTY;
         let (env, reply) = loop {
             match self.wait_reply_or_dead(crate::runtime::WaitOp::Fetch(object), &mut handled) {
                 Ok(reply) => break reply,
@@ -510,7 +510,7 @@ impl NodeRuntime {
             self.set_entry_rights(entry, rights);
             entry.state.owned = ownership;
             if ownership {
-                entry.copyset = copyset;
+                entry.copyset = copyset.clone();
                 entry.probable_owner = self.node;
             } else {
                 entry.probable_owner = env.src;
@@ -551,11 +551,7 @@ impl NodeRuntime {
             self,
             "orphan recovery for {object:?} after death of {dead:?}"
         );
-        let alive = self.dead_bitmap();
-        let mut pending: Vec<NodeId> = (0..self.nodes)
-            .filter(|i| *i != self.node.as_usize() && alive & (1u64 << i) == 0)
-            .map(NodeId::new)
-            .collect();
+        let mut pending: Vec<NodeId> = self.live_peers().iter().collect();
         let shared: std::sync::Arc<[ObjectId]> = std::sync::Arc::from(vec![object]);
         for peer in &pending {
             add(&self.stats.copyset_query_msgs, 1);
@@ -571,7 +567,7 @@ impl NodeRuntime {
         let mut data_reply = None;
         // Deaths already signalled to the caller must not end this round
         // early, but a peer dying *mid-round* counts as its (empty) reply.
-        let mut handled = self.dead_bitmap();
+        let mut handled = self.dead_set();
         while !pending.is_empty() {
             match self.wait_reply_or_dead(crate::runtime::WaitOp::Fetch(object), &mut handled) {
                 Ok((env, DsmMsg::CopysetReply { have })) => {
@@ -651,7 +647,7 @@ impl NodeRuntime {
             )?;
         }
         let mut acked: Vec<NodeId> = Vec::new();
-        let mut handled = 0u64;
+        let mut handled = crate::nodeset::NodeSet::EMPTY;
         while acked.len() < members.len() {
             match self
                 .wait_reply_or_dead(crate::runtime::WaitOp::InvalidateAcks(object), &mut handled)

@@ -27,6 +27,7 @@ use crate::directory::AccessRights;
 use crate::duq::DuqEntry;
 use crate::error::{MuninError, Result};
 use crate::msg::{DsmMsg, UpdateItem, UpdatePayload};
+use crate::nodeset::NodeSet;
 use crate::object::ObjectId;
 use crate::stats::{add, bump};
 
@@ -48,7 +49,9 @@ pub(crate) struct FlushRoute {
     /// piggybacking whose copyset is not fixed; such entries skip copyset
     /// determination entirely and ignore `destinations`.
     pub(crate) coop_owner: Option<NodeId>,
-    pub(crate) destinations: Vec<NodeId>,
+    /// Fan-out destination set (already excludes this node). A bitmap, not a
+    /// materialized list: flush paths iterate it in place.
+    pub(crate) destinations: NodeSet,
 }
 
 /// How a flush dispatches its updates through the carrier/outbox layer.
@@ -90,7 +93,7 @@ enum Dispatch {
 
 /// Replaces a route's destinations (used by the encode paths that resolve to
 /// "nothing to send" after applying their state transitions).
-fn route_with(route: FlushRoute, destinations: Vec<NodeId>) -> FlushRoute {
+fn route_with(route: FlushRoute, destinations: NodeSet) -> FlushRoute {
     FlushRoute {
         destinations,
         ..route
@@ -277,9 +280,9 @@ impl NodeRuntime {
             if route.coop_owner.is_some() {
                 continue;
             }
-            for dest in &route.destinations {
-                if classify(mode, route, *dest) == Dispatch::Immediate {
-                    *remaining.entry(*dest).or_default() += 1;
+            for dest in route.destinations.iter() {
+                if classify(mode, route, dest) == Dispatch::Immediate {
+                    *remaining.entry(dest).or_default() += 1;
                 }
             }
         }
@@ -337,7 +340,7 @@ impl NodeRuntime {
         // Fan-out payloads are retained (cheap: the buffers are `Arc`-shared)
         // until the ack round completes, so updates can be re-sent to copyset
         // members the owner reports as missed.
-        let mut fanout: HashMap<ObjectId, (UpdatePayload, Vec<NodeId>)> = HashMap::new();
+        let mut fanout: HashMap<ObjectId, (UpdatePayload, NodeSet)> = HashMap::new();
         let mut expected_acks = 0usize;
         // Outstanding acks per destination: when a destination is confirmed
         // dead mid-round, its share of `expected_acks` is written off.
@@ -389,12 +392,7 @@ impl NodeRuntime {
                                   expected_acks: &mut usize,
                                   outstanding: &mut BTreeMap<NodeId, usize>|
          -> Result<()> {
-            let dead = rt.dead_bitmap();
-            for i in 0..rt.nodes {
-                let peer = NodeId::new(i);
-                if peer == rt.node || dead & (1u64 << i) != 0 {
-                    continue;
-                }
+            for peer in rt.live_peers().iter() {
                 send_update(rt, peer, items.clone(), expected_acks, outstanding)?;
             }
             Ok(())
@@ -410,29 +408,29 @@ impl NodeRuntime {
                     });
                 } else {
                     let mut any_immediate = false;
-                    for dest in &route.destinations {
+                    for dest in route.destinations.iter() {
                         let item = UpdateItem {
                             object,
                             payload: payload.clone(),
                         };
-                        match classify(mode, &route, *dest) {
+                        match classify(mode, &route, dest) {
                             Dispatch::Immediate => {
                                 any_immediate = true;
-                                pending.entry(*dest).or_default().push(item);
+                                pending.entry(dest).or_default().push(item);
                             }
                             Dispatch::Relay => {
-                                if bypass(self, *dest, item.payload.model_bytes()) {
+                                if bypass(self, dest, item.payload.model_bytes()) {
                                     // Too big to pay the double transit:
                                     // sent directly (via the catch-all
                                     // below), acknowledged like any other
                                     // sequenced update.
                                     any_immediate = true;
-                                    pending.entry(*dest).or_default().push(item);
+                                    pending.entry(dest).or_default().push(item);
                                 } else {
-                                    relay.entry(*dest).or_default().push(item);
+                                    relay.entry(dest).or_default().push(item);
                                 }
                             }
-                            Dispatch::Buffer => buffered.entry(*dest).or_default().push(item),
+                            Dispatch::Buffer => buffered.entry(dest).or_default().push(item),
                         }
                     }
                     if route.fans_out && any_immediate {
@@ -445,17 +443,17 @@ impl NodeRuntime {
             if pre_route.coop_owner.is_some() {
                 continue;
             }
-            for dest in &pre_route.destinations {
-                if classify(mode, pre_route, *dest) != Dispatch::Immediate {
+            for dest in pre_route.destinations.iter() {
+                if classify(mode, pre_route, dest) != Dispatch::Immediate {
                     continue;
                 }
                 let rem = remaining
-                    .get_mut(dest)
+                    .get_mut(&dest)
                     .expect("route destinations are all counted");
                 *rem -= 1;
                 if *rem == 0 {
-                    if let Some(items) = pending.remove(dest) {
-                        send_update(self, *dest, items, &mut expected_acks, &mut outstanding)?;
+                    if let Some(items) = pending.remove(&dest) {
+                        send_update(self, dest, items, &mut expected_acks, &mut outstanding)?;
                     }
                 }
             }
@@ -535,7 +533,7 @@ impl NodeRuntime {
         // travel on this node's own lanes, so they can never overtake (or be
         // overtaken by) this node's later flushes.
         let mut acks = 0usize;
-        let mut handled = 0u64;
+        let mut handled = crate::nodeset::NodeSet::EMPTY;
         while acks < expected_acks || !coop_pending.is_empty() {
             let (env, reply) =
                 match self.wait_reply_or_dead(crate::runtime::WaitOp::UpdateAcks, &mut handled) {
@@ -625,9 +623,8 @@ impl NodeRuntime {
                             continue;
                         };
                         let missed: Vec<NodeId> = owner_set
-                            .members(self.nodes, Some(self.node))
-                            .into_iter()
-                            .filter(|m| !sent.contains(m))
+                            .iter(self.nodes, Some(self.node))
+                            .filter(|m| !sent.contains(*m))
                             .collect();
                         if missed.is_empty() {
                             continue;
@@ -646,7 +643,7 @@ impl NodeRuntime {
                                 "heal {object:?} -> {m:?} (owner-reported member missed at determination)"
                             );
                             add(&self.stats.updates_healed, 1);
-                            sent.push(m);
+                            sent.insert(m);
                             heal.entry(m).or_default().push(UpdateItem {
                                 object,
                                 payload: payload.clone(),
@@ -704,7 +701,7 @@ impl NodeRuntime {
             *outstanding.entry(dest).or_default() += 1;
         }
         let mut acks = 0usize;
-        let mut handled = 0u64;
+        let mut handled = crate::nodeset::NodeSet::EMPTY;
         while acks < expected_acks {
             match self.wait_reply_or_dead(crate::runtime::WaitOp::WindowAcks, &mut handled) {
                 // Only owner-flushed items are ever coalesced, so the acks
@@ -742,9 +739,9 @@ impl NodeRuntime {
                 owned: e.state.owned,
                 coop_owner: None,
                 destinations: if e.home == self.node {
-                    Vec::new()
+                    NodeSet::EMPTY
                 } else {
-                    vec![e.home]
+                    NodeSet::from_nodes([e.home])
                 },
             }
         } else {
@@ -769,7 +766,7 @@ impl NodeRuntime {
                 fans_out: true,
                 owned,
                 coop_owner,
-                destinations: e.copyset.members(self.nodes, Some(self.node)),
+                destinations: e.copyset.to_set(self.nodes, Some(self.node)),
             }
         }
     }
@@ -826,7 +823,7 @@ impl NodeRuntime {
             // local copy ("Fl" and the description of Matrix Multiply).
             if home == self.node {
                 // The owner's own changes are already in place.
-                return Ok((None, route_with(route, Vec::new())));
+                return Ok((None, route_with(route, NodeSet::EMPTY)));
             }
             self.set_entry_rights(e, AccessRights::Invalid);
             e.state.owned = false;
@@ -839,7 +836,7 @@ impl NodeRuntime {
             // are made locally writable, their twins are deleted, and they do
             // not generate further access faults."
             self.set_entry_rights(e, AccessRights::ReadWrite);
-            return Ok((None, route_with(route, Vec::new())));
+            return Ok((None, route_with(route, NodeSet::EMPTY)));
         }
         // Write-shared / producer-consumer: keep the copy, re-write-protect so
         // the next write makes a fresh twin.
@@ -863,11 +860,8 @@ impl NodeRuntime {
         self: &Arc<Self>,
         objects: &[ObjectId],
     ) -> Result<HashMap<ObjectId, CopySet>> {
-        let dead = self.dead_bitmap();
-        let mut pending: Vec<NodeId> = (0..self.nodes)
-            .filter(|i| *i != self.node.as_usize() && dead & (1u64 << i) == 0)
-            .map(NodeId::new)
-            .collect();
+        let dead = self.dead_set();
+        let mut pending: Vec<NodeId> = self.live_peers().iter().collect();
         let mut result: HashMap<ObjectId, CopySet> =
             objects.iter().map(|o| (*o, CopySet::EMPTY)).collect();
         if pending.is_empty() {
@@ -928,7 +922,7 @@ impl NodeRuntime {
             for o in objects {
                 let e = dir.entry(*o);
                 if e.state.owned {
-                    result.insert(*o, e.copyset);
+                    result.insert(*o, e.copyset.clone());
                 } else {
                     remote.entry(e.probable_owner).or_default().push(*o);
                 }
@@ -956,7 +950,7 @@ impl NodeRuntime {
             )?;
             pending.insert(owner, objs);
         }
-        let mut handled = self.dead_bitmap();
+        let mut handled = self.dead_set();
         while !pending.is_empty() {
             match self.wait_reply_or_dead(crate::runtime::WaitOp::OwnerCopysetReplies, &mut handled)
             {
@@ -1252,7 +1246,10 @@ mod tests {
         let (payload, route) = rt.encode_entry(entry).unwrap();
         let destinations = route.destinations;
         assert!(route.fans_out && route.owned);
-        assert_eq!(destinations, vec![NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(
+            destinations,
+            NodeSet::from_nodes([NodeId::new(1), NodeId::new(2)])
+        );
         let payload = payload.expect("modified object yields a payload");
         let UpdatePayload::Diff(ref d) = payload else {
             panic!("twin-backed entry must encode a diff, not a full image");

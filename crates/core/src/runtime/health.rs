@@ -49,6 +49,7 @@ use munin_sim::{Envelope, NodeId, VirtTime};
 use crate::config::MuninConfig;
 use crate::error::{MuninError, Result};
 use crate::msg::DsmMsg;
+use crate::nodeset::NodeSet;
 use crate::object::ObjectId;
 use crate::stats::bump;
 use crate::sync::{BarrierId, LockId};
@@ -99,12 +100,6 @@ impl Health {
     pub(crate) fn new(cfg: &MuninConfig, nodes: usize) -> Self {
         let detect = cfg.detection();
         let enabled = detect.is_some() && nodes > 1;
-        // The dead-peer bitmaps (`dead_bitmap`, `wait_reply_or_dead`'s
-        // handled set) are u64s, like `CopySet::Nodes`.
-        assert!(
-            !enabled || nodes <= 64,
-            "failure detection supports up to 64 nodes"
-        );
         let now = Instant::now();
         Health {
             enabled,
@@ -259,13 +254,9 @@ impl NodeRuntime {
             }
         };
         if probe {
-            let dead = self.dead_bitmap();
-            for i in 0..self.nodes {
-                if i == self.node.as_usize() || dead & (1u64 << i) != 0 {
-                    continue;
-                }
+            for peer in self.live_peers().iter() {
                 bump(&self.stats.heartbeats_sent);
-                let _ = self.send(NodeId::new(i), DsmMsg::Heartbeat);
+                let _ = self.send(peer, DsmMsg::Heartbeat);
             }
         }
         self.health_check();
@@ -312,12 +303,8 @@ impl NodeRuntime {
             }
         );
         if !via_gossip {
-            let dead = self.dead_bitmap();
-            for i in 0..self.nodes {
-                if i == self.node.as_usize() || dead & (1u64 << i) != 0 {
-                    continue;
-                }
-                let _ = self.send(NodeId::new(i), DsmMsg::PeerDown { node: peer });
+            for survivor in self.live_peers().iter() {
+                let _ = self.send(survivor, DsmMsg::PeerDown { node: peer });
             }
         }
         let t0 = Instant::now();
@@ -326,36 +313,49 @@ impl NodeRuntime {
             .record_wait("peer_recovery", t0.elapsed().as_nanos() as u64);
     }
 
-    /// Bitmap of confirmed-dead peers (bit *i* set ⇒ node *i* is dead).
-    pub(crate) fn dead_bitmap(&self) -> u64 {
+    /// The set of confirmed-dead peers.
+    pub(crate) fn dead_set(&self) -> NodeSet {
+        let mut dead = NodeSet::EMPTY;
         if !self.health.enabled {
-            return 0;
+            return dead;
         }
         let h = self.health.inner.lock();
-        let mut bits = 0u64;
         for (i, s) in h.status.iter().enumerate() {
             if *s == PeerStatus::Dead {
-                bits |= 1u64 << i;
+                dead.insert(NodeId::new(i));
             }
         }
-        bits
+        dead
+    }
+
+    /// The set of peers not confirmed dead, excluding this node — the
+    /// broadcast fan-out set. With detection off this is simply every other
+    /// node.
+    pub(crate) fn live_peers(&self) -> NodeSet {
+        let mut live = NodeSet::full(self.nodes);
+        live.remove(self.node);
+        if self.health.enabled {
+            live.difference_with(&self.dead_set());
+        }
+        live
     }
 
     /// Whether `peer` has been confirmed dead.
     pub(crate) fn is_peer_dead(&self, peer: NodeId) -> bool {
-        self.dead_bitmap() & (1u64 << peer.as_usize()) != 0
+        if !self.health.enabled {
+            return false;
+        }
+        let h = self.health.inner.lock();
+        h.status
+            .get(peer.as_usize())
+            .is_some_and(|s| *s == PeerStatus::Dead)
     }
 
-    /// The lowest-id dead peer whose bit is not yet set in `handled`, if
-    /// any. `handled` is a per-wait-loop cursor so each death is signalled
-    /// to a blocked operation exactly once.
-    fn next_unhandled_dead(&self, handled: u64) -> Option<NodeId> {
-        let fresh = self.dead_bitmap() & !handled;
-        if fresh == 0 {
-            None
-        } else {
-            Some(NodeId::new(fresh.trailing_zeros() as usize))
-        }
+    /// The lowest-id dead peer not yet in `handled`, if any. `handled` is a
+    /// per-wait-loop cursor so each death is signalled to a blocked
+    /// operation exactly once.
+    fn next_unhandled_dead(&self, handled: &NodeSet) -> Option<NodeId> {
+        self.dead_set().first_not_in(handled)
     }
 
     /// Peers currently suspect or dead, as node indexes (stall forensics).
@@ -375,16 +375,17 @@ impl NodeRuntime {
     /// Like [`NodeRuntime::wait_reply`], but a blocked operation also wakes
     /// when the failure detector confirms a peer dead, via the internal
     /// [`MuninError::PeerDied`] signal. `handled` carries the already-
-    /// signalled deaths across one call site's wait loop (start from 0), so
-    /// each death interrupts the operation once — already-dead peers are
-    /// signalled on the first call, which is what a call site that sent a
-    /// request to a corpse needs. The timeout slices double as detection
-    /// drive: a user thread blocked on a corpse ages the quiet windows
-    /// itself instead of depending on the service thread's timer.
+    /// signalled deaths across one call site's wait loop (start from the
+    /// empty set), so each death interrupts the operation once —
+    /// already-dead peers are signalled on the first call, which is what a
+    /// call site that sent a request to a corpse needs. The timeout slices
+    /// double as detection drive: a user thread blocked on a corpse ages
+    /// the quiet windows itself instead of depending on the service
+    /// thread's timer.
     pub(crate) fn wait_reply_or_dead(
         self: &Arc<Self>,
         op: WaitOp,
-        handled: &mut u64,
+        handled: &mut NodeSet,
     ) -> Result<(Envelope, DsmMsg)> {
         if !self.health.enabled {
             return self.wait_reply(op);
@@ -405,8 +406,8 @@ impl NodeRuntime {
             if let Ok(reply) = self.reply_rx.try_recv() {
                 return done(reply);
             }
-            if let Some(dead) = self.next_unhandled_dead(*handled) {
-                *handled |= 1u64 << dead.as_usize();
+            if let Some(dead) = self.next_unhandled_dead(handled) {
+                handled.insert(dead);
                 return Err(MuninError::PeerDied(dead));
             }
             match self.reply_rx.recv_timeout(WATCHDOG_SLICE) {
@@ -450,18 +451,13 @@ impl NodeRuntime {
                         });
                 }
                 if !e.state.owned && e.probable_owner == dead {
-                    let survivors = e.copyset.members(self.nodes, Some(dead));
+                    let first_survivor = e.copyset.iter(self.nodes, Some(dead)).next();
                     let self_has_copy = e.state.rights.allows_read();
                     let heir = if self_has_copy {
                         // This node's own copy competes for the adoption by id.
-                        Some(
-                            survivors
-                                .first()
-                                .copied()
-                                .map_or(self.node, |n| n.min(self.node)),
-                        )
+                        Some(first_survivor.map_or(self.node, |n| n.min(self.node)))
                     } else {
-                        survivors.first().copied()
+                        first_survivor
                     };
                     match heir {
                         Some(n) if n == self.node => {
@@ -530,6 +526,12 @@ impl NodeRuntime {
         for (id, waiters) in barrier_releases {
             crate::runtime::proto_trace!(self, "barrier {} opens on exclusion of {dead:?}", id.0);
             self.release_barrier_waiters(id, waiters, now);
+        }
+        // Tree barriers re-evaluate on every node: a dead reporting ancestor
+        // means this node's merged report must re-parent to a live one, and
+        // a dead subtree member may complete the subtree right now.
+        if self.cfg.effective_barrier_fanout().is_some() {
+            self.tree_handle_death(dead);
         }
     }
 }

@@ -17,6 +17,7 @@
 //! analogue of the paper's per-entry access-control semaphore) are deferred
 //! and retried once the transition completes.
 
+mod barrier_tree;
 mod fault;
 mod flush;
 mod health;
@@ -500,7 +501,7 @@ impl NodeRuntime {
     pub(crate) fn wait_worker_done_notification(self: &Arc<Self>) -> Result<Option<NodeId>> {
         let start = Instant::now();
         let entered_virt = self.clock.now().as_nanos();
-        let dead_at_entry = self.dead_bitmap();
+        let dead_at_entry = self.dead_set();
         loop {
             match self.done_rx.recv_timeout(WATCHDOG_SLICE) {
                 Ok(from) => {
@@ -512,7 +513,7 @@ impl NodeRuntime {
                 }
                 Err(_) => {
                     self.health_check();
-                    if self.dead_bitmap() != dead_at_entry {
+                    if self.dead_set() != dead_at_entry {
                         return Ok(None);
                     }
                     let waited = start.elapsed();

@@ -113,6 +113,48 @@ impl Outbox {
         self.relay.remove(&(barrier, dest)).unwrap_or_default()
     }
 
+    /// Removes and returns every stashed bundle for `barrier` whose
+    /// destination is *not* in `inside`. A combining-tree interior node
+    /// calls this when forwarding its upward report: bundles leaving its
+    /// static subtree ride the combine; bundles staying inside wait for the
+    /// downward release.
+    pub fn take_relay_outside(
+        &mut self,
+        barrier: BarrierId,
+        inside: &crate::nodeset::NodeSet,
+    ) -> Vec<(NodeId, Vec<CarrierUpdate>)> {
+        self.take_relay_matching(barrier, |dest| !inside.contains(dest))
+    }
+
+    /// Removes and returns every stashed bundle for `barrier` whose
+    /// destination is in `covered`, excluding `except` (whose bundles
+    /// attach directly to its own release as carrier updates). The
+    /// downward-release partition of the tree path.
+    pub fn take_relay_within(
+        &mut self,
+        barrier: BarrierId,
+        covered: &crate::nodeset::NodeSet,
+        except: NodeId,
+    ) -> Vec<(NodeId, Vec<CarrierUpdate>)> {
+        self.take_relay_matching(barrier, |dest| dest != except && covered.contains(dest))
+    }
+
+    fn take_relay_matching(
+        &mut self,
+        barrier: BarrierId,
+        pred: impl Fn(NodeId) -> bool,
+    ) -> Vec<(NodeId, Vec<CarrierUpdate>)> {
+        let keys: Vec<(BarrierId, NodeId)> = self
+            .relay
+            .keys()
+            .filter(|(b, dest)| *b == barrier && pred(*dest))
+            .copied()
+            .collect();
+        keys.into_iter()
+            .map(|k| (k.1, self.relay.remove(&k).unwrap_or_default()))
+            .collect()
+    }
+
     /// Number of stashed relay bundles (tests).
     #[cfg(test)]
     pub fn relay_len(&self) -> usize {
@@ -194,5 +236,43 @@ mod tests {
         // The other barrier's stash is untouched.
         assert_eq!(ob.relay_len(), 1);
         assert!(ob.take_relay(BarrierId(0), NodeId::new(1)).is_empty());
+    }
+
+    /// The tree-path partition: `take_relay_outside` extracts exactly the
+    /// bundles leaving a subtree, `take_relay_within` exactly the covered
+    /// remainder minus the directly-released child, and neither touches the
+    /// other barrier's stash.
+    #[test]
+    fn relay_partitions_split_a_stash_by_destination_set() {
+        use crate::nodeset::NodeSet;
+        let mut ob = Outbox::new();
+        let bundle = |from: usize| CarrierUpdate {
+            from: NodeId::new(from),
+            seq: 0,
+            items: vec![item(0, from as u8)],
+            sync_install: false,
+        };
+        for dest in [1, 2, 5, 6] {
+            ob.stash_relay(BarrierId(0), NodeId::new(dest), bundle(0));
+        }
+        ob.stash_relay(BarrierId(1), NodeId::new(5), bundle(0));
+        let subtree = NodeSet::from_nodes([0, 1, 2].map(NodeId::new));
+        let out = ob.take_relay_outside(BarrierId(0), &subtree);
+        assert_eq!(
+            out.iter().map(|(d, _)| *d).collect::<Vec<_>>(),
+            vec![NodeId::new(5), NodeId::new(6)]
+        );
+        // Inside bundles are still stashed; release to child 1 covering
+        // {1, 2} re-relays only node 2's bundle.
+        let covered = NodeSet::from_nodes([1, 2].map(NodeId::new));
+        let within = ob.take_relay_within(BarrierId(0), &covered, NodeId::new(1));
+        assert_eq!(
+            within.iter().map(|(d, _)| *d).collect::<Vec<_>>(),
+            vec![NodeId::new(2)]
+        );
+        // Child 1's own bundle attaches via take_relay, and barrier 1's
+        // stash never moved.
+        assert_eq!(ob.take_relay(BarrierId(0), NodeId::new(1)).len(), 1);
+        assert_eq!(ob.relay_len(), 1);
     }
 }

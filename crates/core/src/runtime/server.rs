@@ -145,9 +145,8 @@ impl NodeRuntime {
         self.flush_owed_acks();
         // Messages to confirmed-dead peers will never be acked; waiting out
         // the deadline for them would serialize a full second per survivor.
-        for i in 0..self.nodes {
-            let n = NodeId::new(i);
-            if n != self.node && self.is_peer_dead(n) {
+        for n in self.dead_set().iter() {
+            if n != self.node {
                 self.purge_peer_link(n);
             }
         }
@@ -221,6 +220,15 @@ impl NodeRuntime {
             DsmMsg::BarrierArrive { barrier, from } => {
                 self.handle_barrier_arrive(barrier, from, now)
             }
+            DsmMsg::BarrierCombine {
+                barrier,
+                from,
+                gen,
+                arrived,
+            } => self.handle_barrier_combine(env, barrier, from, gen, arrived),
+            DsmMsg::BarrierTreeRelease { barrier, gen } => {
+                self.handle_barrier_tree_release(env, barrier, gen)
+            }
             DsmMsg::Carrier {
                 inner,
                 updates,
@@ -266,7 +274,9 @@ impl NodeRuntime {
         // fault, which is exactly what blocks the bundle).
         let gates_acquire = matches!(
             inner.as_deref(),
-            Some(DsmMsg::LockGrant { .. }) | Some(DsmMsg::BarrierRelease { .. })
+            Some(DsmMsg::LockGrant { .. })
+                | Some(DsmMsg::BarrierRelease { .. })
+                | Some(DsmMsg::BarrierTreeRelease { .. })
         );
         if gates_acquire {
             let waiting = self.try_install_carrier_updates(env, updates);
@@ -286,10 +296,14 @@ impl NodeRuntime {
             self.install_carrier_updates(env, updates);
         }
         if !relay.is_empty() {
-            // Relays are only ever attached to barrier arrives; the barrier
-            // id keys the stash so overlapping episodes cannot mix.
+            // Relays only ever ride barrier traffic — flat arrives, or the
+            // tree path's combines and releases (a bundle can transit
+            // several tree hops before reaching its destination). The
+            // barrier id keys the stash so overlapping episodes cannot mix.
             let barrier = match inner.as_deref() {
-                Some(DsmMsg::BarrierArrive { barrier, .. }) => Some(*barrier),
+                Some(DsmMsg::BarrierArrive { barrier, .. })
+                | Some(DsmMsg::BarrierCombine { barrier, .. })
+                | Some(DsmMsg::BarrierTreeRelease { barrier, .. }) => Some(*barrier),
                 _ => None,
             };
             for r in relay {
@@ -310,16 +324,16 @@ impl NodeRuntime {
                 } else if let Some(b) = barrier {
                     self.outbox.lock().stash_relay(b, r.dest, bundle);
                 } else {
-                    // A relay without a framing BarrierArrive is a protocol
-                    // bug; dropping it silently would diverge the
+                    // A relay without a framing barrier message is a
+                    // protocol bug; dropping it silently would diverge the
                     // destination, so fail loudly enough to diagnose.
                     bump(&self.stats.runtime_errors);
                     crate::runtime::proto_trace!(
                         self,
-                        "dropping relay bundle without a BarrierArrive frame (dest {:?})",
+                        "dropping relay bundle without a barrier frame (dest {:?})",
                         r.dest
                     );
-                    debug_assert!(false, "relay bundles require a BarrierArrive");
+                    debug_assert!(false, "relay bundles require a barrier frame");
                 }
             }
         }
@@ -597,7 +611,7 @@ impl NodeRuntime {
                     // Conventional write miss or any migratory access:
                     // ownership (and for migratory, the only copy) moves to
                     // the requester; the local copy is invalidated.
-                    let mut handed_copyset = entry.copyset;
+                    let mut handed_copyset = entry.copyset.clone();
                     handed_copyset.remove(requester);
                     self.set_entry_rights(entry, AccessRights::Invalid);
                     entry.state.owned = false;
@@ -1043,7 +1057,7 @@ impl NodeRuntime {
                     rejected.push(item.object);
                     continue;
                 }
-                for dest in e.copyset.members(self.nodes, Some(self.node)) {
+                for dest in e.copyset.iter(self.nodes, Some(self.node)) {
                     if dest == origin {
                         continue;
                     }
@@ -1174,7 +1188,7 @@ impl NodeRuntime {
                 let dir = self.dir.lock();
                 let e = dir.entry(item.object);
                 if collect_owned && e.state.owned {
-                    owned_copysets.push((item.object, e.copyset));
+                    owned_copysets.push((item.object, e.copyset.clone()));
                 }
                 e.state.rights.allows_read()
             };
@@ -1232,7 +1246,7 @@ impl NodeRuntime {
     /// user-thread flush while drawing a *later* slot, and the receiver
     /// (which applies strictly in seq order) would install the stale items
     /// over the newer data.
-    fn take_pending_with_seq(&self, dst: NodeId) -> Option<(Vec<UpdateItem>, u64)> {
+    pub(crate) fn take_pending_with_seq(&self, dst: NodeId) -> Option<(Vec<UpdateItem>, u64)> {
         if !self.cfg.piggyback {
             return None;
         }
@@ -1339,7 +1353,7 @@ impl NodeRuntime {
                 .map(|o| {
                     let e = dir.entry(o);
                     if e.state.owned {
-                        (o, e.copyset)
+                        (o, e.copyset.clone())
                     } else {
                         (o, CopySet::AllNodes)
                     }
@@ -1564,6 +1578,7 @@ impl NodeRuntime {
         now: munin_sim::VirtTime,
     ) {
         self.charge_sys(self.cost.sync_op());
+        bump(&self.stats.barrier_owner_ingress);
         let released = {
             let mut sync = self.sync.lock();
             sync.barrier_mut(barrier).arrive(from)
@@ -1830,7 +1845,8 @@ mod tests {
             } => {
                 assert_eq!(count, 1);
                 assert_eq!(owned_copysets.len(), 1);
-                let (object, cs) = owned_copysets[0];
+                let (object, cs) = &owned_copysets[0];
+                let (object, cs) = (*object, cs.clone());
                 assert_eq!(object, ws);
                 assert!(cs.contains(NodeId::new(1)));
             }

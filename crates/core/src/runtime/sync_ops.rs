@@ -74,7 +74,7 @@ impl NodeRuntime {
         // acquire there. The home's queue deduplicates, so a request that
         // was *not* actually lost cannot queue this node twice; a grant
         // produced twice anyway is absorbed by the routing guard above.
-        let mut handled = 0u64;
+        let mut handled = crate::nodeset::NodeSet::EMPTY;
         let (env, reply) = loop {
             match self.wait_reply_or_dead(crate::runtime::WaitOp::LockGrant(lock.0), &mut handled) {
                 Ok(reply) => break reply,
@@ -190,7 +190,17 @@ impl NodeRuntime {
             let b = sync.barrier(barrier);
             (b.owner, b.parties)
         };
-        let mode = if self.cfg.piggyback && parties == self.nodes {
+        let tree = self.tree_topology(barrier);
+        // Tree mode keeps the barrier-relay flush (bundles ride the tree
+        // hops) — except when the failure detector is armed: a relayed
+        // bundle parked at a dying interior node would be lost with it, so
+        // crash-tolerant tree runs flush eagerly instead. The flat path
+        // keeps its relay either way (the owner's recovery already covers
+        // it).
+        let mode = if self.cfg.piggyback
+            && parties == self.nodes
+            && (tree.is_none() || !self.health_enabled())
+        {
             FlushMode::BarrierRelay { owner }
         } else {
             FlushMode::Immediate
@@ -209,7 +219,9 @@ impl NodeRuntime {
             barrier,
             from: self.node,
         };
-        if relay.is_empty() {
+        if let Some(topo) = &tree {
+            self.tree_arrive_local(barrier, topo, relay);
+        } else if relay.is_empty() {
             self.send(owner, arrive)?;
         } else {
             let relay: Vec<RelayUpdate> = relay
@@ -241,7 +253,7 @@ impl NodeRuntime {
         // A participant dying mid-wait is survivable — the owner's recovery
         // excludes it from the arrival count and releases the rest — but the
         // owner itself dying takes the barrier state with it.
-        let mut handled = 0u64;
+        let mut handled = crate::nodeset::NodeSet::EMPTY;
         let (env, reply) = loop {
             match self.wait_reply_or_dead(
                 crate::runtime::WaitOp::BarrierRelease(barrier.0),
@@ -255,7 +267,16 @@ impl NodeRuntime {
                         lost_objects: Vec::new(),
                     });
                 }
-                Err(MuninError::PeerDied(_)) => {}
+                Err(MuninError::PeerDied(dead)) => {
+                    // Tree mode: the corpse may have been this node's
+                    // reporting ancestor (re-send the report to a live one)
+                    // or the last hold-out in its subtree (advance now).
+                    // Recovery also runs this; doing it here too closes the
+                    // race where this thread sees the death first.
+                    if tree.is_some() {
+                        self.tree_handle_death(dead);
+                    }
+                }
                 Err(e) => return Err(e),
             }
         };
@@ -307,7 +328,7 @@ impl NodeRuntime {
         )?;
         // Reduction state lives only at the object's fixed home: its death
         // is unrecoverable for this object, any other death is irrelevant.
-        let mut handled = 0u64;
+        let mut handled = crate::nodeset::NodeSet::EMPTY;
         let (_env, reply) = loop {
             match self.wait_reply_or_dead(crate::runtime::WaitOp::Reduce(object), &mut handled) {
                 Ok(reply) => break reply,
@@ -368,7 +389,7 @@ impl NodeRuntime {
     /// requests in the meantime, e.g. for the root's `user_done` phase).
     /// Only the root can end the run, so its death here is terminal.
     pub(crate) fn wait_for_shutdown(self: &Arc<Self>) -> Result<()> {
-        let mut handled = 0u64;
+        let mut handled = crate::nodeset::NodeSet::EMPTY;
         loop {
             match self.wait_reply_or_dead(crate::runtime::WaitOp::Shutdown, &mut handled) {
                 Ok((_env, DsmMsg::Shutdown)) => return Ok(()),
@@ -398,13 +419,10 @@ impl NodeRuntime {
         // worker `Shutdown` lost after the drain finds the queue empty has
         // no retransmitter, and that worker stalls in `shutdown_wait` until
         // its watchdog fires.
-        for i in 1..self.nodes {
-            let n = NodeId::new(i);
-            // A dead worker's shutdown would sit unacknowledged in the
-            // reliable link forever and hold the drain at its deadline.
-            if self.is_peer_dead(n) {
-                continue;
-            }
+        // A dead worker's shutdown would sit unacknowledged in the reliable
+        // link forever and hold the drain at its deadline, so the fan-out
+        // walks the live set only.
+        for n in self.live_peers().iter() {
             self.send(n, DsmMsg::Shutdown)?;
         }
         self.send(self.node, DsmMsg::Shutdown)

@@ -124,6 +124,12 @@ counters! {
         lock_messages,
         /// Barrier waits performed by the local user thread.
         barrier_waits,
+        /// Barrier-arrival messages this node received as a barrier owner:
+        /// `BarrierArrive`s on the flat path, upward `BarrierCombine`s on
+        /// the tree path. The flat owner takes N−1 of these per episode; a
+        /// combining tree caps it at the fan-in k — the scaling tests
+        /// assert on exactly this counter.
+        barrier_owner_ingress,
         /// Fetch-and-Φ operations performed on reduction objects.
         reductions,
         /// Runtime errors detected (e.g. writes to read-only objects).

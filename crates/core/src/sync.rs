@@ -14,6 +14,7 @@ use std::collections::VecDeque;
 
 use munin_sim::NodeId;
 
+use crate::nodeset::NodeSet;
 use crate::object::ObjectId;
 
 /// Identifier of a distributed lock.
@@ -175,10 +176,10 @@ pub struct BarrierState {
     pub arrived: Vec<NodeId>,
     /// How many times the barrier has opened.
     pub generation: u64,
-    /// Bitmap of nodes confirmed dead and excluded from the arrival count
-    /// (crash recovery at the owner; each excluded node lowers the open
-    /// threshold by one).
-    pub excluded: u64,
+    /// Nodes confirmed dead and excluded from the arrival count (crash
+    /// recovery at the owner; each excluded node lowers the open threshold
+    /// by one).
+    pub excluded: NodeSet,
 }
 
 impl BarrierState {
@@ -189,16 +190,14 @@ impl BarrierState {
             parties,
             arrived: Vec::new(),
             generation: 0,
-            excluded: 0,
+            excluded: NodeSet::EMPTY,
         }
     }
 
     /// Arrivals required to open, after dead-node exclusions. Never below
     /// one: a barrier opens on an arrival, not on an exclusion alone.
     fn effective_parties(&self) -> usize {
-        self.parties
-            .saturating_sub(self.excluded.count_ones() as usize)
-            .max(1)
+        self.parties.saturating_sub(self.excluded.count()).max(1)
     }
 
     /// Records an arrival at the owner. Returns the list of nodes to release
@@ -218,11 +217,10 @@ impl BarrierState {
     /// release could not reach it anyway). Returns the waiters to release
     /// when the exclusion leaves every surviving party already arrived.
     pub fn exclude(&mut self, node: NodeId) -> Option<Vec<NodeId>> {
-        let bit = 1u64 << (node.as_usize() % 64);
-        if self.excluded & bit != 0 {
+        if self.excluded.contains(node) {
             return None;
         }
-        self.excluded |= bit;
+        self.excluded.insert(node);
         self.arrived.retain(|n| *n != node);
         if !self.arrived.is_empty() && self.arrived.len() >= self.effective_parties() {
             self.generation += 1;
@@ -233,12 +231,159 @@ impl BarrierState {
     }
 }
 
+/// The static k-ary combining tree used by wide all-node barriers.
+///
+/// Nodes are laid out heap-style by *rank*: the barrier owner is rank 0, the
+/// ranks `r·k+1 ..= r·k+k` are the children of rank `r`, and rank `r` of node
+/// `n` is `(n + nodes − owner) mod nodes` — so the shape depends only on
+/// `(owner, nodes, fanout)` and every node derives identical edges without
+/// coordination. The *static* tree never changes; crash recovery re-parents a
+/// subtree by sending its reports to the nearest live static ancestor, which
+/// moves an edge but never changes any node's static subtree membership.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeTopology {
+    /// The barrier owner (rank 0, the tree root).
+    pub owner: NodeId,
+    /// Total cluster size.
+    pub nodes: usize,
+    /// Fan-in `k` (at least 2).
+    pub fanout: usize,
+}
+
+impl TreeTopology {
+    /// Builds the topology. `fanout` below 2 would degenerate into a chain;
+    /// the config layer rejects it before it can reach here.
+    pub fn new(owner: NodeId, nodes: usize, fanout: usize) -> Self {
+        debug_assert!(fanout >= 2, "tree fan-in below 2 is a chain");
+        TreeTopology {
+            owner,
+            nodes,
+            fanout,
+        }
+    }
+
+    /// Heap rank of a node (owner = 0).
+    pub fn rank_of(&self, node: NodeId) -> usize {
+        (node.as_usize() + self.nodes - self.owner.as_usize()) % self.nodes
+    }
+
+    /// The node holding a heap rank.
+    pub fn node_at(&self, rank: usize) -> NodeId {
+        NodeId::new((self.owner.as_usize() + rank) % self.nodes)
+    }
+
+    /// Static tree parent (`None` for the owner).
+    pub fn parent_of(&self, node: NodeId) -> Option<NodeId> {
+        let r = self.rank_of(node);
+        (r > 0).then(|| self.node_at((r - 1) / self.fanout))
+    }
+
+    /// Static tree children, in rank order.
+    pub fn children_of(&self, node: NodeId) -> Vec<NodeId> {
+        let first = self.rank_of(node) * self.fanout + 1;
+        (first..(first.saturating_add(self.fanout)).min(self.nodes))
+            .map(|r| self.node_at(r))
+            .collect()
+    }
+
+    /// The node's full static subtree, itself included.
+    pub fn subtree_of(&self, node: NodeId) -> NodeSet {
+        let mut set = NodeSet::EMPTY;
+        let mut stack = vec![self.rank_of(node)];
+        while let Some(r) = stack.pop() {
+            set.insert(self.node_at(r));
+            let first = r * self.fanout + 1;
+            stack.extend(first..(first.saturating_add(self.fanout)).min(self.nodes));
+        }
+        set
+    }
+
+    /// Whether `ancestor` lies on the static path from `node` (exclusive)
+    /// up to the owner (inclusive). Crash recovery uses this to decide
+    /// whether a death can have swallowed this node's upward report.
+    pub fn is_ancestor_of(&self, ancestor: NodeId, node: NodeId) -> bool {
+        let target = self.rank_of(ancestor);
+        let mut r = self.rank_of(node);
+        while r > 0 {
+            r = (r - 1) / self.fanout;
+            if r == target {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The nearest static ancestor not in `dead` — the node a re-parented
+    /// subtree reports to. `None` when every ancestor up to and including
+    /// the owner is dead (owner death ends the run via `NodeDown`), and for
+    /// the owner itself, which has no parent.
+    pub fn live_parent_of(&self, node: NodeId, dead: &NodeSet) -> Option<NodeId> {
+        let mut r = self.rank_of(node);
+        while r > 0 {
+            r = (r - 1) / self.fanout;
+            let ancestor = self.node_at(r);
+            if !dead.contains(ancestor) {
+                return Some(ancestor);
+            }
+        }
+        None
+    }
+}
+
+/// Per-node combining state of one tree barrier episode.
+///
+/// Unlike [`BarrierState`] (meaningful at the owner only), every node keeps
+/// one of these per barrier: interior nodes combine their children's reports
+/// here before forwarding one merged report upward.
+#[derive(Clone, Debug, Default)]
+pub struct TreeBarrierState {
+    /// Every node known to have arrived this episode in (or re-parented
+    /// into) this node's subtree, itself included once it arrives.
+    pub arrived: NodeSet,
+    /// Dynamic children this episode: each reporting node and the arrived
+    /// set it covers, recorded from its upward reports. Releases fan down
+    /// exactly these edges, so a re-parented subtree is released by whoever
+    /// actually received its report.
+    pub children: Vec<(NodeId, NodeSet)>,
+    /// Arrival count as of the last upward report, so duplicate incoming
+    /// reports (crash-recovery re-sends) do not trigger duplicate forwards:
+    /// a node re-forwards only when its merged set has grown.
+    pub forwarded_count: usize,
+    /// Completed episodes (the tree-path analogue of
+    /// [`BarrierState::generation`], kept per node rather than owner-only).
+    pub completed: u64,
+    /// Lazily computed static subtree of this node (the completeness
+    /// threshold and the bundle-stash partition both test against it).
+    pub subtree: Option<NodeSet>,
+}
+
+impl TreeBarrierState {
+    /// Resets the per-episode fields after a release, keeping the episode
+    /// counter and the cached subtree.
+    pub fn reset_episode(&mut self, completed: u64) {
+        self.arrived.clear();
+        self.children.clear();
+        self.forwarded_count = 0;
+        self.completed = completed;
+    }
+
+    /// Merges one upward report into the combining state.
+    pub fn merge_report(&mut self, from: NodeId, covered: &NodeSet) {
+        self.arrived.union_with(covered);
+        match self.children.iter_mut().find(|(c, _)| *c == from) {
+            Some((_, set)) => set.union_with(covered),
+            None => self.children.push((from, covered.clone())),
+        }
+    }
+}
+
 /// The synchronization object directory of one node: the analogue of the data
 /// object directory for locks and barriers.
 #[derive(Clone, Debug, Default)]
 pub struct SyncDirectory {
     locks: Vec<LockState>,
     barriers: Vec<BarrierState>,
+    tree: Vec<TreeBarrierState>,
 }
 
 impl SyncDirectory {
@@ -254,6 +399,7 @@ impl SyncDirectory {
                 .iter()
                 .map(|(owner, parties)| BarrierState::new(*owner, *parties))
                 .collect(),
+            tree: vec![TreeBarrierState::default(); barriers.len()],
         }
     }
 
@@ -275,6 +421,16 @@ impl SyncDirectory {
     /// Mutable state of a barrier.
     pub fn barrier_mut(&mut self, id: BarrierId) -> &mut BarrierState {
         &mut self.barriers[id.0 as usize]
+    }
+
+    /// Combining-tree state of a barrier.
+    pub fn tree_barrier(&self, id: BarrierId) -> &TreeBarrierState {
+        &self.tree[id.0 as usize]
+    }
+
+    /// Mutable combining-tree state of a barrier.
+    pub fn tree_barrier_mut(&mut self, id: BarrierId) -> &mut TreeBarrierState {
+        &mut self.tree[id.0 as usize]
     }
 
     /// Number of locks known to this node.
@@ -413,6 +569,26 @@ mod tests {
     }
 
     #[test]
+    fn exclusion_above_node_64_does_not_alias() {
+        // Regression: the historical bitmap computed `1u64 << (node % 64)`,
+        // so excluding node 64 (a) aliased onto node 0 and (b) made a later
+        // real exclusion of node 0 an idempotent no-op — the threshold
+        // dropped by one instead of two and the barrier hung forever.
+        let mut b = BarrierState::new(n(0), 66);
+        assert!(b.exclude(n(64)).is_none());
+        assert!(b.exclude(n(0)).is_none());
+        assert!(b.exclude(n(65)).is_none());
+        assert_eq!(b.excluded.count(), 3, "three distinct exclusions");
+        // 66 parties - 3 dead = 63 arrivals open the barrier.
+        for i in 1..63 {
+            assert!(b.arrive(n(i)).is_none(), "arrival {i} must not open");
+        }
+        let released = b.arrive(n(63)).unwrap();
+        assert_eq!(released.len(), 63);
+        assert_eq!(b.generation, 1);
+    }
+
+    #[test]
     fn excluding_an_already_arrived_node_drops_its_arrival() {
         let mut b = BarrierState::new(n(0), 3);
         assert!(b.arrive(n(2)).is_none());
@@ -469,5 +645,89 @@ mod tests {
         assert_eq!(dir.barrier_count(), 1);
         assert!(!dir.lock(LockId(0)).owned);
         assert_eq!(dir.barrier(BarrierId(0)).parties, 4);
+        assert_eq!(dir.tree_barrier(BarrierId(0)).completed, 0);
+    }
+
+    #[test]
+    fn tree_topology_edges_are_mutually_consistent() {
+        // Non-zero owner: ranks rotate, edges must still agree both ways.
+        let t = TreeTopology::new(n(3), 13, 4);
+        assert_eq!(t.rank_of(n(3)), 0);
+        assert_eq!(t.parent_of(n(3)), None);
+        for i in 0..13 {
+            let node = n(i);
+            for child in t.children_of(node) {
+                assert_eq!(t.parent_of(child), Some(node));
+            }
+            if let Some(p) = t.parent_of(node) {
+                assert!(t.children_of(p).contains(&node));
+            }
+        }
+        // Rank 0 has children at ranks 1..=4 (nodes 4..=7).
+        assert_eq!(t.children_of(n(3)), vec![n(4), n(5), n(6), n(7)]);
+        // A leaf has none.
+        assert_eq!(t.children_of(n(12)), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn tree_subtrees_partition_the_cluster() {
+        let t = TreeTopology::new(n(0), 256, 8);
+        // The owner's subtree is everyone.
+        assert_eq!(t.subtree_of(n(0)), NodeSet::full(256));
+        // Sibling subtrees are disjoint and, with the root, cover the
+        // cluster exactly.
+        let mut union = NodeSet::EMPTY;
+        union.insert(n(0));
+        let mut total = 1;
+        for child in t.children_of(n(0)) {
+            let sub = t.subtree_of(child);
+            assert!(sub.contains(child));
+            total += sub.count();
+            let mut overlap = sub.clone();
+            overlap.difference_with(&union);
+            assert_eq!(overlap.count(), sub.count(), "subtrees must not overlap");
+            union.union_with(&sub);
+        }
+        assert_eq!(total, 256);
+        assert_eq!(union, NodeSet::full(256));
+    }
+
+    #[test]
+    fn live_parent_skips_dead_ancestors() {
+        let t = TreeTopology::new(n(0), 64, 2);
+        // Rank chain of node 7 (rank 7): 7 → 3 → 1 → 0.
+        assert_eq!(t.live_parent_of(n(7), &NodeSet::EMPTY), Some(n(3)));
+        let mut dead = NodeSet::EMPTY;
+        dead.insert(n(3));
+        assert_eq!(t.live_parent_of(n(7), &dead), Some(n(1)));
+        dead.insert(n(1));
+        assert_eq!(t.live_parent_of(n(7), &dead), Some(n(0)));
+        // Everything up to the owner dead: no live parent (NodeDown path).
+        dead.insert(n(0));
+        assert_eq!(t.live_parent_of(n(7), &dead), None);
+        // The owner has no parent even when fully alive.
+        assert_eq!(t.live_parent_of(n(0), &NodeSet::EMPTY), None);
+    }
+
+    #[test]
+    fn tree_state_merges_reports_idempotently() {
+        let mut s = TreeBarrierState::default();
+        let report = NodeSet::from_nodes([n(5), n(6)]);
+        s.merge_report(n(5), &report);
+        assert_eq!(s.arrived.count(), 2);
+        assert_eq!(s.children.len(), 1);
+        // A crash-recovery re-send of the same report changes nothing.
+        s.merge_report(n(5), &report);
+        assert_eq!(s.arrived.count(), 2);
+        assert_eq!(s.children.len(), 1);
+        // A grown re-send merges into the same child entry.
+        s.merge_report(n(5), &NodeSet::from_nodes([n(5), n(6), n(7)]));
+        assert_eq!(s.arrived.count(), 3);
+        assert_eq!(s.children.len(), 1);
+        assert_eq!(s.children[0].1.count(), 3);
+        s.reset_episode(1);
+        assert!(s.arrived.is_empty());
+        assert!(s.children.is_empty());
+        assert_eq!(s.completed, 1);
     }
 }

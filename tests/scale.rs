@@ -1,0 +1,162 @@
+//! Wide-cluster scaling suite: 64-, 128- and 256-node runs exercising the
+//! hierarchical combining-tree barriers against the flat owner-collected
+//! path.
+//!
+//! The contracts under test:
+//!
+//! * **Transparency** — the barrier topology is invisible to the program:
+//!   tree and flat runs of the same SOR instance produce bit-identical
+//!   grids, for shallow (k = 16) and deep (k = 2) trees alike.
+//! * **Ingress economy** — the whole point of the tree: the barrier owner's
+//!   per-episode message ingress drops from N (every participant's arrival,
+//!   its own included) to its static fan-in k, asserted exactly via the
+//!   `barrier_owner_ingress` counter.
+//! * **Crash tolerance** — a crash of an *interior* tree node (one whose
+//!   death orphans a whole reporting subtree) keeps the
+//!   terminate-correct-or-fail-fast contract of `tests/crash.rs`.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use munin::apps::sor::{self, SorParams};
+use munin::sim::{CostModel, CrashSpec, CrashTrigger, EngineConfig, FaultPlan};
+use munin::MuninError;
+
+/// One 256-node run is ~500 OS threads; several at once oversubscribe the
+/// host so badly that wall-clock detection windows and ceilings stop
+/// meaning anything. Unlike the small-cluster chaos suites (which *want*
+/// scheduling noise), this file serializes its tests.
+static SEQUENTIAL: Mutex<()> = Mutex::new(());
+
+/// All-node barrier episodes in one SOR run: the program's internal start
+/// barrier, one `copied` wait after the init phase, then a `computed` and a
+/// `copied` wait per iteration.
+fn episodes(iterations: usize) -> u64 {
+    2 * iterations as u64 + 2
+}
+
+fn close(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-9)
+}
+
+/// Runs one SOR instance with the given barrier fan-out override and
+/// returns (grid, total `barrier_owner_ingress`). The counter is only ever
+/// bumped at a barrier owner, so the cluster-wide total *is* the owner's
+/// ingress.
+fn sor_run(nodes: usize, rows: usize, iterations: usize, fanout: Option<usize>) -> (Vec<f64>, u64) {
+    let mut params = SorParams::small(rows, 8, iterations, nodes);
+    params.engine = EngineConfig::seeded(7);
+    params.barrier_fanout = fanout;
+    let (m, grid) = sor::run_munin(params, CostModel::fast_test()).unwrap();
+    (grid, m.stats.barrier_owner_ingress)
+}
+
+/// 128 nodes: the tree changes the owner's ingress from O(N) to O(k) per
+/// episode and nothing else — the grids are bit-identical.
+#[test]
+fn tree_barrier_matches_flat_bit_for_bit_at_128_nodes() {
+    let _serial = SEQUENTIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let (nodes, rows, iters) = (128, 132, 2);
+    let (flat_grid, flat_ingress) = sor_run(nodes, rows, iters, Some(usize::MAX));
+    let (tree_grid, tree_ingress) = sor_run(nodes, rows, iters, Some(8));
+    assert_eq!(
+        flat_grid.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        tree_grid.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "barrier topology must be invisible to the computation"
+    );
+    assert!(close(&flat_grid, &sor::serial(rows, 8, iters)));
+    // Flat: every participant's arrival (the owner's own included) lands at
+    // the owner. Tree: only the owner's k static children report to it.
+    assert_eq!(flat_ingress, nodes as u64 * episodes(iters));
+    assert_eq!(tree_ingress, 8 * episodes(iters));
+    assert!(
+        tree_ingress < flat_ingress,
+        "tree ingress {tree_ingress} must be strictly below flat {flat_ingress}"
+    );
+}
+
+/// Fan-out sweep at 64 nodes: a binary tree (depth 6, maximal bundle
+/// transit hops) and a wide tree (k = 16) both match the flat grid exactly.
+#[test]
+fn every_tree_fanout_is_transparent_at_64_nodes() {
+    let _serial = SEQUENTIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let (nodes, rows, iters) = (64, 68, 2);
+    let (flat_grid, flat_ingress) = sor_run(nodes, rows, iters, Some(usize::MAX));
+    assert!(close(&flat_grid, &sor::serial(rows, 8, iters)));
+    let flat_bits: Vec<u64> = flat_grid.iter().map(|v| v.to_bits()).collect();
+    for k in [2usize, 16] {
+        let (grid, ingress) = sor_run(nodes, rows, iters, Some(k));
+        assert_eq!(
+            flat_bits,
+            grid.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "fan-out {k} diverged from the flat grid"
+        );
+        assert_eq!(ingress, k as u64 * episodes(iters));
+        assert!(ingress < flat_ingress);
+    }
+}
+
+/// 256 nodes complete correctly under the auto policy (tree, k = 8, on by
+/// default at 32 nodes and up — no override needed).
+#[test]
+fn sor_completes_correctly_at_256_nodes() {
+    let _serial = SEQUENTIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let (nodes, rows, iters) = (256, 260, 1);
+    let (grid, ingress) = sor_run(nodes, rows, iters, None);
+    assert!(close(&grid, &sor::serial(rows, 8, iters)));
+    assert_eq!(ingress, 8 * episodes(iters));
+}
+
+/// An interior tree node (rank 1: it relays eight grandchild reports toward
+/// the owner) crashes mid-run at 64 nodes. The run must terminate inside
+/// the wall ceiling and either complete with the exact serial grid or fail
+/// fast with `NodeDown` — never hang, never return wrong data.
+#[test]
+fn crash_of_an_interior_tree_node_terminates_or_fails_fast() {
+    let _serial = SEQUENTIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let (nodes, rows, iters) = (64, 68, 3);
+    let reference = sor::serial(rows, 8, iters);
+    for victim in [1usize, 9] {
+        // Node 1 is the owner's first static child; node 9 is node 1's
+        // first child — both deaths orphan a reporting subtree.
+        let mut params = SorParams::small(rows, 8, iters, nodes);
+        params.engine =
+            EngineConfig::seeded(11).with_faults(FaultPlan::none().with_crash(CrashSpec {
+                node: victim,
+                trigger: CrashTrigger::VirtTime(600_000),
+                until_ns: 0,
+            }));
+        params.barrier_fanout = Some(8);
+        params.detect = Some(Duration::from_millis(300));
+        params.retransmit_pacing = Some(Duration::from_millis(1));
+        params.watchdog = Some(Duration::from_secs(25));
+        let start = Instant::now();
+        let outcome = sor::run_munin(params, CostModel::fast_test());
+        let wall = start.elapsed();
+        assert!(
+            wall < Duration::from_secs(20),
+            "victim {victim}: run took {wall:?} — crash-induced barrier waits \
+             must resolve via detection, not crawl"
+        );
+        match outcome {
+            Ok((_m, grid)) => {
+                let max_err = grid
+                    .iter()
+                    .zip(&reference)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                assert!(
+                    max_err < 1e-12,
+                    "victim {victim}: run completed but diverged (max error {max_err})"
+                );
+            }
+            Err(MuninError::NodeDown { node, .. }) => {
+                assert!(
+                    node.as_usize() < nodes,
+                    "NodeDown blames nonexistent {node}"
+                );
+            }
+            Err(other) => panic!("victim {victim}: expected Ok or NodeDown, got {other:?}"),
+        }
+    }
+}
